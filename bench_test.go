@@ -1,0 +1,440 @@
+package osumac
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5) plus the §2.1 design-requirement checks and the
+// DESIGN.md extension experiments. Each benchmark runs the experiment
+// at a bench-sized scale and reports the figure's headline metrics via
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates every
+// artifact's numbers. cmd/experiments produces the full-scale tables.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/baseline"
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/rs"
+	"github.com/osu-netlab/osumac/internal/sim"
+)
+
+const (
+	benchCycles = 200
+	benchWarmup = 15
+	benchSeed   = 42
+)
+
+func benchScenario(load float64) Scenario {
+	return Scenario{
+		Seed:          benchSeed,
+		GPSUsers:      4,
+		DataUsers:     10,
+		Load:          load,
+		VariableSizes: true,
+		Cycles:        benchCycles,
+		WarmupCycles:  benchWarmup,
+	}
+}
+
+// BenchmarkTable2SlotTimes regenerates the reverse-channel access-time
+// table (paper Table 2) and reports the first GPS and data slot offsets.
+func BenchmarkTable2SlotTimes(b *testing.B) {
+	var gps1, data1 float64
+	for i := 0; i < b.N; i++ {
+		l1 := core.NewLayout(core.Format1)
+		g, d := l1.Table2AccessTimes()
+		gps1 = g[0].Seconds()
+		data1 = d[0].Seconds()
+	}
+	b.ReportMetric(gps1, "gps-slot1-s")
+	b.ReportMetric(data1, "data-slot1-s")
+}
+
+// BenchmarkFig8aUtilization reports reverse-link utilization at the
+// paper's low / mid / saturated load points (Fig. 8a: tracks ρ until
+// ~0.9, then saturates below the offered load).
+func BenchmarkFig8aUtilization(b *testing.B) {
+	for _, load := range []float64{0.3, 0.9, 1.1} {
+		load := load
+		b.Run(fmt.Sprintf("load=%.1f", load), func(b *testing.B) {
+			var util float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(benchScenario(load))
+				if err != nil {
+					b.Fatal(err)
+				}
+				util = res.Utilization
+			}
+			b.ReportMetric(util, "utilization")
+		})
+	}
+}
+
+// BenchmarkFig8bDelay reports mean message delay in cycles (Fig. 8b:
+// small at light load, dramatic increase beyond ρ = 0.9).
+func BenchmarkFig8bDelay(b *testing.B) {
+	for _, load := range []float64{0.3, 0.9, 1.1} {
+		load := load
+		b.Run(fmt.Sprintf("load=%.1f", load), func(b *testing.B) {
+			var delay float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(benchScenario(load))
+				if err != nil {
+					b.Fatal(err)
+				}
+				delay = res.MeanDelayCycles
+			}
+			b.ReportMetric(delay, "delay-cycles")
+		})
+	}
+}
+
+// BenchmarkFig9aCollision reports the contention-slot collision
+// probability (Fig. 9/10: falls at high load as piggybacking replaces
+// contention).
+func BenchmarkFig9aCollision(b *testing.B) {
+	for _, load := range []float64{0.5, 1.1} {
+		load := load
+		b.Run(fmt.Sprintf("load=%.1f", load), func(b *testing.B) {
+			var p float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(benchScenario(load))
+				if err != nil {
+					b.Fatal(err)
+				}
+				p = res.CollisionProbability
+			}
+			b.ReportMetric(p, "collision-prob")
+		})
+	}
+}
+
+// BenchmarkFig9bReservationLatency reports mean reservation latency
+// (Fig. 9/10: decreases with load).
+func BenchmarkFig9bReservationLatency(b *testing.B) {
+	for _, load := range []float64{0.5, 1.1} {
+		load := load
+		b.Run(fmt.Sprintf("load=%.1f", load), func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(benchScenario(load))
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat = res.ReservationLatency
+			}
+			b.ReportMetric(lat, "res-latency-s")
+		})
+	}
+}
+
+// BenchmarkFig10ControlOverhead reports reservation signals per data
+// packet (Fig. 10: decreases with load as requests ride in data-packet
+// headers).
+func BenchmarkFig10ControlOverhead(b *testing.B) {
+	for _, load := range []float64{0.3, 1.1} {
+		load := load
+		b.Run(fmt.Sprintf("load=%.1f", load), func(b *testing.B) {
+			var ovhd float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(benchScenario(load))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ovhd = res.ControlOverhead
+			}
+			b.ReportMetric(ovhd, "ctl-overhead")
+		})
+	}
+}
+
+// BenchmarkFig11Fairness reports Jain's fairness index (Fig. 11: above
+// 0.99 at all loads).
+func BenchmarkFig11Fairness(b *testing.B) {
+	for _, load := range []float64{0.3, 0.9} {
+		load := load
+		b.Run(fmt.Sprintf("load=%.1f", load), func(b *testing.B) {
+			var fair float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(benchScenario(load))
+				if err != nil {
+					b.Fatal(err)
+				}
+				fair = res.Fairness
+			}
+			b.ReportMetric(fair, "jain-fairness")
+		})
+	}
+}
+
+// BenchmarkFig12aSecondCF reports the bandwidth share carried by the
+// CF2-covered last data slot (Fig. 12a: 5-14 %).
+func BenchmarkFig12aSecondCF(b *testing.B) {
+	for _, load := range []float64{0.3, 1.0} {
+		load := load
+		b.Run(fmt.Sprintf("load=%.1f", load), func(b *testing.B) {
+			var gain float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(benchScenario(load))
+				if err != nil {
+					b.Fatal(err)
+				}
+				gain = res.SecondCFGain
+			}
+			b.ReportMetric(100*gain, "cf2-gain-pct")
+		})
+	}
+}
+
+// BenchmarkFig12bDynamicSlots reports data slots used per cycle with 1
+// GPS user, dynamic slot adjustment on vs off (Fig. 12b: the converted
+// ninth slot buys up to ~15 % more bandwidth at high load).
+func BenchmarkFig12bDynamicSlots(b *testing.B) {
+	for _, dynamic := range []bool{true, false} {
+		dynamic := dynamic
+		b.Run(fmt.Sprintf("dynamic=%v", dynamic), func(b *testing.B) {
+			var used float64
+			for i := 0; i < b.N; i++ {
+				scn := benchScenario(1.0)
+				scn.GPSUsers = 1
+				scn.DisableDynamicSlots = !dynamic
+				res, err := Run(scn)
+				if err != nil {
+					b.Fatal(err)
+				}
+				used = res.MeanDataSlotsUsed
+			}
+			b.ReportMetric(used, "data-slots-used")
+		})
+	}
+}
+
+// BenchmarkRegistrationLatency reports the §2.1 registration targets
+// for a burst of 8 simultaneous registrants.
+func BenchmarkRegistrationLatency(b *testing.B) {
+	var within2, within10 float64
+	for i := 0; i < b.N; i++ {
+		cfg := core.NewConfig()
+		cfg.Seed = benchSeed
+		n, err := core.NewNetwork(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for u := 0; u < 8; u++ {
+			if _, err := n.AddSubscriber(frame.EIN(100+u), false, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := n.Run(40); err != nil {
+			b.Fatal(err)
+		}
+		within2 = n.Metrics().RegistrationWithin(2)
+		within10 = n.Metrics().RegistrationWithin(10)
+	}
+	b.ReportMetric(within2, "within-2-cycles")
+	b.ReportMetric(within10, "within-10-cycles")
+}
+
+// BenchmarkGPSAccessDelay reports the worst GPS access delay against the
+// §2.1 4-second bound under a fully loaded cell.
+func BenchmarkGPSAccessDelay(b *testing.B) {
+	var maxDelay, violations float64
+	for i := 0; i < b.N; i++ {
+		scn := benchScenario(0.9)
+		scn.GPSUsers = 8
+		res, err := Run(scn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxDelay = res.GPSMaxAccessDelay
+		violations = float64(res.GPSDeadlineViolations)
+	}
+	b.ReportMetric(maxDelay, "max-delay-s")
+	b.ReportMetric(violations, "violations")
+}
+
+// BenchmarkBaselineComparison reports overload throughput for OSU-MAC
+// and the §4 survey baselines (extension X1).
+func BenchmarkBaselineComparison(b *testing.B) {
+	b.Run("osu-mac", func(b *testing.B) {
+		var thr float64
+		for i := 0; i < b.N; i++ {
+			scn := benchScenario(1.1)
+			scn.GPSUsers = 0
+			res, err := Run(scn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			thr = res.Utilization
+		}
+		b.ReportMetric(thr, "throughput")
+	})
+	for _, mk := range []func() baseline.Protocol{
+		func() baseline.Protocol { return baseline.NewPRMA() },
+		func() baseline.Protocol { return baseline.NewDTDMA() },
+		func() baseline.Protocol { return baseline.NewRAMA() },
+		func() baseline.Protocol { return baseline.NewDRMA() },
+		func() baseline.Protocol { return baseline.NewFAMA() },
+	} {
+		name := mk().Name()
+		b.Run(name, func(b *testing.B) {
+			var thr float64
+			for i := 0; i < b.N; i++ {
+				res, err := baseline.Run(baseline.Config{
+					Protocol: mk(),
+					Users:    10,
+					Frames:   benchCycles,
+					Load:     1.1,
+					Seed:     benchSeed,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				thr = res.Throughput
+			}
+			b.ReportMetric(thr, "throughput")
+		})
+	}
+}
+
+// BenchmarkAblationLumping compares the paper's lumped round-robin to
+// the unlumped variant (extension X2).
+func BenchmarkAblationLumping(b *testing.B) {
+	run := func(b *testing.B, lump bool) {
+		var delay float64
+		for i := 0; i < b.N; i++ {
+			cfg := NewConfig()
+			cfg.Seed = benchSeed
+			rr := NewRoundRobin()
+			rr.Lump = lump
+			cfg.Scheduler = rr
+			cfg.MeanInterarrival = benchInterarrival(0.9)
+			n, err := NewNetwork(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchPopulate(b, n)
+			if err := n.Run(benchCycles); err != nil {
+				b.Fatal(err)
+			}
+			delay = n.Metrics().MeanDelayCycles(CycleLength)
+		}
+		b.ReportMetric(delay, "delay-cycles")
+	}
+	b.Run("lump", func(b *testing.B) { run(b, true) })
+	b.Run("no-lump", func(b *testing.B) { run(b, false) })
+}
+
+// --- Microbenchmarks of the hot substrates -------------------------
+
+// BenchmarkRSEncode measures RS(64,48) encoding throughput.
+func BenchmarkRSEncode(b *testing.B) {
+	code := rs.NewPaperCode()
+	msg := make([]byte, code.K())
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRSDecodeClean measures the clean-codeword fast path.
+func BenchmarkRSDecodeClean(b *testing.B) {
+	code := rs.NewPaperCode()
+	msg := make([]byte, code.K())
+	cw, err := code.Encode(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Decode(cw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRSDecodeWorstCase measures decode with t=8 errors.
+func BenchmarkRSDecodeWorstCase(b *testing.B) {
+	code := rs.NewPaperCode()
+	rng := sim.NewRNG(1)
+	msg := make([]byte, code.K())
+	cw, err := code.Encode(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	corrupted := append([]byte(nil), cw...)
+	for _, p := range rng.Shuffled(len(cw))[:code.T()] {
+		corrupted[p] ^= byte(rng.UniformInt(1, 255))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Decode(corrupted); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkControlFieldCodec measures one full control-field
+// encode+decode round (2 RS codewords each way).
+func BenchmarkControlFieldCodec(b *testing.B) {
+	codec := frame.NewCodec()
+	cf := frame.NewControlFields()
+	cf.GPSSchedule[0] = 1
+	cf.ReverseSchedule[3] = 7
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		air, err := codec.EncodeControlFields(cf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := codec.DecodeControlFields(air); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationCycle measures full-stack cycles per second for a
+// busy cell.
+func BenchmarkSimulationCycle(b *testing.B) {
+	cfg := NewConfig()
+	cfg.Seed = benchSeed
+	cfg.MeanInterarrival = benchInterarrival(0.9)
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPopulate(b, n)
+	if err := n.Run(5); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchInterarrival(load float64) time.Duration {
+	return InterarrivalForLoad(load, 10, 4, true)
+}
+
+func benchPopulate(b *testing.B, n *Network) {
+	b.Helper()
+	for i := 0; i < 4; i++ {
+		if _, err := n.AddSubscriber(EIN(1000+i), true, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := n.AddSubscriber(EIN(2000+i), false, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Command experiments regenerates every table and figure of the OSU-MAC
+// paper's evaluation section. By default it runs everything; individual
+// artifacts can be selected with flags. Output is aligned text tables
+// (use -csv for machine-readable output).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/osu-netlab/osumac/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		seed   = fs.Uint64("seed", 42, "random seed")
+		cycles = fs.Int("cycles", 800, "measured cycles per point")
+		warmup = fs.Int("warmup", 40, "warm-up cycles per point")
+		gps    = fs.Int("gps", 4, "GPS users in the load sweep")
+		data   = fs.Int("data", 10, "data users in the load sweep")
+		fixed  = fs.Bool("fixed", false, "use fixed 120 B messages instead of uniform 40-500 B")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		reps   = fs.Int("reps", 1, "independent seeds per point (mean ± std when > 1)")
+		only   = fs.String("only", "", "comma-separated subset: table1,table2,fig8,fig9,fig10,fig11,fig12a,fig12b,registration,gps,comparison,ablation,robustness")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+	sepOrComma := func() string {
+		if *csv {
+			return ","
+		}
+		return "\t"
+	}
+	sep := sepOrComma()
+	row := func(cols ...string) {
+		if *csv {
+			fmt.Println(strings.Join(cols, sep))
+		} else {
+			fmt.Fprintln(w, strings.Join(cols, sep))
+		}
+	}
+	header := func(title string) {
+		w.Flush()
+		if !*csv {
+			fmt.Printf("\n== %s ==\n", title)
+		} else {
+			fmt.Printf("# %s\n", title)
+		}
+	}
+
+	if sel("table1") {
+		header("Table 1: physical-layer parameters")
+		row("parameter", "forward", "reverse")
+		for _, r := range experiments.Table1() {
+			row(r.Name, r.Forward, r.Reverse)
+		}
+	}
+
+	if sel("table2") {
+		header("Table 2: reverse channel access times (s)")
+		row("slot", "format 1", "format 2")
+		for _, r := range experiments.Table2() {
+			row(r.Slot, r.Format1, r.Format2)
+		}
+	}
+
+	needSweep := sel("fig8") || sel("fig9") || sel("fig10") || sel("fig11")
+	if needSweep && *reps > 1 {
+		opts := experiments.SweepOptions{
+			Seed: *seed, GPSUsers: *gps, DataUsers: *data,
+			Cycles: *cycles, Warmup: *warmup, Variable: !*fixed,
+		}
+		pts, err := experiments.ReplicatedSweep(opts, *reps)
+		if err != nil {
+			return err
+		}
+		header(fmt.Sprintf("Load sweep, %d replications (mean ± std)", *reps))
+		row("load", "utilization", "delay (cycles)", "collision prob", "ctl overhead", "fairness", "cf2 gain")
+		pm := func(mean, std float64) string { return fmt.Sprintf("%.4f±%.4f", mean, std) }
+		for _, p := range pts {
+			row(f(p.Load),
+				pm(p.UtilizationMean, p.UtilizationStd),
+				pm(p.DelayMean, p.DelayStd),
+				pm(p.CollisionMean, p.CollisionStd),
+				pm(p.OverheadMean, p.OverheadStd),
+				pm(p.FairnessMean, p.FairnessStd),
+				pm(p.CF2GainMean, p.CF2GainStd))
+		}
+		needSweep = false
+	}
+	if needSweep {
+		opts := experiments.SweepOptions{
+			Seed: *seed, GPSUsers: *gps, DataUsers: *data,
+			Cycles: *cycles, Warmup: *warmup, Variable: !*fixed,
+		}
+		pts, err := experiments.LoadSweep(opts)
+		if err != nil {
+			return err
+		}
+		if sel("fig8") {
+			header("Fig 8: link utilization and packet delay vs load")
+			row("load", "utilization", "mean delay (cycles)", "p95 delay (cycles)", "dropped")
+			for _, p := range pts {
+				row(f(p.Load), f(p.Utilization), f(p.MeanDelayCycles), f(p.P95DelayCycles), fmt.Sprint(p.MessagesDropped))
+			}
+		}
+		if sel("fig9") {
+			header("Fig 9/10: contention-slot collision probability and reservation latency vs load")
+			row("load", "collision prob", "reservation latency (s)")
+			for _, p := range pts {
+				row(f(p.Load), f(p.CollisionProb), f(p.ReservationLatencyS))
+			}
+		}
+		if sel("fig10") {
+			header("Fig 10: control overhead (reservation signals per data packet) vs load")
+			row("load", "control overhead")
+			for _, p := range pts {
+				row(f(p.Load), f(p.ControlOverhead))
+			}
+		}
+		if sel("fig11") {
+			header("Fig 11: Jain fairness index vs load")
+			row("load", "fairness")
+			for _, p := range pts {
+				row(f(p.Load), f(p.Fairness))
+			}
+		}
+	}
+
+	if sel("fig12a") {
+		header("Fig 12a: bandwidth gain from the second control-field set")
+		pts, err := experiments.Fig12a(*seed, *cycles, *warmup, nil)
+		if err != nil {
+			return err
+		}
+		row("load", "last-slot share (gain)", "util with CF2", "util without CF2")
+		for _, p := range pts {
+			row(f(p.Load), f(p.SecondCFGain), f(p.UtilizationCF2), f(p.UtilizationNoCF))
+		}
+	}
+
+	if sel("fig12b") {
+		header("Fig 12b: data slots used per cycle, dynamic slot adjustment on/off")
+		pts, err := experiments.Fig12b(*seed, *cycles, *warmup, nil)
+		if err != nil {
+			return err
+		}
+		row("gps users", "dynamic", "load", "data slots used/cycle", "utilization")
+		for _, p := range pts {
+			row(fmt.Sprint(p.GPSUsers), fmt.Sprint(p.Dynamic), f(p.Load), f(p.MeanDataSlotsUsed), f(p.Utilization))
+		}
+	}
+
+	if sel("registration") {
+		header("§2.1 registration targets (80% ≤ 2 cycles, 99% ≤ 10)")
+		row("registrants", "join spread (cycles)", "within 2", "within 10", "mean cycles", "max cycles")
+		for _, c := range []struct{ n, spread int }{
+			{4, 0}, {8, 0}, {8, 8}, {16, 16}, {32, 32},
+		} {
+			r, err := experiments.Registration(*seed, c.n, c.spread)
+			if err != nil {
+				return err
+			}
+			row(fmt.Sprint(r.Registrants), fmt.Sprint(r.SpreadCycles),
+				f(r.Within2Cycles), f(r.Within10), f(r.MeanCycles), f(r.MaxCycles))
+		}
+	}
+
+	if sel("comparison") {
+		header("Extension X1: OSU-MAC vs surveyed baselines (PRMA, D-TDMA, RAMA, DRMA)")
+		pts, err := experiments.Comparison(*seed, *data, *cycles, nil)
+		if err != nil {
+			return err
+		}
+		row("protocol", "load", "throughput", "mean delay (cycles)", "collisions/frame", "fairness")
+		for _, p := range pts {
+			row(p.Protocol, f(p.Load), f(p.Throughput), f(p.MeanDelayCycles), f(p.CollisionRate), f(p.Fairness))
+		}
+	}
+
+	if sel("ablation") {
+		header("Extension X2: scheduler and contention ablations")
+		pts, err := experiments.SchedulerAblation(*seed, *cycles, nil)
+		if err != nil {
+			return err
+		}
+		row("variant", "load", "utilization", "mean delay (cycles)", "fairness", "collision prob")
+		for _, p := range pts {
+			row(p.Variant, f(p.Load), f(p.Utilization), f(p.MeanDelayCycles), f(p.Fairness), f(p.CollisionProb))
+		}
+	}
+
+	if sel("robustness") {
+		header("§5 robustness: fixed load 0.8 across populations (GPS 1-8 × data 5-14)")
+		r, err := experiments.Robustness(*seed, 0.8, *cycles, *warmup)
+		if err != nil {
+			return err
+		}
+		row("gps users", "data users", "utilization", "delay (cycles)", "fairness")
+		for _, p := range r.Points {
+			row(fmt.Sprint(p.GPSUsers), fmt.Sprint(p.DataUsers), f(p.Utilization), f(p.DelayCycles), f(p.Fairness))
+		}
+		row("spread", "", fmt.Sprintf("%.4f-%.4f", r.UtilMin, r.UtilMax), "", f(r.FairMin))
+	}
+
+	if sel("gps") {
+		header("§2.1 GPS real-time service (4 s access-delay bound)")
+		r, err := experiments.GPSAccessDelay(*seed, *cycles)
+		if err != nil {
+			return err
+		}
+		row("reports", "delivered", "mean delay (s)", "max delay (s)", "violations")
+		row(fmt.Sprint(r.Reports), fmt.Sprint(r.Delivered), f(r.MeanDelayS), f(r.MaxDelayS), fmt.Sprint(r.Violations))
+	}
+
+	return nil
+}
+
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }

@@ -1,0 +1,57 @@
+package main
+
+import "testing"
+
+func TestRunTablesOnly(t *testing.T) {
+	if err := run([]string{"-only", "table1,table2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmallSweep(t *testing.T) {
+	if err := run([]string{"-cycles", "40", "-warmup", "5", "-only", "fig8,fig11"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run([]string{"-csv", "-only", "table2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGPSAndRegistration(t *testing.T) {
+	if err := run([]string{"-cycles", "40", "-only", "gps,registration"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunReplicated(t *testing.T) {
+	if err := run([]string{"-cycles", "30", "-warmup", "3", "-reps", "2", "-only", "fig8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	if err := run([]string{
+		"-cycles", "30", "-warmup", "3",
+		"-only", "fig9,fig10,fig12a,fig12b,comparison,ablation",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRobustness(t *testing.T) {
+	if err := run([]string{"-cycles", "30", "-warmup", "3", "-only", "robustness"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Command osumacsim runs one OSU-MAC cell simulation with a
+// configurable scenario and prints a full metric report — the
+// command-line face of the osumac library.
+//
+// Example:
+//
+//	osumacsim -gps 8 -data 10 -load 0.9 -cycles 500 -loss 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	osumac "github.com/osu-netlab/osumac"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "osumacsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("osumacsim", flag.ContinueOnError)
+	var (
+		seed    = fs.Uint64("seed", 1, "random seed")
+		gps     = fs.Int("gps", 4, "GPS (bus) subscribers, 0-8")
+		data    = fs.Int("data", 10, "regular data subscribers")
+		load    = fs.Float64("load", 0.8, "target load index ρ on the reverse channel")
+		cycles  = fs.Int("cycles", 500, "notification cycles to simulate")
+		warmup  = fs.Int("warmup", 20, "warm-up cycles before the measured run")
+		fixed   = fs.Bool("fixed", false, "fixed 120 B messages instead of uniform 40-500 B")
+		revLoss = fs.Float64("loss", 0, "reverse-channel codeword loss probability (two-regime model)")
+		fwdLoss = fs.Float64("fwdloss", 0, "forward-channel codeword loss probability")
+		noCF2   = fs.Bool("no-cf2", false, "disable the second control-field set")
+		noDyn   = fs.Bool("no-dynamic", false, "disable dynamic GPS slot adjustment (pin format 1)")
+		asJSON  = fs.Bool("json", false, "emit the metric snapshot as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scn := osumac.Scenario{
+		Seed:                *seed,
+		GPSUsers:            *gps,
+		DataUsers:           *data,
+		Load:                *load,
+		VariableSizes:       !*fixed,
+		Cycles:              *cycles,
+		WarmupCycles:        *warmup,
+		ReverseLoss:         *revLoss,
+		ForwardLoss:         *fwdLoss,
+		DisableSecondCF:     *noCF2,
+		DisableDynamicSlots: *noDyn,
+	}
+	res, err := osumac.Run(scn)
+	if err != nil {
+		return err
+	}
+	m := res.Metrics
+
+	if *asJSON {
+		b, err := m.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	}
+
+	fmt.Printf("scenario: %d GPS + %d data users, load %.2f, %d cycles (%.1f min air time)\n",
+		*gps, *data, *load, m.Cycles, float64(m.Cycles)*osumac.CycleLength.Minutes())
+	fmt.Println()
+	fmt.Println("reverse channel")
+	fmt.Printf("  utilization (slots)     %.4f\n", res.Utilization)
+	fmt.Printf("  goodput (payload)       %.4f\n", m.PayloadUtilization())
+	fmt.Printf("  data packets received   %d (%d in the CF2-covered last slot)\n",
+		m.ReverseDataPkts.Value(), m.LastSlotDataPkts.Value())
+	fmt.Printf("  fragment losses (RS)    %d\n", m.FragmentsLost.Value())
+	fmt.Println("messages")
+	fmt.Printf("  generated / delivered / dropped   %d / %d / %d\n",
+		m.MessagesGenerated.Value(), m.MessagesDelivered.Value(), m.MessagesDropped.Value())
+	fmt.Printf("  delay mean / p95 / max            %.2f / %.2f / %.2f cycles\n",
+		res.MeanDelayCycles,
+		m.MessageDelay.Percentile(95)/osumac.CycleLength.Seconds(),
+		m.MessageDelay.Max()/osumac.CycleLength.Seconds())
+	fmt.Println("contention")
+	fmt.Printf("  collision probability   %.4f\n", res.CollisionProbability)
+	fmt.Printf("  reservation latency     %.2f s mean\n", res.ReservationLatency)
+	fmt.Printf("  control overhead        %.4f signals/data packet\n", res.ControlOverhead)
+	fmt.Printf("  contention slots        %d offered, %d used, %d collisions\n",
+		m.ContentionSlotsOpen.Value(), m.ContentionSlotsUsed.Value(), m.ContentionCollisions.Value())
+	fmt.Println("service quality")
+	fmt.Printf("  Jain fairness           %.4f\n", res.Fairness)
+	fmt.Printf("  registration ≤2 / ≤10   %.2f / %.2f (targets 0.80 / 0.99)\n",
+		res.RegistrationWithin2, res.RegistrationWithin10)
+	if *gps > 0 {
+		fmt.Println("GPS real-time service")
+		fmt.Printf("  reports gen/delivered   %d / %d\n", m.GPSGenerated.Value(), m.GPSDelivered.Value())
+		fmt.Printf("  access delay mean/max   %.2f / %.3f s (bound 4 s)\n",
+			m.GPSAccessDelay.Mean(), res.GPSMaxAccessDelay)
+		fmt.Printf("  deadline violations     %d\n", res.GPSDeadlineViolations)
+	}
+	if *revLoss > 0 || *fwdLoss > 0 {
+		fmt.Println("channel")
+		fmt.Printf("  control-field decode failures  %d\n", m.CFDecodeFailures.Value())
+	}
+	return nil
+}

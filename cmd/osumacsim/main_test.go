@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run([]string{"-cycles", "30", "-warmup", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithLossAndToggles(t *testing.T) {
+	if err := run([]string{
+		"-cycles", "30", "-warmup", "5", "-gps", "8",
+		"-loss", "0.1", "-fwdloss", "0.05", "-no-cf2", "-no-dynamic", "-fixed",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoGPS(t *testing.T) {
+	if err := run([]string{"-cycles", "20", "-warmup", "2", "-gps", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadScenario(t *testing.T) {
+	if err := run([]string{"-gps", "9"}); err == nil {
+		t.Fatal("9 GPS users accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := run([]string{"-cycles", "20", "-warmup", "2", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}

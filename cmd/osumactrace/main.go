@@ -1,0 +1,80 @@
+// Command osumactrace runs a short OSU-MAC scenario with event tracing
+// enabled and prints the protocol timeline — registrations, schedule
+// announcements, collisions, reservations, data and GPS receptions —
+// for inspection and debugging.
+//
+// Example:
+//
+//	osumactrace -cycles 6 -gps 2 -data 3 -load 0.7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	osumac "github.com/osu-netlab/osumac"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "osumactrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("osumactrace", flag.ContinueOnError)
+	var (
+		seed   = fs.Uint64("seed", 1, "random seed")
+		gps    = fs.Int("gps", 2, "GPS subscribers")
+		data   = fs.Int("data", 3, "data subscribers")
+		load   = fs.Float64("load", 0.7, "load index")
+		cycles = fs.Int("cycles", 6, "cycles to trace")
+		loss   = fs.Float64("loss", 0, "reverse codeword loss probability")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := osumac.NewConfig()
+	cfg.Seed = *seed
+	buf := &osumac.TraceBuffer{Cap: 1 << 16}
+	cfg.Tracer = buf
+	if *load > 0 && *data > 0 {
+		cfg.MeanInterarrival = osumac.InterarrivalForLoad(*load, *data, *gps, true)
+	}
+	if *loss > 0 {
+		l := *loss
+		cfg.NewReverseModel = func() osumac.ErrorModel {
+			return osumac.TwoRegime{PLoss: l, MaxCorrectable: 8}
+		}
+	}
+
+	n, err := osumac.NewNetwork(cfg)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < *gps; i++ {
+		if _, err := n.AddSubscriber(osumac.EIN(1000+i), true, time.Duration(i)*time.Second); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < *data; i++ {
+		if _, err := n.AddSubscriber(osumac.EIN(2000+i), false, time.Duration(i)*500*time.Millisecond); err != nil {
+			return err
+		}
+	}
+	if err := n.Run(*cycles); err != nil {
+		return err
+	}
+
+	for _, e := range buf.Events() {
+		fmt.Println(e)
+	}
+	if d := buf.Dropped(); d > 0 {
+		fmt.Printf("... (%d older events dropped)\n", d)
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunTrace(t *testing.T) {
+	if err := run([]string{"-cycles", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceWithLoss(t *testing.T) {
+	if err := run([]string{"-cycles", "4", "-loss", "0.2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceBadFlag(t *testing.T) {
+	if err := run([]string{"-zzz"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunSingle(t *testing.T) {
+	if err := run([]string{"-errors", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBeyondT(t *testing.T) {
+	if err := run([]string{"-errors", "12"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	if err := run([]string{"-sweep", "-trials", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestTrimZeros(t *testing.T) {
+	if got := string(trimZeros([]byte("abc\x00\x00"))); got != "abc" {
+		t.Fatalf("trimZeros = %q", got)
+	}
+	if len(trimZeros(nil)) != 0 {
+		t.Fatal("nil should trim to empty")
+	}
+}

@@ -1,0 +1,70 @@
+package osumac_test
+
+import (
+	"fmt"
+
+	osumac "github.com/osu-netlab/osumac"
+)
+
+// ExampleRun shows the one-call scenario API.
+func ExampleRun() {
+	scn := osumac.NewScenario()
+	scn.Seed = 42
+	scn.GPSUsers = 8
+	scn.DataUsers = 10
+	scn.Load = 0.5
+	scn.Cycles = 100
+	scn.WarmupCycles = 10
+
+	res, err := osumac.Run(scn)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("GPS deadline violations: %d\n", res.GPSDeadlineViolations)
+	fmt.Printf("registered subscribers: %d\n", res.Metrics.RegistrationsApproved.Value())
+	// Output:
+	// GPS deadline violations: 0
+	// registered subscribers: 18
+}
+
+// ExampleNewNetwork shows the lower-level API with a custom channel
+// model and explicit subscriber control.
+func ExampleNewNetwork() {
+	cfg := osumac.NewConfig()
+	cfg.Seed = 7
+	cfg.NewReverseModel = func() osumac.ErrorModel {
+		return osumac.TwoRegime{PLoss: 0.1, MaxCorrectable: 8}
+	}
+
+	n, err := osumac.NewNetwork(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sub, err := n.AddSubscriber(1234, false, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := n.Run(10); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("state: %v\n", sub.State())
+	// Output:
+	// state: active
+}
+
+// ExampleNewLayout shows the notification-cycle timing API (paper
+// Table 2).
+func ExampleNewLayout() {
+	l := osumac.NewLayout(osumac.Format1)
+	fmt.Printf("GPS slot 1 access time: %v\n", l.GPS[0].Start)
+	fmt.Printf("data slot 1 access time: %v\n", l.ReverseData[0].Start)
+	fmt.Printf("data slots: %d\n", len(l.ReverseData))
+	// Output:
+	// GPS slot 1 access time: 301.25ms
+	// data slot 1 access time: 1.00125s
+	// data slots: 8
+}

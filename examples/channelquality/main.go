@@ -1,0 +1,75 @@
+// Channel quality: sweep the link SNR through a physically calibrated
+// AWGN/QPSK channel and watch the coded system's waterfall — below the
+// cliff the RS(64,48) decoder loses most packets and the MAC's
+// retransmissions can't keep up; above it the link is essentially
+// clean. This is the error-control behaviour the paper's §2.2 field
+// tests describe: packets arrive intact or not at all.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	osumac "github.com/osu-netlab/osumac"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("OSU-MAC over an AWGN channel: Eb/N0 sweep (QPSK + RS(64,48))")
+	fmt.Printf("%8s %12s %12s %14s %12s %14s\n",
+		"Eb/N0", "byte-err", "cw-loss", "msgs delivered", "frag loss", "GPS delivered")
+
+	for _, snr := range []float64{4, 5, 6, 7, 8, 10} {
+		model := osumac.NewAWGN(snr)
+
+		cfg := osumac.NewConfig()
+		cfg.Seed = 5
+		cfg.NewReverseModel = func() osumac.ErrorModel { return osumac.NewAWGN(snr) }
+		cfg.NewForwardModel = func() osumac.ErrorModel { return osumac.NewAWGN(snr + 3) } // base transmits stronger
+		cfg.MeanInterarrival = osumac.InterarrivalForLoad(0.5, 6, 2, true)
+
+		n, err := osumac.NewNetwork(cfg)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := n.AddSubscriber(osumac.EIN(1000+i), true, 0); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < 6; i++ {
+			if _, err := n.AddSubscriber(osumac.EIN(2000+i), false, 0); err != nil {
+				return err
+			}
+		}
+		if err := n.Run(150); err != nil {
+			return err
+		}
+		m := n.Metrics()
+
+		sent := m.FragmentsSent.Value()
+		lost := m.FragmentsLost.Value()
+		fragLoss := 0.0
+		if sent > 0 {
+			fragLoss = float64(lost) / float64(sent)
+		}
+		gpsRate := 0.0
+		if g := m.GPSGenerated.Value(); g > 0 {
+			gpsRate = float64(m.GPSDelivered.Value()) / float64(g)
+		}
+		fmt.Printf("%6.1fdB %12.2e %12.2e %7d/%-6d %11.1f%% %13.1f%%\n",
+			snr, model.ByteErrorRate(), model.CodewordLossProbability(64, 8),
+			m.MessagesDelivered.Value(), m.MessagesGenerated.Value(),
+			100*fragLoss, 100*gpsRate)
+	}
+
+	fmt.Println("\nthe waterfall sits near 5-6 dB: one dB of SNR turns an unusable")
+	fmt.Println("link into a clean one — the bimodal behaviour the paper's field")
+	fmt.Println("tests reported (packets are delivered error-free or lost).")
+	return nil
+}

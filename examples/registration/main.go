@@ -1,0 +1,83 @@
+// Registration under a noisy channel: mobile subscribers enter the cell
+// over time and register through contention slots, persisting through
+// collisions (registrants have priority: data and reservation senders
+// back off, registrants do not). A Gilbert–Elliott burst channel plus
+// the real RS(64,48) decoder corrupts both the uplink requests and the
+// downlink control fields, so some attempts are lost to the radio — the
+// §2.1 design targets (80 % within 2 cycles, 99 % within 10) must still
+// hold.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	osumac "github.com/osu-netlab/osumac"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := osumac.NewConfig()
+	cfg.Seed = 2001
+	// Burst channel: rare transitions into a severely errored state —
+	// the RS decoder either corrects everything or fails the packet,
+	// reproducing the testbed's bimodal field observations.
+	cfg.NewReverseModel = func() osumac.ErrorModel {
+		return osumac.NewGilbertElliott(0.004, 0.12, 0.0005, 0.6)
+	}
+	cfg.NewForwardModel = func() osumac.ErrorModel {
+		return osumac.NewGilbertElliott(0.002, 0.15, 0.0002, 0.6)
+	}
+
+	n, err := osumac.NewNetwork(cfg)
+	if err != nil {
+		return err
+	}
+
+	// 24 subscribers trickle into the cell over ~90 seconds.
+	const subscribers = 24
+	for i := 0; i < subscribers; i++ {
+		joinAt := time.Duration(i) * 3800 * time.Millisecond
+		if _, err := n.AddSubscriber(osumac.EIN(500+i), i%6 == 0, joinAt); err != nil {
+			return err
+		}
+	}
+
+	if err := n.Run(60); err != nil {
+		return err
+	}
+
+	m := n.Metrics()
+	active := 0
+	for _, sub := range n.Subscribers() {
+		if sub.State() == osumac.StateActive {
+			active++
+		}
+	}
+
+	fmt.Println("registration over a bursty narrow-band channel")
+	fmt.Printf("  subscribers entered        %d (every 3.8 s)\n", subscribers)
+	fmt.Printf("  registered                 %d\n", active)
+	fmt.Printf("  control-field decode fails %d (bursts hit the schedule broadcast)\n",
+		m.CFDecodeFailures.Value())
+	fmt.Printf("  contention collisions      %d\n", m.ContentionCollisions.Value())
+	fmt.Printf("  registration latency       mean %.2f cycles, max %.0f\n",
+		m.RegistrationLatency.Mean(), m.RegistrationLatency.Max())
+	fmt.Printf("  within 2 cycles            %.1f %% (target ≥ 80 %%)\n", 100*m.RegistrationWithin(2))
+	fmt.Printf("  within 10 cycles           %.1f %% (target ≥ 99 %%)\n", 100*m.RegistrationWithin(10))
+
+	if active != subscribers {
+		return fmt.Errorf("%d subscribers failed to register", subscribers-active)
+	}
+	if m.RegistrationWithin(10) < 0.99 {
+		return fmt.Errorf("10-cycle target missed")
+	}
+	fmt.Println("\nall subscribers registered despite channel bursts ✓")
+	return nil
+}

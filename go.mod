@@ -1,0 +1,3 @@
+module github.com/osu-netlab/osumac
+
+go 1.22

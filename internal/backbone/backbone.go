@@ -1,0 +1,186 @@
+// Package backbone implements the wired point-to-point network that
+// interconnects base stations (paper §2.2: "The base station … is
+// connected to one another to form a wired point-to-point backbone
+// network. … The base station receives data packets from all mobile
+// subscribers and forwards them to their destinations.").
+//
+// Cells share one simulation kernel; the backbone delivers an uplink
+// message completed at one base station to the destination subscriber's
+// base station after a wired propagation+queueing delay, where it is
+// fragmented again for downlink transmission.
+package backbone
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/phy"
+	"github.com/osu-netlab/osumac/internal/sim"
+	"github.com/osu-netlab/osumac/internal/stats"
+)
+
+// Address identifies a subscriber globally: the EIN is universally
+// unique (paper §3.1), so it doubles as the routing key.
+type Address = frame.EIN
+
+// Internet is a set of OSU-MAC cells joined by a wired backbone.
+type Internet struct {
+	kernel *sim.Simulator
+	cells  []*core.Network
+	// WireDelay is the one-way backbone latency between any two base
+	// stations (point-to-point mesh).
+	WireDelay time.Duration
+
+	// routing: EIN → cell index.
+	home map[Address]int
+	subs map[Address]*core.Subscriber
+
+	// Pending inter-cell sends awaiting uplink completion:
+	// (cellIdx, user, msgID) → destination.
+	pending map[pendingKey]pendingSend
+
+	// Metrics.
+	Forwarded   stats.Counter
+	Delivered   stats.Counter
+	EndToEndLat stats.Sample // seconds, uplink arrival → downlink enqueue
+}
+
+type pendingKey struct {
+	cell  int
+	user  frame.UserID
+	msgID uint16
+}
+
+type pendingSend struct {
+	dst       Address
+	createdAt time.Duration
+}
+
+// New builds an Internet of `cells` OSU-MAC cells on one kernel.
+// Cell i uses cfg with Seed+i so cells are statistically independent.
+func New(cfg core.Config, cells int, wireDelay time.Duration) (*Internet, error) {
+	if cells <= 0 {
+		return nil, fmt.Errorf("backbone: need at least one cell")
+	}
+	kernel := sim.New()
+	in := &Internet{
+		kernel:    kernel,
+		WireDelay: wireDelay,
+		home:      make(map[Address]int),
+		subs:      make(map[Address]*core.Subscriber),
+		pending:   make(map[pendingKey]pendingSend),
+	}
+	for i := 0; i < cells; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		n, err := core.NewNetworkOnSim(c, kernel)
+		if err != nil {
+			return nil, err
+		}
+		idx := i
+		n.OnUplinkComplete = func(user frame.UserID, msgID uint16, bytes int) {
+			in.onUplink(idx, user, msgID, bytes)
+		}
+		in.cells = append(in.cells, n)
+	}
+	return in, nil
+}
+
+// Cell returns cell i's network.
+func (in *Internet) Cell(i int) *core.Network { return in.cells[i] }
+
+// Cells returns the number of cells.
+func (in *Internet) Cells() int { return len(in.cells) }
+
+// Kernel returns the shared simulation kernel.
+func (in *Internet) Kernel() *sim.Simulator { return in.kernel }
+
+// AddSubscriber places a subscriber in cell `cell`; the EIN is the
+// global address.
+func (in *Internet) AddSubscriber(ein Address, cell int, isGPS bool, joinAt time.Duration) (*core.Subscriber, error) {
+	if cell < 0 || cell >= len(in.cells) {
+		return nil, fmt.Errorf("backbone: cell %d out of range", cell)
+	}
+	if _, dup := in.home[ein]; dup {
+		return nil, fmt.Errorf("backbone: duplicate EIN %d", ein)
+	}
+	sub, err := in.cells[cell].AddSubscriber(ein, isGPS, joinAt)
+	if err != nil {
+		return nil, err
+	}
+	in.home[ein] = cell
+	in.subs[ein] = sub
+	return sub, nil
+}
+
+// Send queues an inter-cell message: src's next uplink message carries
+// it to its base station, the backbone forwards it, and the destination
+// base station schedules it downlink. The source subscriber must be
+// active.
+func (in *Internet) Send(src, dst Address, size int) error {
+	srcCell, ok := in.home[src]
+	if !ok {
+		return fmt.Errorf("backbone: unknown source %d", src)
+	}
+	if _, ok := in.home[dst]; !ok {
+		return fmt.Errorf("backbone: unknown destination %d", dst)
+	}
+	sub := in.subs[src]
+	if sub.State() != core.StateActive {
+		return fmt.Errorf("backbone: source %d not active", src)
+	}
+	// Enqueue the uplink message; its msgID is the subscriber's next
+	// sequence number, which AddMessage assigns in order. Track it so
+	// the uplink-completion hook can route it.
+	msgID := sub.NextMsgID()
+	now := in.kernel.Now()
+	if !sub.AddMessage(size, now) {
+		return fmt.Errorf("backbone: source %d queue full", src)
+	}
+	in.cells[srcCell].TrackMessage(sub.ID(), msgID, size, now)
+	in.pending[pendingKey{cell: srcCell, user: sub.ID(), msgID: msgID}] = pendingSend{
+		dst:       dst,
+		createdAt: now,
+	}
+	return nil
+}
+
+// onUplink routes a completed uplink message across the wire.
+func (in *Internet) onUplink(cell int, user frame.UserID, msgID uint16, bytes int) {
+	key := pendingKey{cell: cell, user: user, msgID: msgID}
+	send, ok := in.pending[key]
+	if !ok {
+		return // intra-cell traffic, not ours
+	}
+	delete(in.pending, key)
+	dstCell := in.home[send.dst]
+	dstSub := in.subs[send.dst]
+	in.Forwarded.Inc()
+	in.EndToEndLat.AddDuration(in.kernel.Now() - send.createdAt)
+	in.kernel.After(in.WireDelay, func() {
+		if dstSub.State() != core.StateActive {
+			return // destination left the network; packet dropped
+		}
+		if err := in.cells[dstCell].SendToSubscriber(dstSub, bytes); err == nil {
+			in.Delivered.Inc()
+		}
+	})
+}
+
+// Run advances every cell by the given number of notification cycles on
+// the shared clock.
+func (in *Internet) Run(cycles int) error {
+	if cycles <= 0 {
+		return fmt.Errorf("backbone: non-positive cycle count")
+	}
+	start := in.kernel.Now()
+	for _, cell := range in.cells {
+		if err := cell.ScheduleCycles(cycles, start); err != nil {
+			return err
+		}
+	}
+	horizon := start + time.Duration(cycles)*phy.CycleLength + phy.ReverseShift
+	return in.kernel.Run(horizon)
+}

@@ -1,0 +1,256 @@
+// Package baseline implements frame-level models of the MAC protocols
+// the paper surveys in §4 — PRMA, D-TDMA, RAMA and DRMA — on a common
+// harness, for the comparison benchmarks described in DESIGN.md.
+//
+// The models are deliberately more abstract than the OSU-MAC stack:
+// they share the frame length and slot count of the OSU-MAC reverse
+// channel but assume an ideal medium (no RS coding, no half-duplex
+// constraint, free reservation minislots for D-TDMA/RAMA). That makes
+// the comparison conservative *against* OSU-MAC: the baselines get a
+// friendlier physical layer and still exhibit their characteristic
+// contention behaviour. The paper itself declines a head-to-head
+// comparison as unfair (§5); this package exists to reproduce the
+// qualitative survey claims (PRMA's collapse under load, RAMA's
+// collision-free reservations, D-TDMA's reservation bottleneck).
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/phy"
+	"github.com/osu-netlab/osumac/internal/sim"
+	"github.com/osu-netlab/osumac/internal/stats"
+	"github.com/osu-netlab/osumac/internal/traffic"
+)
+
+// packet is one slot-sized fragment queued at a user.
+type packet struct {
+	arrivalFrame int
+}
+
+// user is one subscriber's protocol-independent state.
+type user struct {
+	queue    []packet
+	reserved bool // PRMA: holds a periodic slot reservation
+	demand   int  // D-TDMA/RAMA/DRMA: slots booked at the base
+	backoff  int
+}
+
+// Cell is the shared per-frame simulation state handed to protocols.
+type Cell struct {
+	// Slots is the data-slot capacity per frame.
+	Slots int
+	// Frame is the current frame index.
+	Frame int
+	// RNG drives all protocol randomness.
+	RNG *sim.RNG
+
+	users []*user
+
+	// Per-run accounting.
+	delivered  int
+	collisions int
+	slotsUsed  int
+	slotsTotal int
+	delay      stats.Sample
+	perUser    []int
+}
+
+// Users returns the user count.
+func (c *Cell) Users() int { return len(c.users) }
+
+// Queue returns user u's backlog length.
+func (c *Cell) Queue(u int) int { return len(c.users[u].queue) }
+
+// Reserved reports PRMA reservation state.
+func (c *Cell) Reserved(u int) bool { return c.users[u].reserved }
+
+// SetReserved sets PRMA reservation state.
+func (c *Cell) SetReserved(u int, v bool) { c.users[u].reserved = v }
+
+// Demand returns the base-side booked demand for user u.
+func (c *Cell) Demand(u int) int { return c.users[u].demand }
+
+// AddDemand books n more slots for user u.
+func (c *Cell) AddDemand(u, n int) { c.users[u].demand += n }
+
+// Backoff returns user u's remaining backoff frames.
+func (c *Cell) Backoff(u int) int { return c.users[u].backoff }
+
+// SetBackoff sets user u's backoff.
+func (c *Cell) SetBackoff(u, frames int) { c.users[u].backoff = frames }
+
+// TickBackoffs decrements all backoffs at a frame boundary.
+func (c *Cell) TickBackoffs() {
+	for _, us := range c.users {
+		if us.backoff > 0 {
+			us.backoff--
+		}
+	}
+}
+
+// Deliver removes the head packet of user u as successfully transmitted
+// in one slot, consuming any booked demand.
+func (c *Cell) Deliver(u int) {
+	us := c.users[u]
+	if len(us.queue) == 0 {
+		return
+	}
+	pkt := us.queue[0]
+	us.queue = us.queue[1:]
+	if us.demand > 0 {
+		us.demand--
+	}
+	c.delivered++
+	c.slotsUsed++
+	c.perUser[u]++
+	c.delay.Add(float64(c.Frame - pkt.arrivalFrame))
+}
+
+// Collide records a slot destroyed by collision.
+func (c *Cell) Collide() {
+	c.collisions++
+}
+
+// Protocol is one medium access control discipline.
+type Protocol interface {
+	// Name identifies the protocol in output.
+	Name() string
+	// RunFrame simulates one frame of medium access.
+	RunFrame(c *Cell)
+}
+
+// Config parameterizes a baseline run.
+type Config struct {
+	// Protocol is the MAC under test.
+	Protocol Protocol
+	// Users is the subscriber count.
+	Users int
+	// Frames is the run length.
+	Frames int
+	// Slots is the data slots per frame (default: OSU-MAC's 8).
+	Slots int
+	// Load is the target fragment arrival rate as a fraction of Slots.
+	Load float64
+	// SizeDist draws message sizes (default: the paper's 40–500 B).
+	SizeDist traffic.SizeDist
+	// Seed drives all randomness.
+	Seed uint64
+	// QueueCap bounds per-user backlog in fragments.
+	QueueCap int
+}
+
+// Result summarizes a baseline run.
+type Result struct {
+	Protocol        string
+	Load            float64
+	Throughput      float64 // delivered slots / offered slots
+	MeanDelayFrames float64
+	P95DelayFrames  float64
+	CollisionRate   float64 // collisions per frame
+	Delivered       int
+	Generated       int
+	Dropped         int
+	Fairness        float64
+}
+
+// Run executes a baseline scenario.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("baseline: nil protocol")
+	}
+	if cfg.Users <= 0 || cfg.Frames <= 0 {
+		return nil, fmt.Errorf("baseline: need positive users and frames")
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = phy.Format1DataSlots
+	}
+	if cfg.SizeDist == nil {
+		cfg.SizeDist = traffic.PaperVariable
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 128
+	}
+
+	rng := sim.NewRNG(cfg.Seed).Fork("baseline:" + cfg.Protocol.Name())
+	cell := &Cell{
+		Slots:   cfg.Slots,
+		RNG:     rng.Fork("cell"),
+		users:   make([]*user, cfg.Users),
+		perUser: make([]int, cfg.Users),
+	}
+	for i := range cell.users {
+		cell.users[i] = &user{}
+	}
+
+	// Per-frame message arrivals: Poisson with rate chosen so fragment
+	// arrivals average Load·Slots per frame.
+	fragsPerMsg := traffic.ExpectedFragments(cfg.SizeDist, frame.MaxPayload)
+	msgRate := cfg.Load * float64(cfg.Slots) / fragsPerMsg // msgs per frame, all users
+	arrRNG := rng.Fork("arrivals")
+
+	generated, dropped := 0, 0
+	for f := 0; f < cfg.Frames; f++ {
+		cell.Frame = f
+		// Poisson arrivals this frame (thinning by per-user assignment).
+		nArr := poisson(arrRNG, msgRate)
+		for a := 0; a < nArr; a++ {
+			u := arrRNG.Intn(cfg.Users)
+			size := cfg.SizeDist.Sample(arrRNG)
+			frags := (size + frame.MaxPayload - 1) / frame.MaxPayload
+			if frags < 1 {
+				frags = 1
+			}
+			if len(cell.users[u].queue)+frags > cfg.QueueCap {
+				dropped++
+				continue
+			}
+			generated++
+			for k := 0; k < frags; k++ {
+				cell.users[u].queue = append(cell.users[u].queue, packet{arrivalFrame: f})
+			}
+		}
+		cell.slotsTotal += cfg.Slots
+		cell.TickBackoffs()
+		cfg.Protocol.RunFrame(cell)
+	}
+
+	perUser := make([]float64, cfg.Users)
+	for i, v := range cell.perUser {
+		perUser[i] = float64(v)
+	}
+	return &Result{
+		Protocol:        cfg.Protocol.Name(),
+		Load:            cfg.Load,
+		Throughput:      stats.Ratio(float64(cell.slotsUsed), float64(cell.slotsTotal)),
+		MeanDelayFrames: cell.delay.Mean(),
+		P95DelayFrames:  cell.delay.Percentile(95),
+		CollisionRate:   stats.Ratio(float64(cell.collisions), float64(cfg.Frames)),
+		Delivered:       cell.delivered,
+		Generated:       generated,
+		Dropped:         dropped,
+		Fairness:        stats.JainFairness(perUser),
+	}, nil
+}
+
+// poisson draws a Poisson variate by inversion (small means only).
+func poisson(rng *sim.RNG, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Knuth's method; mean is O(10) in all scenarios.
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k
+		}
+	}
+}

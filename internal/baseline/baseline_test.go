@@ -1,0 +1,189 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/osu-netlab/osumac/internal/traffic"
+)
+
+func runProto(t *testing.T, p Protocol, load float64) *Result {
+	t.Helper()
+	res, err := Run(Config{
+		Protocol: p,
+		Users:    10,
+		Frames:   2000,
+		Load:     load,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("nil protocol accepted")
+	}
+	if _, err := Run(Config{Protocol: NewPRMA()}); err == nil {
+		t.Fatal("zero users accepted")
+	}
+}
+
+func TestAllProtocolsCarryLightLoad(t *testing.T) {
+	for _, p := range All() {
+		res := runProto(t, p, 0.3)
+		if res.Throughput < 0.25 {
+			t.Errorf("%s: throughput %.3f at load 0.3", res.Protocol, res.Throughput)
+		}
+		if res.Delivered == 0 {
+			t.Errorf("%s: nothing delivered", res.Protocol)
+		}
+	}
+}
+
+func TestReservationProtocolsSaturateHigh(t *testing.T) {
+	// D-TDMA, RAMA and DRMA are reservation-based: at overload they
+	// should keep throughput near capacity.
+	for _, p := range []Protocol{NewDTDMA(), NewRAMA(), NewDRMA()} {
+		res := runProto(t, p, 1.2)
+		if res.Throughput < 0.85 {
+			t.Errorf("%s: overload throughput %.3f, want ≥ 0.85", res.Protocol, res.Throughput)
+		}
+	}
+}
+
+func TestPRMADegradesUnderLoad(t *testing.T) {
+	// Paper §4: "PRMA suffers from low utilization in medium to heavy
+	// traffic loads." Its contention-only acquisition must underperform
+	// the reservation protocols at overload.
+	prma := runProto(t, NewPRMA(), 1.2)
+	rama := runProto(t, NewRAMA(), 1.2)
+	if prma.Throughput >= rama.Throughput {
+		t.Fatalf("PRMA (%.3f) should not beat RAMA (%.3f) at overload",
+			prma.Throughput, rama.Throughput)
+	}
+}
+
+func TestRAMAHasNoReservationCollisions(t *testing.T) {
+	res := runProto(t, NewRAMA(), 1.0)
+	if res.CollisionRate != 0 {
+		t.Fatalf("RAMA collided %.3f times/frame; auctions are collision-free", res.CollisionRate)
+	}
+}
+
+func TestDTDMACollides(t *testing.T) {
+	res := runProto(t, NewDTDMA(), 1.0)
+	if res.CollisionRate == 0 {
+		t.Fatal("D-TDMA's ALOHA reservation should collide under load")
+	}
+}
+
+func TestThroughputMonotoneAtLowLoads(t *testing.T) {
+	for _, p := range All() {
+		lo := runProto(t, p, 0.2)
+		hi := runProto(t, p, 0.5)
+		if hi.Throughput < lo.Throughput-0.02 {
+			t.Errorf("%s: throughput fell from %.3f to %.3f between load 0.2 and 0.5",
+				p.Name(), lo.Throughput, hi.Throughput)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, mk := range []func() Protocol{
+		func() Protocol { return NewPRMA() },
+		func() Protocol { return NewDTDMA() },
+		func() Protocol { return NewRAMA() },
+		func() Protocol { return NewDRMA() },
+	} {
+		cfg := Config{Protocol: mk(), Users: 8, Frames: 500, Load: 0.8, Seed: 3}
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Protocol = mk()
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Delivered != b.Delivered || a.CollisionRate != b.CollisionRate {
+			t.Fatalf("%s: same seed diverged", a.Protocol)
+		}
+	}
+}
+
+func TestFairnessReasonable(t *testing.T) {
+	for _, p := range All() {
+		res := runProto(t, p, 0.8)
+		if res.Fairness < 0.5 {
+			t.Errorf("%s: fairness %.3f suspiciously low", res.Protocol, res.Fairness)
+		}
+	}
+}
+
+func TestFixedWorkload(t *testing.T) {
+	res, err := Run(Config{
+		Protocol: NewRAMA(),
+		Users:    10,
+		Frames:   1000,
+		Load:     0.5,
+		SizeDist: traffic.PaperFixed,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("fixed workload delivered nothing")
+	}
+}
+
+func TestQueueCapDrops(t *testing.T) {
+	res, err := Run(Config{
+		Protocol: NewPRMA(),
+		Users:    4,
+		Frames:   2000,
+		Load:     2.0, // far beyond capacity
+		Seed:     9,
+		QueueCap: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("overload with tiny queues should drop messages")
+	}
+}
+
+func TestProtocolNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range All() {
+		if p.Name() == "" || seen[p.Name()] {
+			t.Fatalf("bad protocol name %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+}
+
+func TestFAMAHoldsFloorWithoutCollisions(t *testing.T) {
+	res := runProto(t, NewFAMA(), 0.8)
+	if res.Delivered == 0 {
+		t.Fatal("FAMA delivered nothing")
+	}
+	// Floor-holding transfers are collision-free; only acquisition
+	// attempts collide, so the collision rate stays modest.
+	if res.CollisionRate > 2 {
+		t.Fatalf("FAMA collision rate %.3f per frame", res.CollisionRate)
+	}
+}
+
+func TestFAMAAcquisitionOverheadCapsThroughput(t *testing.T) {
+	// Each burst costs one acquisition slot, so FAMA cannot reach the
+	// reservation protocols' overload throughput.
+	fama := runProto(t, NewFAMA(), 1.2)
+	rama := runProto(t, NewRAMA(), 1.2)
+	if fama.Throughput >= rama.Throughput {
+		t.Fatalf("FAMA %.3f should trail RAMA %.3f at overload", fama.Throughput, rama.Throughput)
+	}
+}

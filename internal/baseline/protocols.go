@@ -1,0 +1,298 @@
+package baseline
+
+// PRMA is Packet Reservation Multiple Access (Nanda, Goodman, Timor
+// 1991; paper §4, Fig. 5(1)). There is no dedicated reservation
+// bandwidth: every slot not held by a reservation is contended with a
+// permission probability. A user that wins a slot keeps it in
+// subsequent frames until its backlog drains (the talkspurt semantic);
+// the paper notes PRMA "suffers from low utilization in medium to heavy
+// traffic loads" due to its contention-first nature.
+type PRMA struct {
+	// Permission is the per-slot transmit probability for contenders.
+	Permission float64
+	// owner[slot] is the reservation holder, or -1.
+	owner []int
+}
+
+// NewPRMA returns PRMA with the conventional 0.3 permission
+// probability.
+func NewPRMA() *PRMA { return &PRMA{Permission: 0.3} }
+
+// Name implements Protocol.
+func (p *PRMA) Name() string { return "prma" }
+
+// RunFrame implements Protocol.
+func (p *PRMA) RunFrame(c *Cell) {
+	if len(p.owner) != c.Slots {
+		p.owner = make([]int, c.Slots)
+		for i := range p.owner {
+			p.owner[i] = -1
+		}
+	}
+	for slot := 0; slot < c.Slots; slot++ {
+		own := p.owner[slot]
+		if own >= 0 {
+			if c.Queue(own) > 0 {
+				c.Deliver(own)
+				continue
+			}
+			// Backlog drained: reservation released.
+			c.SetReserved(own, false)
+			p.owner[slot] = -1
+		}
+		// Contention: every backlogged, unreserved user transmits with
+		// the permission probability.
+		var contenders []int
+		for u := 0; u < c.Users(); u++ {
+			if c.Queue(u) == 0 || c.Reserved(u) {
+				continue
+			}
+			if c.RNG.Bool(p.Permission) {
+				contenders = append(contenders, u)
+			}
+		}
+		switch len(contenders) {
+		case 0:
+		case 1:
+			u := contenders[0]
+			c.Deliver(u)
+			// Winner reserves the slot for subsequent frames.
+			p.owner[slot] = u
+			c.SetReserved(u, true)
+		default:
+			c.Collide()
+		}
+	}
+}
+
+// DTDMA is Dynamic TDMA (Wilson et al. 1993; paper §4, Fig. 5(2)): each
+// frame opens with reservation minislots contended slotted-ALOHA style;
+// successful requesters are granted data slots by the base station.
+type DTDMA struct {
+	// ReservationSlots is the number of ALOHA minislots per frame.
+	ReservationSlots int
+	rrCursor         int
+}
+
+// NewDTDMA returns D-TDMA with three reservation minislots.
+func NewDTDMA() *DTDMA { return &DTDMA{ReservationSlots: 3} }
+
+// Name implements Protocol.
+func (d *DTDMA) Name() string { return "d-tdma" }
+
+// RunFrame implements Protocol.
+func (d *DTDMA) RunFrame(c *Cell) {
+	// Reservation phase: users with unbooked backlog pick a minislot.
+	minislots := make([][]int, d.ReservationSlots)
+	for u := 0; u < c.Users(); u++ {
+		if c.Backoff(u) > 0 {
+			continue
+		}
+		if c.Queue(u) > c.Demand(u) {
+			ms := c.RNG.Intn(d.ReservationSlots)
+			minislots[ms] = append(minislots[ms], u)
+		}
+	}
+	for _, reqs := range minislots {
+		switch len(reqs) {
+		case 0:
+		case 1:
+			u := reqs[0]
+			c.AddDemand(u, c.Queue(u)-c.Demand(u))
+		default:
+			c.Collide()
+			// Unsuccessful users retry after a reservation
+			// retransmission backoff (paper §4).
+			for _, u := range reqs {
+				c.SetBackoff(u, c.RNG.UniformInt(1, 3))
+			}
+		}
+	}
+	serveRoundRobin(c, &d.rrCursor, c.Slots)
+}
+
+// RAMA is Resource Auction Multiple Access (Amitay 1993; paper §4,
+// Fig. 6): reservation is a deterministic bit-by-bit ID auction, so
+// every auction slot produces exactly one winner — reservations never
+// collide.
+type RAMA struct {
+	// AuctionSlots is the number of auctions per frame.
+	AuctionSlots int
+	rrCursor     int
+}
+
+// NewRAMA returns RAMA with two auction slots per frame.
+func NewRAMA() *RAMA { return &RAMA{AuctionSlots: 2} }
+
+// Name implements Protocol.
+func (r *RAMA) Name() string { return "rama" }
+
+// RunFrame implements Protocol.
+func (r *RAMA) RunFrame(c *Cell) {
+	// Each auction admits one requester, chosen by the highest random
+	// ID — equivalent to a uniform choice among contenders. A winner
+	// books its whole backlog and skips later auctions this frame.
+	won := make(map[int]bool, r.AuctionSlots)
+	for a := 0; a < r.AuctionSlots; a++ {
+		var contenders []int
+		for u := 0; u < c.Users(); u++ {
+			if won[u] || c.Queue(u) <= c.Demand(u) {
+				continue
+			}
+			contenders = append(contenders, u)
+		}
+		if len(contenders) == 0 {
+			break
+		}
+		u := contenders[c.RNG.Intn(len(contenders))]
+		c.AddDemand(u, c.Queue(u)-c.Demand(u))
+		won[u] = true
+	}
+	serveRoundRobin(c, &r.rrCursor, c.Slots)
+}
+
+// DRMA is Dynamic Reservation Multiple Access (Qiu, Li 1996; paper §4):
+// no fixed reservation bandwidth — idle data slots double as
+// reservation opportunities, contended ALOHA-style, like OSU-MAC's
+// contention slots.
+type DRMA struct {
+	rrCursor int
+}
+
+// NewDRMA returns a DRMA instance.
+func NewDRMA() *DRMA { return &DRMA{} }
+
+// Name implements Protocol.
+func (d *DRMA) Name() string { return "drma" }
+
+// RunFrame implements Protocol.
+func (d *DRMA) RunFrame(c *Cell) {
+	// Data phase first: booked demand is served round-robin; slots left
+	// idle become reservation opportunities.
+	used := serveRoundRobin(c, &d.rrCursor, c.Slots)
+	idle := c.Slots - used
+	for i := 0; i < idle; i++ {
+		var contenders []int
+		for u := 0; u < c.Users(); u++ {
+			if c.Backoff(u) > 0 || c.Queue(u) <= c.Demand(u) {
+				continue
+			}
+			contenders = append(contenders, u)
+		}
+		switch {
+		case len(contenders) == 0:
+		case len(contenders) == 1 || c.RNG.Float64() < selectivity(len(contenders)):
+			u := contenders[c.RNG.Intn(len(contenders))]
+			// The reservation rides in a data packet: the slot carries
+			// payload and books the rest of the backlog.
+			c.Deliver(u)
+			c.AddDemand(u, c.Queue(u)-c.Demand(u))
+		default:
+			c.Collide()
+			for _, u := range contenders {
+				if c.RNG.Bool(0.5) {
+					c.SetBackoff(u, c.RNG.UniformInt(1, 3))
+				}
+			}
+		}
+	}
+}
+
+// selectivity approximates the chance that exactly one of n ALOHA
+// contenders transmits in a slot when each transmits with probability
+// 1/n: n·(1/n)·(1−1/n)^(n−1).
+func selectivity(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	p := 1.0
+	for i := 0; i < n-1; i++ {
+		p *= 1 - 1/float64(n)
+	}
+	return p
+}
+
+// serveRoundRobin grants data slots to booked demand round-robin from a
+// persistent cursor, returning the number of slots used.
+func serveRoundRobin(c *Cell, cursor *int, slots int) int {
+	used := 0
+	if c.Users() == 0 {
+		return 0
+	}
+	for s := 0; s < slots; s++ {
+		granted := false
+		for k := 0; k < c.Users(); k++ {
+			u := (*cursor + k) % c.Users()
+			if c.Demand(u) > 0 && c.Queue(u) > 0 {
+				c.Deliver(u)
+				*cursor = (u + 1) % c.Users()
+				granted = true
+				used++
+				break
+			}
+		}
+		if !granted {
+			break
+		}
+	}
+	return used
+}
+
+// All returns a fresh instance of every baseline protocol.
+func All() []Protocol {
+	return []Protocol{NewPRMA(), NewDTDMA(), NewRAMA(), NewDRMA(), NewFAMA()}
+}
+
+// FAMA is Floor Acquisition Multiple Access (Fullmer, Garcia-Luna-Aceves
+// 1995; paper §4): a station acquires the "floor" with a short control
+// exchange (RTS/CTS-like) and then transmits collision-free until it
+// releases it — CSMA/CD-flavoured contention in a wireless LAN. The
+// frame-level model charges one slot for each floor acquisition
+// attempt; collisions happen only between acquisition attempts.
+type FAMA struct {
+	holder int // current floor holder, -1 when free
+}
+
+// NewFAMA returns a FAMA instance with a free floor.
+func NewFAMA() *FAMA { return &FAMA{holder: -1} }
+
+// Name implements Protocol.
+func (f *FAMA) Name() string { return "fama" }
+
+// RunFrame implements Protocol.
+func (f *FAMA) RunFrame(c *Cell) {
+	for slot := 0; slot < c.Slots; slot++ {
+		if f.holder >= 0 {
+			if c.Queue(f.holder) > 0 {
+				// Floor held: transmit collision-free.
+				c.Deliver(f.holder)
+				continue
+			}
+			f.holder = -1 // backlog drained: floor released
+		}
+		// Floor free: backlogged stations attempt acquisition with a
+		// carrier-sense persistence probability.
+		var contenders []int
+		for u := 0; u < c.Users(); u++ {
+			if c.Backoff(u) > 0 || c.Queue(u) == 0 {
+				continue
+			}
+			if c.RNG.Bool(0.5) {
+				contenders = append(contenders, u)
+			}
+		}
+		switch len(contenders) {
+		case 0:
+		case 1:
+			// Acquisition costs the control exchange: the slot carries
+			// the RTS/CTS, data starts next slot.
+			f.holder = contenders[0]
+		default:
+			// Control packets collided; the floor stays free.
+			c.Collide()
+			for _, u := range contenders {
+				c.SetBackoff(u, c.RNG.UniformInt(1, 2))
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package bitio provides MSB-first bit-level reading and writing over
+// byte slices. The OSU-MAC control fields pack 6-bit user IDs and 16-bit
+// EINs into 630 bits across two RS codewords; this package does the
+// packing.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverflow is returned when a read or write would pass the end of the
+// underlying buffer.
+var ErrOverflow = errors.New("bitio: past end of buffer")
+
+// Writer packs bits MSB-first into an internal buffer.
+type Writer struct {
+	buf  []byte
+	nbit int // bits written so far
+}
+
+// NewWriter returns a writer with the given capacity in bits. The
+// underlying buffer is rounded up to whole bytes and zero-filled.
+func NewWriter(capacityBits int) *Writer {
+	if capacityBits < 0 {
+		capacityBits = 0
+	}
+	return &Writer{buf: make([]byte, (capacityBits+7)/8)}
+}
+
+// CapacityBits returns the writer's capacity in bits.
+func (w *Writer) CapacityBits() int { return len(w.buf) * 8 }
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.nbit }
+
+// WriteBits writes the low width bits of v, MSB first. width must be in
+// [0, 64].
+func (w *Writer) WriteBits(v uint64, width int) error {
+	if width < 0 || width > 64 {
+		return fmt.Errorf("bitio: invalid width %d", width)
+	}
+	if w.nbit+width > len(w.buf)*8 {
+		return fmt.Errorf("%w: write %d bits at offset %d, capacity %d",
+			ErrOverflow, width, w.nbit, len(w.buf)*8)
+	}
+	for i := width - 1; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			w.buf[w.nbit/8] |= 1 << uint(7-w.nbit%8)
+		}
+		w.nbit++
+	}
+	return nil
+}
+
+// WriteBool writes a single bit.
+func (w *Writer) WriteBool(b bool) error {
+	var v uint64
+	if b {
+		v = 1
+	}
+	return w.WriteBits(v, 1)
+}
+
+// WriteBytes writes whole bytes at the current bit offset.
+func (w *Writer) WriteBytes(p []byte) error {
+	for _, b := range p {
+		if err := w.WriteBits(uint64(b), 8); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bytes returns the buffer padded with zero bits to whole bytes. The
+// returned slice is the full capacity; callers that need only the
+// written prefix can slice it with (Len()+7)/8.
+func (w *Writer) Bytes() []byte {
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	return out
+}
+
+// Reader unpacks MSB-first bits from a byte slice.
+type Reader struct {
+	buf  []byte
+	nbit int
+}
+
+// NewReader returns a reader over p. The reader does not copy p; callers
+// must not mutate it while reading.
+func NewReader(p []byte) *Reader {
+	return &Reader{buf: p}
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return len(r.buf)*8 - r.nbit }
+
+// Offset returns the number of bits consumed so far.
+func (r *Reader) Offset() int { return r.nbit }
+
+// ReadBits reads width bits MSB-first and returns them in the low bits
+// of the result. width must be in [0, 64].
+func (r *Reader) ReadBits(width int) (uint64, error) {
+	if width < 0 || width > 64 {
+		return 0, fmt.Errorf("bitio: invalid width %d", width)
+	}
+	if r.nbit+width > len(r.buf)*8 {
+		return 0, fmt.Errorf("%w: read %d bits at offset %d, size %d",
+			ErrOverflow, width, r.nbit, len(r.buf)*8)
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		v <<= 1
+		if r.buf[r.nbit/8]&(1<<uint(7-r.nbit%8)) != 0 {
+			v |= 1
+		}
+		r.nbit++
+	}
+	return v, nil
+}
+
+// ReadBool reads a single bit.
+func (r *Reader) ReadBool() (bool, error) {
+	v, err := r.ReadBits(1)
+	return v == 1, err
+}
+
+// ReadBytes reads n whole bytes at the current bit offset.
+func (r *Reader) ReadBytes(n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := r.ReadBits(8)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, byte(v))
+	}
+	return out, nil
+}
+
+// Skip advances the reader by n bits.
+func (r *Reader) Skip(n int) error {
+	if n < 0 || r.nbit+n > len(r.buf)*8 {
+		return fmt.Errorf("%w: skip %d bits at offset %d, size %d",
+			ErrOverflow, n, r.nbit, len(r.buf)*8)
+	}
+	r.nbit += n
+	return nil
+}

@@ -1,0 +1,216 @@
+package bitio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	values := []struct {
+		v     uint64
+		width int
+	}{
+		{0x3F, 6}, {0x01, 1}, {0xFFFF, 16}, {0, 3}, {0x5, 3}, {0xABCDE, 20},
+	}
+	for _, x := range values {
+		if err := w.WriteBits(x.v, x.width); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(w.Bytes())
+	for _, x := range values {
+		got, err := r.ReadBits(x.width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != x.v {
+			t.Fatalf("read %#x, want %#x (width %d)", got, x.v, x.width)
+		}
+	}
+}
+
+func TestMSBFirstLayout(t *testing.T) {
+	w := NewWriter(8)
+	if err := w.WriteBits(0b101, 3); err != nil {
+		t.Fatal(err)
+	}
+	// First three bits 1,0,1 land in bit positions 7,6,5 of byte 0.
+	if got := w.Bytes()[0]; got != 0b10100000 {
+		t.Fatalf("byte = %08b, want 10100000", got)
+	}
+}
+
+func TestWriteOverflow(t *testing.T) {
+	w := NewWriter(10)
+	if err := w.WriteBits(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity rounds up to 16 bits, so 8 more fit but 9 do not.
+	if err := w.WriteBits(0, 9); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", err)
+	}
+	if err := w.WriteBits(0, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOverflow(t *testing.T) {
+	r := NewReader([]byte{0xAA})
+	if _, err := r.ReadBits(9); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", err)
+	}
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBits(1); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", err)
+	}
+}
+
+func TestInvalidWidths(t *testing.T) {
+	w := NewWriter(128)
+	if err := w.WriteBits(0, -1); err == nil {
+		t.Fatal("negative width accepted by writer")
+	}
+	if err := w.WriteBits(0, 65); err == nil {
+		t.Fatal("width 65 accepted by writer")
+	}
+	r := NewReader(make([]byte, 16))
+	if _, err := r.ReadBits(-1); err == nil {
+		t.Fatal("negative width accepted by reader")
+	}
+	if _, err := r.ReadBits(65); err == nil {
+		t.Fatal("width 65 accepted by reader")
+	}
+}
+
+func TestWriteBool(t *testing.T) {
+	w := NewWriter(8)
+	for _, b := range []bool{true, false, true, true} {
+		if err := w.WriteBool(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(w.Bytes())
+	for _, want := range []bool{true, false, true, true} {
+		got, err := r.ReadBool()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBytesAcrossUnalignedOffset(t *testing.T) {
+	w := NewWriter(100)
+	if err := w.WriteBits(0b101, 3); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{0xDE, 0xAD, 0xBE}
+	if err := w.WriteBytes(payload); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(w.Bytes())
+	if err := r.Skip(3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadBytes(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got % x, want % x", got, payload)
+	}
+}
+
+func TestSkip(t *testing.T) {
+	r := NewReader([]byte{0xFF, 0x00})
+	if err := r.Skip(8); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.ReadBits(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("after skip, read %#x, want 0", v)
+	}
+	if err := r.Skip(5); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("skip past end: err = %v, want ErrOverflow", err)
+	}
+	if err := r.Skip(-1); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("negative skip: err = %v, want ErrOverflow", err)
+	}
+}
+
+func TestLenAndRemaining(t *testing.T) {
+	w := NewWriter(40)
+	if err := w.WriteBits(1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", w.Len())
+	}
+	r := NewReader(w.Bytes())
+	if r.Remaining() != 40 {
+		t.Fatalf("Remaining = %d, want 40", r.Remaining())
+	}
+	if _, err := r.ReadBits(10); err != nil {
+		t.Fatal(err)
+	}
+	if r.Offset() != 10 || r.Remaining() != 30 {
+		t.Fatalf("Offset/Remaining = %d/%d, want 10/30", r.Offset(), r.Remaining())
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	w := NewWriter(0)
+	if err := w.WriteBits(1, 1); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", err)
+	}
+	w2 := NewWriter(-5)
+	if w2.CapacityBits() != 0 {
+		t.Fatalf("negative capacity clamped to %d, want 0", w2.CapacityBits())
+	}
+}
+
+// Property: any sequence of (value, width) fields survives a write/read
+// round-trip.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		type field struct {
+			v     uint64
+			width int
+		}
+		var fields []field
+		total := 0
+		for _, x := range raw {
+			width := int(x%16) + 1 // 1..16 bits
+			v := uint64(x) & ((1 << uint(width)) - 1)
+			fields = append(fields, field{v, width})
+			total += width
+		}
+		w := NewWriter(total)
+		for _, fd := range fields {
+			if err := w.WriteBits(fd.v, fd.width); err != nil {
+				return false
+			}
+		}
+		r := NewReader(w.Bytes())
+		for _, fd := range fields {
+			got, err := r.ReadBits(fd.width)
+			if err != nil || got != fd.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,645 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/phy"
+	"github.com/osu-netlab/osumac/internal/sched"
+	"github.com/osu-netlab/osumac/internal/sim"
+)
+
+// BaseStation owns resource arbitration, channel access and
+// registration for one cell (paper §3.1). It builds the two
+// control-field sets each notification cycle, schedules both channels,
+// acknowledges reverse traffic, and runs the dynamic contention-slot
+// controller.
+type BaseStation struct {
+	cfg     *Config
+	metrics *Metrics
+	rng     *sim.RNG
+
+	// Registration state.
+	registry map[frame.EIN]frame.UserID
+	einOf    map[frame.UserID]frame.EIN
+	isGPS    map[frame.UserID]bool
+	gps      *GPSSlotTable
+
+	// Reverse-channel demand bookkeeping.
+	demand       map[frame.UserID]int
+	arrivalSeq   int
+	arrivalOrder map[frame.UserID]int
+
+	// Dynamic contention-slot controller.
+	contentionSlots     int
+	collisionsThisCyc   int
+	collisionsPrevCyc   int
+	idleContentionCycs  int
+	contentionUsedThisC bool
+	contOfferedThisCyc  int
+	contUsedThisCyc     int
+
+	// Per-cycle state.
+	layout     Layout
+	cf         *frame.ControlFields // announced schedule for the current cycle
+	prevAcks   [frame.ReverseACKEntries]frame.ReverseACK
+	curAcks    [frame.ReverseACKEntries]frame.ReverseACK
+	prevLast   int          // last data-slot index of the previous cycle
+	cf2User    frame.UserID // listener of this cycle's CF2 (prev last-slot user)
+	curLastTx  frame.UserID // user who actually transmitted in this cycle's last slot
+	lastAssign frame.UserID // user assigned this cycle's last data slot
+	pagesQueue []frame.UserID
+
+	// Forward data queues.
+	fwdQueue map[frame.UserID][]*frame.DataPacket
+
+	// Uplink message reassembly: (user, msgID) → received fragment set.
+	asm map[uint32]*asmState
+}
+
+type asmState struct {
+	total    int
+	received map[int]bool
+	bytes    int
+}
+
+// NewBaseStation builds the cell controller.
+func NewBaseStation(cfg *Config, metrics *Metrics, rng *sim.RNG) *BaseStation {
+	return &BaseStation{
+		cfg:             cfg,
+		metrics:         metrics,
+		rng:             rng,
+		registry:        make(map[frame.EIN]frame.UserID),
+		einOf:           make(map[frame.UserID]frame.EIN),
+		isGPS:           make(map[frame.UserID]bool),
+		gps:             NewGPSSlotTable(cfg.DynamicSlotAdjustment),
+		demand:          make(map[frame.UserID]int),
+		arrivalOrder:    make(map[frame.UserID]int),
+		contentionSlots: cfg.MinContentionSlots,
+		prevLast:        -1,
+		cf2User:         frame.NoUser,
+		curLastTx:       frame.NoUser,
+		lastAssign:      frame.NoUser,
+		fwdQueue:        make(map[frame.UserID][]*frame.DataPacket),
+		asm:             make(map[uint32]*asmState),
+		cf:              frame.NewControlFields(),
+	}
+}
+
+// Registered returns the user ID for an EIN, if admitted.
+func (b *BaseStation) Registered(ein frame.EIN) (frame.UserID, bool) {
+	u, ok := b.registry[ein]
+	return u, ok
+}
+
+// ActiveUsers returns the number of admitted subscribers.
+func (b *BaseStation) ActiveUsers() int { return len(b.registry) }
+
+// Layout returns the current cycle's slot layout.
+func (b *BaseStation) Layout() Layout { return b.layout }
+
+// ControlFields returns the schedule announced this cycle (CF1 content).
+func (b *BaseStation) ControlFields() *frame.ControlFields { return b.cf }
+
+// CF2User returns who must listen to the second control fields this
+// cycle.
+func (b *BaseStation) CF2User() frame.UserID { return b.cf2User }
+
+// Page queues a page for an inactive subscriber; it appears in the next
+// cycle's paging field.
+func (b *BaseStation) Page(user frame.UserID) {
+	b.pagesQueue = append(b.pagesQueue, user)
+}
+
+// EnqueueForward queues an application message of the given size for
+// downlink delivery to user; it is fragmented into data packets.
+func (b *BaseStation) EnqueueForward(user frame.UserID, msgID uint16, size int) error {
+	if _, ok := b.einOf[user]; !ok {
+		return fmt.Errorf("core: forward enqueue for unknown user %v", user)
+	}
+	frags := fragmentSizes(size)
+	for i, fs := range frags {
+		b.fwdQueue[user] = append(b.fwdQueue[user], &frame.DataPacket{
+			Header: frame.DataHeader{
+				User:      user,
+				MsgID:     msgID,
+				Frag:      uint8(i),
+				FragTotal: uint8(len(frags)),
+			},
+			Payload: make([]byte, fs),
+		})
+	}
+	return nil
+}
+
+// fragmentSizes splits an application message into MAC payload sizes.
+func fragmentSizes(size int) []int {
+	if size <= 0 {
+		return []int{0}
+	}
+	var out []int
+	for size > 0 {
+		n := size
+		if n > frame.MaxPayload {
+			n = frame.MaxPayload
+		}
+		out = append(out, n)
+		size -= n
+	}
+	return out
+}
+
+// BeginCycle computes the schedule for cycle k and the CF1 contents.
+// It must run at the forward cycle start, before CF1 transmission.
+func (b *BaseStation) BeginCycle() {
+	// Roll the ACK window: acks collected during the previous cycle are
+	// announced now; the previous cycle's last slot is still in flight
+	// and its ack lands in RecordReverse before CF2 is built.
+	b.prevAcks = b.curAcks
+	b.curAcks = emptyAcks()
+	b.prevLast = b.layout.LastDataSlot()
+	// The CF2 listener is whoever was ASSIGNED the previous cycle's last
+	// data slot (the paper's rule is assignment-based, so it holds even
+	// if the owner had nothing to send); when the slot was open, it is
+	// whoever the base heard contending there.
+	b.cf2User = b.lastAssign
+	if b.cf2User == frame.NoUser {
+		b.cf2User = b.curLastTx
+	}
+	b.curLastTx = frame.NoUser
+	b.lastAssign = frame.NoUser
+
+	// Contention-slot controller (paper §3.5): widen on collisions,
+	// narrow after idle cycles.
+	if !b.contentionUsedThisC {
+		b.idleContentionCycs++
+	} else {
+		b.idleContentionCycs = 0
+	}
+	b.contentionUsedThisC = false
+	// Widen only on repeated collisions ("multiple times in a
+	// notification cycle or across multiple notification cycles");
+	// narrow as soon as contention capacity goes unused (paper §3.1).
+	repeated := b.collisionsThisCyc >= 2 ||
+		(b.collisionsThisCyc >= 1 && b.collisionsPrevCyc >= 1)
+	unused := b.contOfferedThisCyc - b.contUsedThisCyc
+	switch {
+	case repeated && b.contentionSlots < b.cfg.MaxContentionSlots:
+		b.contentionSlots++
+	case b.collisionsThisCyc == 0 && unused >= 1 && b.contOfferedThisCyc > 0 &&
+		b.contentionSlots > b.cfg.MinContentionSlots:
+		b.contentionSlots--
+	}
+	b.collisionsPrevCyc = b.collisionsThisCyc
+	b.collisionsThisCyc = 0
+	b.contOfferedThisCyc = 0
+	b.contUsedThisCyc = 0
+
+	// Format selection and layout.
+	format := Format1
+	if b.cfg.DynamicSlotAdjustment {
+		format = b.gps.Format()
+	}
+	b.layout = NewLayout(format)
+	d := format.DataSlots()
+
+	cf := frame.NewControlFields()
+	cf.GPSSchedule = b.gps.Snapshot()
+	if format == Format2 {
+		// Only the first 3 GPS slots exist on air in format 2.
+		for i := phy.Format2GPSSlots; i < len(cf.GPSSchedule); i++ {
+			cf.GPSSchedule[i] = frame.NoUser
+		}
+	}
+
+	// Reverse data slots: first contentionSlots slots stay open, the
+	// rest go to the scheduler. Without the second control fields the
+	// last slot is never assigned (its owner could not hear any
+	// schedule) — the paper's rejected single-CF alternative.
+	cSlots := b.contentionSlots
+	if cSlots > d-1 {
+		cSlots = d - 1
+	}
+	lastAssignable := d
+	if !b.cfg.SecondControlField {
+		lastAssignable = d - 1
+	}
+	avail := lastAssignable - cSlots
+	if avail < 0 {
+		avail = 0
+	}
+	reqs := b.pendingRequests()
+	assignment := b.cfg.Scheduler.Schedule(reqs, avail)
+	for i, u := range assignment {
+		cf.ReverseSchedule[cSlots+i] = u
+	}
+	b.fixCF2UserEarlySlots(cf, d)
+	// Deduct granted slots from demand.
+	for i := 0; i < d; i++ {
+		u := cf.ReverseSchedule[i]
+		if u != frame.NoUser && b.demand[u] > 0 {
+			b.demand[u]--
+			if b.demand[u] == 0 {
+				delete(b.demand, u)
+				delete(b.arrivalOrder, u)
+			}
+		}
+	}
+
+	// Forward slots, constrained by half-duplex against the reverse
+	// schedule just built and the CF2 rule.
+	cf.ForwardSchedule = b.assignForward(cf, d)
+
+	// ACKs for the previous cycle, minus its last slot (CF2's job).
+	cf.ReverseACKs = b.prevAcks
+	if b.prevLast >= 0 && b.prevLast < len(cf.ReverseACKs) {
+		cf.ReverseACKs[b.prevLast] = frame.ReverseACK{User: frame.NoUser}
+	}
+
+	// Paging.
+	for i := 0; i < len(cf.Paging) && len(b.pagesQueue) > 0; i++ {
+		cf.Paging[i] = b.pagesQueue[0]
+		b.pagesQueue = b.pagesQueue[1:]
+	}
+
+	b.cf = cf
+	if last := d - 1; last >= 0 {
+		b.lastAssign = cf.ReverseSchedule[last]
+	}
+
+	// Bookkeeping for Fig. 8a / 12b: slots that could carry data.
+	b.metrics.DataSlotsOffered.Addn(uint64(d))
+	assigned := 0
+	for i := 0; i < d; i++ {
+		if cf.ReverseSchedule[i] != frame.NoUser {
+			assigned++
+		}
+	}
+	b.metrics.DataSlotsAssigned.Addn(uint64(assigned))
+	b.metrics.ContentionSlotsOpen.Addn(uint64(len(cf.ContentionSlots())))
+	b.contOfferedThisCyc = len(cf.ContentionSlots())
+}
+
+// fixCF2UserEarlySlots enforces that this cycle's CF2 listener is not
+// scheduled to transmit before it has heard CF2 (plus switch time). In
+// format 2 the first data slot starts before CF2 ends.
+func (b *BaseStation) fixCF2UserEarlySlots(cf *frame.ControlFields, d int) {
+	if b.cf2User == frame.NoUser {
+		return
+	}
+	minStart := b.layout.CF2.End + phy.HalfDuplexSwitch
+	for i := 0; i < d; i++ {
+		if cf.ReverseSchedule[i] != b.cf2User {
+			continue
+		}
+		if b.layout.ReverseData[i].Start >= minStart {
+			continue
+		}
+		// Swap with the latest slot held by a different user.
+		swapped := false
+		for j := d - 1; j > i; j-- {
+			u := cf.ReverseSchedule[j]
+			if u != b.cf2User && u != frame.NoUser && b.layout.ReverseData[j].Start >= minStart {
+				cf.ReverseSchedule[i], cf.ReverseSchedule[j] = cf.ReverseSchedule[j], cf.ReverseSchedule[i]
+				swapped = true
+				break
+			}
+		}
+		if !swapped {
+			// No feasible swap: return the slot to the pool unassigned
+			// and restore the user's demand.
+			cf.ReverseSchedule[i] = frame.NoUser
+			b.addDemand(b.cf2User, 1)
+		}
+	}
+}
+
+// assignForward builds the forward schedule for this cycle.
+func (b *BaseStation) assignForward(cf *frame.ControlFields, d int) [frame.ForwardScheduleEntries]frame.UserID {
+	var out [frame.ForwardScheduleEntries]frame.UserID
+	for i := range out {
+		out[i] = frame.NoUser
+	}
+	var demands []sched.Request
+	for u, q := range b.fwdQueue {
+		if len(q) > 0 {
+			demands = append(demands, sched.Request{User: u, Slots: len(q), Arrival: b.arrivalOrder[u]})
+		}
+	}
+	if len(demands) == 0 {
+		return out
+	}
+	tx := make(map[frame.UserID][]phy.Interval)
+	for i := 0; i < d; i++ {
+		u := cf.ReverseSchedule[i]
+		if u != frame.NoUser {
+			tx[u] = append(tx[u], b.layout.ReverseData[i])
+		}
+	}
+	for i, iv := range b.layout.GPS {
+		u := cf.GPSSchedule[i]
+		if u != frame.NoUser {
+			tx[u] = append(tx[u], iv)
+		}
+	}
+	cf2 := frame.NoUser
+	if b.cfg.SecondControlField {
+		cf2 = b.cf2User
+	}
+	assigned := sched.AssignForward(demands, sched.ForwardConstraints{
+		SlotIntervals: b.layout.ForwardData,
+		TxIntervals:   tx,
+		CF2User:       cf2,
+	})
+	copy(out[:], assigned)
+	return out
+}
+
+// BuildCF2 returns the second control-field set: identical to CF1
+// except it acknowledges the previous cycle's last-slot activity
+// (paper §3.4 problem 3). The base cannot change the schedules here.
+func (b *BaseStation) BuildCF2() *frame.ControlFields {
+	cf2 := *b.cf
+	if b.prevLast >= 0 && b.prevLast < len(cf2.ReverseACKs) {
+		cf2.ReverseACKs[b.prevLast] = b.prevAcks[b.prevLast]
+	}
+	return &cf2
+}
+
+// pendingRequests converts the demand book into scheduler requests.
+func (b *BaseStation) pendingRequests() []sched.Request {
+	var out []sched.Request
+	for u, n := range b.demand {
+		out = append(out, sched.Request{User: u, Slots: n, Arrival: b.arrivalOrder[u]})
+	}
+	return out
+}
+
+// addDemand books n reverse slots owed to user.
+func (b *BaseStation) addDemand(user frame.UserID, n int) {
+	if n <= 0 || !user.Valid() {
+		return
+	}
+	if _, ok := b.demand[user]; !ok {
+		b.arrivalOrder[user] = b.arrivalSeq
+		b.arrivalSeq++
+	}
+	b.demand[user] += n
+}
+
+// ReverseOutcome summarizes what the base received in one reverse data
+// slot, for the network harness's metric hooks.
+type ReverseOutcome struct {
+	// Collision is true when ≥2 stations transmitted.
+	Collision bool
+	// Received is the successfully decoded packet, nil on loss/idle.
+	Received *frame.Packet
+	// MessageComplete is set when a data fragment completed an uplink
+	// message reassembly; Bytes is its total payload size.
+	MessageComplete bool
+	User            frame.UserID
+	MsgID           uint16
+	Bytes           int
+	// NewRegistration is set when a registration was approved this slot.
+	NewRegistration bool
+	AssignedID      frame.UserID
+}
+
+// RecordReverse processes the transmissions received in reverse data
+// slot `slot` of the cycle whose ACK window `intoPrev` selects: false
+// for the running cycle, true when the slot belongs to the previous
+// cycle (only its last slot can arrive that late). raw holds the
+// RS-decoded 48-byte payloads of each non-colliding transmission; the
+// harness passes nil payloads for transmissions whose decode failed.
+func (b *BaseStation) RecordReverse(slot int, intoPrev bool, isLastSlot bool, payloads [][]byte, contention bool) ReverseOutcome {
+	var out ReverseOutcome
+	acks := &b.curAcks
+	if intoPrev {
+		acks = &b.prevAcks
+	}
+
+	if contention && len(payloads) > 0 {
+		b.metrics.ContentionSlotsUsed.Inc()
+		b.metrics.ContentionTx.Addn(uint64(len(payloads)))
+		b.contentionUsedThisC = true
+		b.contUsedThisCyc++
+	}
+	if len(payloads) == 0 {
+		return out
+	}
+	if len(payloads) > 1 {
+		// Collision: everything in the slot is lost.
+		out.Collision = true
+		b.metrics.ContentionCollisions.Inc()
+		b.collisionsThisCyc++
+		return out
+	}
+	payload := payloads[0]
+	if payload == nil {
+		// RS decode failure: counted as loss (no ACK).
+		if !contention {
+			b.metrics.FragmentsLost.Inc()
+		}
+		return out
+	}
+	pkt, err := frame.UnmarshalPacket(payload)
+	if err != nil {
+		if !contention {
+			b.metrics.FragmentsLost.Inc()
+		}
+		return out
+	}
+	out.Received = pkt
+
+	switch pkt.Type {
+	case frame.TypeData:
+		h := pkt.Data.Header
+		if _, known := b.einOf[h.User]; !known {
+			return out // stale packet from a deregistered user
+		}
+		if contention {
+			b.metrics.ContentionSignals.Inc()
+		}
+		acks[slot] = frame.ReverseACK{User: h.User}
+		if isLastSlot && !intoPrev {
+			b.curLastTx = h.User
+		}
+		if h.MoreSlots > 0 {
+			b.addDemand(h.User, int(h.MoreSlots))
+			b.metrics.PiggybackRequests.Inc()
+		}
+		b.metrics.ReverseDataPkts.Inc()
+		if isLastSlot {
+			b.metrics.LastSlotDataPkts.Inc()
+		}
+		b.metrics.DataSlotsUsed.Inc()
+		dup, done, total := b.reassemble(h, len(pkt.Data.Payload))
+		if !dup {
+			b.metrics.BytesDelivered.Addn(uint64(len(pkt.Data.Payload)))
+			b.metrics.PerUserBytes[h.User] += uint64(len(pkt.Data.Payload))
+		}
+		if done {
+			out.MessageComplete = true
+			out.User = h.User
+			out.MsgID = h.MsgID
+			out.Bytes = total
+		}
+	case frame.TypeReservation:
+		r := pkt.Reservation
+		if _, known := b.einOf[r.User]; !known {
+			return out
+		}
+		acks[slot] = frame.ReverseACK{User: r.User}
+		if isLastSlot && !intoPrev {
+			b.curLastTx = r.User
+		}
+		if r.Slots == 0 {
+			// A zero-slot reservation is a page response: the subscriber
+			// is alive and reachable.
+			b.metrics.PageResponses.Inc()
+		} else {
+			b.addDemand(r.User, int(r.Slots))
+			b.metrics.ReservationPackets.Inc()
+			b.metrics.ContentionSignals.Inc()
+		}
+	case frame.TypeRegistration:
+		req := pkt.Register
+		user, ok := b.admit(req)
+		if !ok {
+			b.metrics.RegistrationsFailed.Inc()
+			return out
+		}
+		acks[slot] = frame.ReverseACK{User: user, EIN: req.EIN}
+		if isLastSlot && !intoPrev {
+			b.curLastTx = user
+		}
+		out.NewRegistration = true
+		out.AssignedID = user
+		b.metrics.RegistrationsApproved.Inc()
+	}
+	return out
+}
+
+// admit approves a registration request, assigning a user ID (and a GPS
+// slot for GPS subscribers). Re-registration of a known EIN returns the
+// existing assignment.
+func (b *BaseStation) admit(req *frame.RegistrationRequest) (frame.UserID, bool) {
+	if u, ok := b.registry[req.EIN]; ok {
+		return u, true
+	}
+	if len(b.registry) >= phy.MaxDataUsers-1 {
+		return frame.NoUser, false
+	}
+	var user frame.UserID = frame.NoUser
+	for id := frame.UserID(0); id <= frame.MaxUserID; id++ {
+		if _, taken := b.einOf[id]; !taken {
+			user = id
+			break
+		}
+	}
+	if user == frame.NoUser {
+		return frame.NoUser, false
+	}
+	if req.WantGPS {
+		if _, err := b.gps.Admit(user); err != nil {
+			return frame.NoUser, false
+		}
+	}
+	b.registry[req.EIN] = user
+	b.einOf[user] = req.EIN
+	b.isGPS[user] = req.WantGPS
+	return user, true
+}
+
+// Deregister administratively removes a subscriber (sign-off). GPS slot
+// holders release their slot via the dynamic adjustment rules.
+func (b *BaseStation) Deregister(user frame.UserID) error {
+	ein, ok := b.einOf[user]
+	if !ok {
+		return fmt.Errorf("core: deregister unknown user %v", user)
+	}
+	if b.isGPS[user] {
+		if err := b.gps.Leave(user); err != nil {
+			return err
+		}
+	}
+	delete(b.registry, ein)
+	delete(b.einOf, user)
+	delete(b.isGPS, user)
+	delete(b.demand, user)
+	delete(b.arrivalOrder, user)
+	delete(b.fwdQueue, user)
+	return nil
+}
+
+// RecordGPS processes a GPS slot reception. body is the received
+// 32-byte packet body, nil if the slot was idle.
+func (b *BaseStation) RecordGPS(body []byte) (*frame.GPSReport, bool) {
+	if body == nil {
+		return nil, false
+	}
+	rep, err := frame.UnmarshalGPSReport(body)
+	if err != nil {
+		b.metrics.GPSLost.Inc()
+		return nil, false
+	}
+	if b.gps.SlotOf(rep.User) < 0 {
+		// Report from a user that no longer holds a slot.
+		b.metrics.GPSLost.Inc()
+		return nil, false
+	}
+	b.metrics.GPSDelivered.Inc()
+	return rep, true
+}
+
+// PopForward removes and returns the next queued forward packet for
+// user, or nil.
+func (b *BaseStation) PopForward(user frame.UserID) *frame.DataPacket {
+	q := b.fwdQueue[user]
+	if len(q) == 0 {
+		return nil
+	}
+	pkt := q[0]
+	b.fwdQueue[user] = q[1:]
+	return pkt
+}
+
+// ContentionSlotCount exposes the controller state for tests.
+func (b *BaseStation) ContentionSlotCount() int { return b.contentionSlots }
+
+// GPSTable exposes the slot table for tests and the harness.
+func (b *BaseStation) GPSTable() *GPSSlotTable { return b.gps }
+
+// reassemble tracks uplink fragments; it reports whether the fragment
+// was a duplicate retransmission, whether it completed a message, and
+// the completed message's total payload size.
+func (b *BaseStation) reassemble(h frame.DataHeader, payloadLen int) (dup, done bool, total int) {
+	if h.FragTotal == 0 {
+		return false, false, 0
+	}
+	key := uint32(h.User)<<16 | uint32(h.MsgID)
+	st, ok := b.asm[key]
+	if !ok {
+		st = &asmState{total: int(h.FragTotal), received: make(map[int]bool)}
+		b.asm[key] = st
+	}
+	if st.received[int(h.Frag)] {
+		return true, false, 0
+	}
+	st.received[int(h.Frag)] = true
+	st.bytes += payloadLen
+	if len(st.received) == st.total {
+		delete(b.asm, key)
+		return false, true, st.bytes
+	}
+	return false, false, 0
+}
+
+// emptyAcks returns an all-empty ACK vector.
+func emptyAcks() [frame.ReverseACKEntries]frame.ReverseACK {
+	var out [frame.ReverseACKEntries]frame.ReverseACK
+	for i := range out {
+		out[i] = frame.ReverseACK{User: frame.NoUser}
+	}
+	return out
+}

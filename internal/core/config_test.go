@@ -1,0 +1,172 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/phy"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := NewConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scheduler == nil || cfg.NewForwardModel == nil || cfg.NewReverseModel == nil {
+		t.Fatal("defaults not filled")
+	}
+	if !cfg.DynamicSlotAdjustment || !cfg.SecondControlField {
+		t.Fatal("paper features should default on")
+	}
+	if cfg.Policy != ReserveWithData {
+		t.Fatal("default policy should be data-in-contention")
+	}
+	if cfg.GPSPeriod != phy.GPSAccessDeadline {
+		t.Fatal("GPS period should default to 4s")
+	}
+}
+
+func TestConfigZeroValueValidates(t *testing.T) {
+	var cfg Config
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MinContentionSlots != 1 || cfg.QueueCapFragments <= 0 {
+		t.Fatal("zero-value defaults wrong")
+	}
+	if cfg.Policy != ReserveExplicit {
+		t.Fatal("zero policy should default to explicit")
+	}
+}
+
+func TestConfigRejectsBadValues(t *testing.T) {
+	cfg := NewConfig()
+	cfg.MaxContentionSlots = phy.Format1DataSlots
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("contention slots swallowing all data slots accepted")
+	}
+	cfg = NewConfig()
+	cfg.Policy = ReservationPolicy(99)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	cfg = NewConfig()
+	cfg.MeanInterarrival = -time.Second
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative interarrival accepted")
+	}
+}
+
+func TestConfigMaxBelowMinClamped(t *testing.T) {
+	cfg := NewConfig()
+	cfg.MinContentionSlots = 3
+	cfg.MaxContentionSlots = 1
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxContentionSlots != 3 {
+		t.Fatalf("max = %d, want clamped to min", cfg.MaxContentionSlots)
+	}
+}
+
+func TestMetricsDerived(t *testing.T) {
+	m := NewMetrics()
+	m.Cycles = 10
+	m.DataSlotsOffered.Addn(80)
+	m.DataSlotsUsed.Addn(60)
+	if got := m.Utilization(); got != 0.75 {
+		t.Fatalf("Utilization = %v", got)
+	}
+	m.BytesDelivered.Addn(uint64(40 * frame.MaxPayload))
+	if got := m.PayloadUtilization(); got != 0.5 {
+		t.Fatalf("PayloadUtilization = %v", got)
+	}
+	m.ReverseDataPkts.Addn(50)
+	m.ContentionSignals.Addn(5)
+	if got := m.ControlOverhead(); got != 0.1 {
+		t.Fatalf("ControlOverhead = %v", got)
+	}
+	m.ContentionSlotsUsed.Addn(20)
+	m.ContentionCollisions.Addn(4)
+	if got := m.CollisionProbability(); got != 0.2 {
+		t.Fatalf("CollisionProbability = %v", got)
+	}
+	m.LastSlotDataPkts.Addn(5)
+	if got := m.SecondCFGain(); got != 0.1 {
+		t.Fatalf("SecondCFGain = %v", got)
+	}
+	if got := m.MeanDataSlotsUsed(); got != 6 {
+		t.Fatalf("MeanDataSlotsUsed = %v", got)
+	}
+}
+
+func TestMetricsFairnessDefinitions(t *testing.T) {
+	m := NewMetrics()
+	// Equal service ratios → perfect fairness even with unequal demand.
+	m.PerUserGenerated[1] = 1000
+	m.PerUserBytes[1] = 500
+	m.PerUserGenerated[2] = 100
+	m.PerUserBytes[2] = 50
+	if got := m.Fairness(); got < 0.999 {
+		t.Fatalf("service-ratio fairness = %v, want ~1", got)
+	}
+	// Raw-byte fairness sees the demand imbalance.
+	if got := m.FairnessBytes(); got > 0.99 {
+		t.Fatalf("byte fairness = %v, should reflect imbalance", got)
+	}
+	// Users with no demand are excluded.
+	m.PerUserGenerated[3] = 0
+	if got := m.Fairness(); got < 0.999 {
+		t.Fatalf("zero-demand user polluted fairness: %v", got)
+	}
+	// Empty metrics are trivially fair.
+	if NewMetrics().Fairness() != 1 {
+		t.Fatal("empty fairness should be 1")
+	}
+}
+
+func TestMetricsDelayAndRegistration(t *testing.T) {
+	m := NewMetrics()
+	m.MessageDelay.AddDuration(phy.CycleLength * 3)
+	m.MessageDelay.AddDuration(phy.CycleLength * 5)
+	if got := m.MeanDelayCycles(phy.CycleLength); got != 4 {
+		t.Fatalf("MeanDelayCycles = %v", got)
+	}
+	if m.MeanDelayCycles(0) != 0 {
+		t.Fatal("zero cycle length should yield 0")
+	}
+	m.RegistrationLatency.Add(1)
+	m.RegistrationLatency.Add(2)
+	m.RegistrationLatency.Add(7)
+	if got := m.RegistrationWithin(2); got < 0.66 || got > 0.67 {
+		t.Fatalf("RegistrationWithin(2) = %v", got)
+	}
+	if got := m.RegistrationWithin(10); got != 1 {
+		t.Fatalf("RegistrationWithin(10) = %v", got)
+	}
+}
+
+func TestMetricsSnapshotJSON(t *testing.T) {
+	m := NewMetrics()
+	m.Cycles = 5
+	m.MessagesDelivered.Addn(3)
+	m.DataSlotsOffered.Addn(40)
+	m.DataSlotsUsed.Addn(20)
+	snap := m.Snapshot()
+	if snap.Cycles != 5 || snap.MessagesDelivered != 3 || snap.Utilization != 0.5 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	b, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != snap {
+		t.Fatal("JSON round-trip mismatch")
+	}
+}

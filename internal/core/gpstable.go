@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/phy"
+)
+
+// GPSSlotTable manages the assignment of reverse-channel GPS slots with
+// the paper's dynamic slot adjustment rules (§3.3):
+//
+//	(R1) GPS slots in a cycle are allocated in order;
+//	(R2) an admitted GPS user takes the first unused slot;
+//	(R3) when the user of slot i leaves, a user holding a slot j > i is
+//	     re-assigned slot i (implemented as shift-down, which keeps the
+//	     allocation consolidated and only ever moves users to *earlier*
+//	     slots, so the 4-second access interval is never stretched).
+//
+// With dynamic adjustment enabled, the table consolidating to ≤3 users
+// lets the cell switch to format 2, converting five idle GPS slots into
+// an extra data slot.
+type GPSSlotTable struct {
+	slots   []frame.UserID // slots[i] = holder of GPS slot i
+	dynamic bool
+}
+
+// NewGPSSlotTable returns a table with the cell's 8 GPS slots free.
+// When dynamic is false, departures leave holes (the naive static
+// allocation the paper argues against); rules R1–R3 apply when true.
+func NewGPSSlotTable(dynamic bool) *GPSSlotTable {
+	t := &GPSSlotTable{
+		slots:   make([]frame.UserID, phy.MaxGPSUsers),
+		dynamic: dynamic,
+	}
+	for i := range t.slots {
+		t.slots[i] = frame.NoUser
+	}
+	return t
+}
+
+// Admit assigns the first unused GPS slot to user (R2). It fails when
+// all 8 slots are held.
+func (t *GPSSlotTable) Admit(user frame.UserID) (slot int, err error) {
+	if !user.Valid() {
+		return 0, fmt.Errorf("core: admit invalid user %v", user)
+	}
+	for i, u := range t.slots {
+		if u == user {
+			return 0, fmt.Errorf("core: user %v already holds GPS slot %d", user, i)
+		}
+	}
+	for i, u := range t.slots {
+		if u == frame.NoUser {
+			t.slots[i] = user
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: all %d GPS slots in use", len(t.slots))
+}
+
+// Leave releases user's slot. With dynamic adjustment, later holders
+// shift down one slot each (repeated application of R3), keeping the
+// allocation consolidated at the head of the cycle. Without it the slot
+// simply becomes a hole.
+func (t *GPSSlotTable) Leave(user frame.UserID) error {
+	idx := -1
+	for i, u := range t.slots {
+		if u == user {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("core: user %v holds no GPS slot", user)
+	}
+	if !t.dynamic {
+		t.slots[idx] = frame.NoUser
+		return nil
+	}
+	// Shift-down: every later holder moves one slot earlier. Each such
+	// move is an (R3) re-assignment to a smaller index, so the holder's
+	// next access comes sooner than its previous cadence — the 4 s bound
+	// holds through the transition.
+	copy(t.slots[idx:], t.slots[idx+1:])
+	t.slots[len(t.slots)-1] = frame.NoUser
+	return nil
+}
+
+// SlotOf returns the slot held by user, or -1.
+func (t *GPSSlotTable) SlotOf(user frame.UserID) int {
+	for i, u := range t.slots {
+		if u == user {
+			return i
+		}
+	}
+	return -1
+}
+
+// Holder returns the user holding slot i, or frame.NoUser.
+func (t *GPSSlotTable) Holder(i int) frame.UserID {
+	if i < 0 || i >= len(t.slots) {
+		return frame.NoUser
+	}
+	return t.slots[i]
+}
+
+// Active returns the number of held slots.
+func (t *GPSSlotTable) Active() int {
+	n := 0
+	for _, u := range t.slots {
+		if u != frame.NoUser {
+			n++
+		}
+	}
+	return n
+}
+
+// HighestUsed returns the largest held slot index, or -1 when empty.
+// Format selection depends on consolidation: with holes (static mode) a
+// cell with 2 users may still need format 1 because a user sits in slot
+// 5.
+func (t *GPSSlotTable) HighestUsed() int {
+	for i := len(t.slots) - 1; i >= 0; i-- {
+		if t.slots[i] != frame.NoUser {
+			return i
+		}
+	}
+	return -1
+}
+
+// Format returns the reverse format the current allocation permits:
+// format 2 requires every held slot to be within the first 3.
+func (t *GPSSlotTable) Format() ReverseFormat {
+	if t.HighestUsed() < phy.Format2GPSSlots {
+		return Format2
+	}
+	return Format1
+}
+
+// Consolidated reports whether held slots form a prefix (no holes) —
+// an invariant of dynamic mode.
+func (t *GPSSlotTable) Consolidated() bool {
+	seenFree := false
+	for _, u := range t.slots {
+		if u == frame.NoUser {
+			seenFree = true
+		} else if seenFree {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot copies the slot assignments into a control-field GPS
+// schedule.
+func (t *GPSSlotTable) Snapshot() [frame.GPSScheduleEntries]frame.UserID {
+	var out [frame.GPSScheduleEntries]frame.UserID
+	for i := range out {
+		out[i] = t.Holder(i)
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/phy"
+)
+
+func ms(f float64) time.Duration {
+	return time.Duration(f * float64(time.Second))
+}
+
+// TestTable2AccessTimesFormat1 pins the format-1 column of paper
+// Table 2.
+func TestTable2AccessTimesFormat1(t *testing.T) {
+	l := NewLayout(Format1)
+	gps, data := l.Table2AccessTimes()
+
+	wantGPS := []float64{0.30125, 0.38875, 0.47625, 0.56375, 0.65125, 0.73875, 0.82625, 0.91375}
+	if len(gps) != len(wantGPS) {
+		t.Fatalf("format 1 GPS slots = %d, want %d", len(gps), len(wantGPS))
+	}
+	for i, w := range wantGPS {
+		if gps[i] != ms(w) {
+			t.Errorf("GPS slot %d = %v, want %v", i+1, gps[i], ms(w))
+		}
+	}
+
+	wantData := []float64{1.00125, 1.405, 1.80875, 2.2125, 2.61625, 3.02, 3.42375, 3.8275}
+	if len(data) != len(wantData) {
+		t.Fatalf("format 1 data slots = %d, want %d", len(data), len(wantData))
+	}
+	for i, w := range wantData {
+		if data[i] != ms(w) {
+			t.Errorf("data slot %d = %v, want %v", i+1, data[i], ms(w))
+		}
+	}
+}
+
+// TestTable2AccessTimesFormat2 pins the format-2 column. The paper's
+// printed table repeats 2.98625 for data slot 8 (a typesetting error);
+// the arithmetically consistent progression 0.56375 + k·0.40375 is used
+// here.
+func TestTable2AccessTimesFormat2(t *testing.T) {
+	l := NewLayout(Format2)
+	gps, data := l.Table2AccessTimes()
+
+	wantGPS := []float64{0.30125, 0.38875, 0.47625}
+	if len(gps) != len(wantGPS) {
+		t.Fatalf("format 2 GPS slots = %d, want %d", len(gps), len(wantGPS))
+	}
+	for i, w := range wantGPS {
+		if gps[i] != ms(w) {
+			t.Errorf("GPS slot %d = %v, want %v", i+1, gps[i], ms(w))
+		}
+	}
+
+	if len(data) != 9 {
+		t.Fatalf("format 2 data slots = %d, want 9", len(data))
+	}
+	for i := range data {
+		want := ms(0.56375) + time.Duration(i)*phy.ReverseDataSlotTime
+		if data[i] != want {
+			t.Errorf("data slot %d = %v, want %v", i+1, data[i], want)
+		}
+	}
+	// Cross-check the values Table 2 prints correctly.
+	if data[1] != ms(0.9675) {
+		t.Errorf("data slot 2 = %v, want 0.9675s", data[1])
+	}
+	if data[4] != ms(2.17875) {
+		t.Errorf("data slot 5 = %v, want 2.17875s", data[4])
+	}
+}
+
+func TestFormatSelection(t *testing.T) {
+	cases := []struct {
+		gps  int
+		want ReverseFormat
+	}{
+		{0, Format2}, {1, Format2}, {3, Format2}, {4, Format1}, {8, Format1},
+	}
+	for _, c := range cases {
+		if got := FormatFor(c.gps); got != c.want {
+			t.Errorf("FormatFor(%d) = %v, want %v", c.gps, got, c.want)
+		}
+	}
+}
+
+func TestFormatSlotCounts(t *testing.T) {
+	if Format1.GPSSlots() != 8 || Format1.DataSlots() != 8 {
+		t.Fatal("format 1 slot counts wrong")
+	}
+	if Format2.GPSSlots() != 3 || Format2.DataSlots() != 9 {
+		t.Fatal("format 2 slot counts wrong")
+	}
+}
+
+func TestForwardLayout(t *testing.T) {
+	l := NewLayout(Format1)
+	// CF1 starts after the 300-symbol preamble (93.75 ms).
+	if l.CF1.Start != ms(0.09375) {
+		t.Fatalf("CF1 start = %v", l.CF1.Start)
+	}
+	if l.CF1.End != ms(0.28125) {
+		t.Fatalf("CF1 end = %v", l.CF1.End)
+	}
+	// Forward slot 0 sits between the control-field sets.
+	if l.ForwardData[0].Start != l.CF1.End {
+		t.Fatal("forward slot 0 should start right after CF1")
+	}
+	// CF2 runs 0.421875–0.609375.
+	if l.CF2.Start != ms(0.421875) || l.CF2.End != ms(0.609375) {
+		t.Fatalf("CF2 = %v", l.CF2)
+	}
+	if len(l.ForwardData) != phy.ForwardDataSlots {
+		t.Fatalf("forward slots = %d, want %d", len(l.ForwardData), phy.ForwardDataSlots)
+	}
+	// The final forward slot ends exactly at the cycle boundary.
+	if got := l.ForwardData[len(l.ForwardData)-1].End; got != phy.CycleLength {
+		t.Fatalf("last forward slot ends at %v, want %v", got, phy.CycleLength)
+	}
+}
+
+func TestForwardLayoutIdenticalAcrossFormats(t *testing.T) {
+	l1, l2 := NewLayout(Format1), NewLayout(Format2)
+	if l1.CF1 != l2.CF1 || l1.CF2 != l2.CF2 {
+		t.Fatal("forward control-field timing should not depend on reverse format")
+	}
+	for i := range l1.ForwardData {
+		if l1.ForwardData[i] != l2.ForwardData[i] {
+			t.Fatal("forward slots should not depend on reverse format")
+		}
+	}
+}
+
+// TestLastSlotOverlapsNextCF1 verifies the structural motivation for the
+// two-control-field design in both formats.
+func TestLastSlotOverlapsNextCF1(t *testing.T) {
+	for _, f := range []ReverseFormat{Format1, Format2} {
+		l := NewLayout(f)
+		if !l.LastSlotOverlapsNextCF1() {
+			t.Errorf("%v: last-slot/CF1 overlap property violated", f)
+		}
+	}
+}
+
+// TestGPSSlotAfterCF1PlusSwitch confirms the δ design: the first GPS
+// slot begins exactly one switch time after CF1 ends (the "extra 0.02
+// seconds" of paper §3.4).
+func TestGPSSlotAfterCF1PlusSwitch(t *testing.T) {
+	l := NewLayout(Format1)
+	if got := l.GPS[0].Start - l.CF1.End; got != phy.HalfDuplexSwitch {
+		t.Fatalf("GPS slot 1 starts %v after CF1, want exactly %v", got, phy.HalfDuplexSwitch)
+	}
+}
+
+// TestReverseCycleDuration confirms both formats occupy 3.93 s of air
+// time before the alignment guard.
+func TestReverseCycleDuration(t *testing.T) {
+	for _, f := range []ReverseFormat{Format1, Format2} {
+		l := NewLayout(f)
+		last := l.ReverseData[len(l.ReverseData)-1].End
+		body := last - phy.ReverseShift
+		var wantBody time.Duration
+		if f == Format1 {
+			wantBody = ms(3.93)
+		} else {
+			// Format 2 adds an explicit 0.03375 s tail guard to reach
+			// 3.93 s.
+			wantBody = ms(3.93) - phy.SymbolDuration(phy.Format2TailGuardSymbols, phy.ReverseSymbolRate)
+		}
+		if body != wantBody {
+			t.Errorf("%v: body = %v, want %v", f, body, wantBody)
+		}
+	}
+}
+
+func TestSlotAt(t *testing.T) {
+	l := NewLayout(Format1)
+	isGPS, slot, ok := l.SlotAt(ms(0.30125))
+	if !ok || !isGPS || slot != 0 {
+		t.Fatalf("SlotAt(GPS slot 1 start) = (%v,%d,%v)", isGPS, slot, ok)
+	}
+	isGPS, slot, ok = l.SlotAt(ms(1.5))
+	if !ok || isGPS || slot != 1 {
+		t.Fatalf("SlotAt(in data slot 2) = (%v,%d,%v)", isGPS, slot, ok)
+	}
+	if _, _, ok := l.SlotAt(ms(0.1)); ok {
+		t.Fatal("SlotAt before reverse cycle should miss")
+	}
+}
+
+func TestReverseFormatString(t *testing.T) {
+	if Format1.String() != "format1" || Format2.String() != "format2" {
+		t.Fatal("format strings wrong")
+	}
+	if ReverseFormat(0).String() != "format?" {
+		t.Fatal("unknown format should render placeholder")
+	}
+}
+
+// TestNoReverseSlotOverlapsOwnCF1 verifies that no reverse slot of
+// cycle k overlaps cycle k's first control fields: every mobile that
+// listens to CF1 can hear its schedule before any of its slots begin.
+// (GPS slots do overlap CF2 on the other channel, which is fine — GPS
+// users listen to CF1.)
+func TestNoReverseSlotOverlapsOwnCF1(t *testing.T) {
+	for _, f := range []ReverseFormat{Format1, Format2} {
+		l := NewLayout(f)
+		for i, iv := range append(append([]phy.Interval{}, l.GPS...), l.ReverseData...) {
+			if iv.Overlaps(l.CF1) {
+				t.Errorf("%v: reverse slot %d overlaps own CF1", f, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,631 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/phy"
+	"github.com/osu-netlab/osumac/internal/sim"
+	"github.com/osu-netlab/osumac/internal/traffic"
+)
+
+// Network wires one base station and its mobile subscribers onto the
+// discrete-event kernel and the simulated channels. It owns all
+// measurement plumbing (message delay, reservation and registration
+// latency) that a real deployment would not carry in-band.
+type Network struct {
+	cfg     Config
+	sim     *sim.Simulator
+	codec   *frame.Codec
+	rootRNG *sim.RNG
+	base    *BaseStation
+	metrics *Metrics
+
+	subs     []*subEntry
+	byEIN    map[frame.EIN]*subEntry
+	cycle    int // cycles started so far
+	prevSnap seriesSnap
+
+	// OnUplinkComplete, when non-nil, fires for every uplink message
+	// fully reassembled at the base station — the hook a backbone uses
+	// to forward traffic toward other cells.
+	OnUplinkComplete func(user frame.UserID, msgID uint16, bytes int)
+	msgMeta          map[uint32]msgMeta
+	fwdMeta          map[uint32]msgMeta
+	nextFwdID        map[frame.UserID]uint16
+}
+
+type subEntry struct {
+	sub        *Subscriber
+	fwdModel   phy.ErrorModel
+	revModel   phy.ErrorModel
+	chanRNG    *sim.RNG
+	plan       CyclePlan
+	hasPlan    bool
+	planCycle  int
+	listensCF2 bool
+	traffic    *traffic.PoissonSource
+	trafficOn  bool
+	gpsOn      bool
+}
+
+type msgMeta struct {
+	createdAt time.Duration
+	bytes     int
+}
+
+// seriesSnap holds the counter values at the previous cycle boundary,
+// for per-cycle deltas.
+type seriesSnap struct {
+	offered    uint64
+	used       uint64
+	delivered  uint64
+	collisions uint64
+}
+
+// NewNetwork builds a cell simulation from cfg. The Config is validated
+// and defaulted in place.
+func NewNetwork(cfg Config) (*Network, error) {
+	return NewNetworkOnSim(cfg, sim.New())
+}
+
+// NewNetworkOnSim builds a cell on an existing simulation kernel, so
+// multiple cells (and a wired backbone between them) share one virtual
+// clock.
+func NewNetworkOnSim(cfg Config, kernel *sim.Simulator) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if kernel == nil {
+		return nil, fmt.Errorf("core: nil simulation kernel")
+	}
+	root := sim.NewRNG(cfg.Seed)
+	n := &Network{
+		cfg:       cfg,
+		sim:       kernel,
+		codec:     frame.NewCodec(),
+		rootRNG:   root,
+		metrics:   NewMetrics(),
+		byEIN:     make(map[frame.EIN]*subEntry),
+		msgMeta:   make(map[uint32]msgMeta),
+		fwdMeta:   make(map[uint32]msgMeta),
+		nextFwdID: make(map[frame.UserID]uint16),
+	}
+	n.base = NewBaseStation(&n.cfg, n.metrics, root.Fork("base"))
+	return n, nil
+}
+
+// Metrics returns the run's metric bundle.
+func (n *Network) Metrics() *Metrics { return n.metrics }
+
+// Base returns the cell's base station.
+func (n *Network) Base() *BaseStation { return n.base }
+
+// Sim exposes the simulation kernel (for tests and custom scenarios).
+func (n *Network) Sim() *sim.Simulator { return n.sim }
+
+// Config returns the validated configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Cycle returns the number of notification cycles started.
+func (n *Network) Cycle() int { return n.cycle }
+
+// Subscribers returns the subscribers in creation order.
+func (n *Network) Subscribers() []*Subscriber {
+	out := make([]*Subscriber, len(n.subs))
+	for i, e := range n.subs {
+		out[i] = e.sub
+	}
+	return out
+}
+
+// SubscriberByID finds an active subscriber by user ID.
+func (n *Network) SubscriberByID(user frame.UserID) *Subscriber {
+	if e := n.byID(user); e != nil {
+		return e.sub
+	}
+	return nil
+}
+
+// AddSubscriber creates a subscriber that will enter the cell (start
+// registering) at joinAt.
+func (n *Network) AddSubscriber(ein frame.EIN, isGPS bool, joinAt time.Duration) (*Subscriber, error) {
+	if _, dup := n.byEIN[ein]; dup {
+		return nil, fmt.Errorf("core: duplicate EIN %d", ein)
+	}
+	idx := len(n.subs)
+	sub := NewSubscriber(ein, isGPS, &n.cfg, n.rootRNG.ForkIndexed("sub", idx))
+	e := &subEntry{
+		sub:      sub,
+		fwdModel: n.cfg.NewForwardModel(),
+		revModel: n.cfg.NewReverseModel(),
+		chanRNG:  n.rootRNG.ForkIndexed("chan", idx),
+	}
+	if !isGPS && n.cfg.MeanInterarrival > 0 {
+		e.traffic = traffic.NewPoissonSource(n.cfg.MeanInterarrival,
+			n.cfg.SizeDist, n.rootRNG.ForkIndexed("traffic", idx))
+	}
+	n.subs = append(n.subs, e)
+	n.byEIN[ein] = e
+	n.sim.After(joinAt, func() { sub.Enter(n.cycle) })
+	return sub, nil
+}
+
+// Deregister signs a subscriber off administratively (base-side record
+// removal plus subscriber reset).
+func (n *Network) Deregister(sub *Subscriber) error {
+	if sub.State() == StateActive {
+		if err := n.base.Deregister(sub.ID()); err != nil {
+			return err
+		}
+	}
+	sub.Deactivate()
+	return nil
+}
+
+// SendToSubscriber queues an application message for downlink delivery.
+// The subscriber must be active.
+func (n *Network) SendToSubscriber(sub *Subscriber, size int) error {
+	if sub.State() != StateActive {
+		return fmt.Errorf("core: subscriber %d not active", sub.EIN)
+	}
+	user := sub.ID()
+	id := n.nextFwdID[user]
+	n.nextFwdID[user]++
+	if err := n.base.EnqueueForward(user, id, size); err != nil {
+		return err
+	}
+	n.fwdMeta[fwdKey(user, id)] = msgMeta{createdAt: n.sim.Now(), bytes: size}
+	return nil
+}
+
+// Run executes the given number of notification cycles plus enough
+// runway for the final cycle's reverse slots to land.
+func (n *Network) Run(cycles int) error {
+	start := n.sim.Now()
+	if err := n.ScheduleCycles(cycles, start); err != nil {
+		return err
+	}
+	horizon := start + time.Duration(cycles)*phy.CycleLength + phy.ReverseShift
+	return n.sim.Run(horizon)
+}
+
+// ScheduleCycles queues the next `cycles` notification cycles starting
+// at the absolute virtual time `start` without running the kernel —
+// used when several cells share one kernel (see the backbone package).
+func (n *Network) ScheduleCycles(cycles int, start time.Duration) error {
+	if cycles <= 0 {
+		return fmt.Errorf("core: non-positive cycle count %d", cycles)
+	}
+	base := n.cycle
+	for k := 0; k < cycles; k++ {
+		k := k
+		at := start + time.Duration(k)*phy.CycleLength
+		if _, err := n.sim.At(at, sim.PriorityNormal, func() { n.beginCycle(base + k) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TrackMessage registers measurement metadata for a message enqueued
+// directly on a subscriber (via AddMessage), so its delivery is counted
+// and timed like generated traffic.
+func (n *Network) TrackMessage(user frame.UserID, msgID uint16, bytes int, createdAt time.Duration) {
+	n.metrics.MessagesGenerated.Inc()
+	n.metrics.BytesGenerated.Addn(uint64(bytes))
+	n.metrics.PerUserGenerated[user] += uint64(bytes)
+	n.msgMeta[msgKey(user, msgID)] = msgMeta{createdAt: createdAt, bytes: bytes}
+}
+
+// beginCycle schedules every event of notification cycle k.
+func (n *Network) beginCycle(k int) {
+	prevFormat := n.base.Layout().Format
+	if n.cfg.CollectSeries && k > 0 {
+		n.recordSeriesPoint(k - 1)
+	}
+	n.cycle = k + 1
+	n.metrics.Cycles++
+	n.base.BeginCycle()
+	layout := n.base.Layout()
+	cf1 := n.base.ControlFields()
+	t0 := n.sim.Now()
+	n.trace(EventCycleStart, frame.NoUser, -1, layout.Format.String())
+	if prevFormat != 0 && prevFormat != layout.Format {
+		n.trace(EventFormatSwitch, frame.NoUser, -1,
+			fmt.Sprintf("%v→%v", prevFormat, layout.Format))
+	}
+
+	// Snapshot who listens to CF2 this cycle (decided last cycle).
+	// Plans are NOT cleared here: the previous cycle's last reverse data
+	// slot is still in flight and its handler reads the old plan. Each
+	// plan carries its cycle index instead.
+	for _, e := range n.subs {
+		e.listensCF2 = e.sub.ListensCF2()
+	}
+
+	// CF1 delivery.
+	cf1Air, err := n.codec.EncodeControlFields(cf1)
+	if err != nil {
+		panic(fmt.Sprintf("core: control field encode: %v", err))
+	}
+	n.sim.AfterPriority(layout.CF1.End, sim.PriorityDeliver, func() {
+		for _, e := range n.subs {
+			if e.sub.State() == StateIdle || e.listensCF2 {
+				continue
+			}
+			n.deliverCF(e, cf1Air, layout)
+		}
+	})
+
+	// CF2 delivery.
+	n.sim.AfterPriority(layout.CF2.End, sim.PriorityDeliver, func() {
+		cf2 := n.base.BuildCF2()
+		cf2Air, err := n.codec.EncodeControlFields(cf2)
+		if err != nil {
+			panic(fmt.Sprintf("core: control field encode: %v", err))
+		}
+		for _, e := range n.subs {
+			if e.sub.State() == StateIdle || !e.listensCF2 {
+				continue
+			}
+			n.metrics.CF2Listens.Inc()
+			n.deliverCF(e, cf2Air, layout)
+		}
+	})
+
+	// Reverse GPS slots. The transmit decision happens at the slot
+	// START: a report arriving mid-slot waits for the next cycle.
+	for i, iv := range layout.GPS {
+		i, iv := i, iv
+		n.sim.AfterPriority(iv.Start, sim.PriorityLate, func() {
+			n.gpsSlotStart(cf1, i, t0+iv.Start)
+		})
+	}
+
+	// Reverse data slots. The last one lands after the next cycle has
+	// begun; its handler knows its own cycle index.
+	for i, iv := range layout.ReverseData {
+		i := i
+		isLast := i == layout.LastDataSlot()
+		contention := cf1.ReverseSchedule[i] == frame.NoUser
+		n.sim.AfterPriority(iv.End, sim.PriorityDeliver, func() {
+			n.dataSlotEnd(k, i, isLast, contention)
+		})
+	}
+
+	// Forward data slots.
+	for i, iv := range layout.ForwardData {
+		i := i
+		user := cf1.ForwardSchedule[i]
+		if user == frame.NoUser {
+			continue
+		}
+		n.sim.AfterPriority(iv.End, sim.PriorityDeliver, func() {
+			n.forwardSlotEnd(user)
+		})
+	}
+}
+
+// recordSeriesPoint appends the per-cycle delta for the cycle that just
+// finished.
+func (n *Network) recordSeriesPoint(cycle int) {
+	m := n.metrics
+	cur := seriesSnap{
+		offered:    m.DataSlotsOffered.Value(),
+		used:       m.DataSlotsUsed.Value(),
+		delivered:  m.MessagesDelivered.Value(),
+		collisions: m.ContentionCollisions.Value(),
+	}
+	depth := 0
+	for _, e := range n.subs {
+		depth += e.sub.QueueLen()
+	}
+	m.Series = append(m.Series, CyclePoint{
+		Cycle:             cycle,
+		SlotsOffered:      int(cur.offered - n.prevSnap.offered),
+		SlotsUsed:         int(cur.used - n.prevSnap.used),
+		MessagesDelivered: int(cur.delivered - n.prevSnap.delivered),
+		Collisions:        int(cur.collisions - n.prevSnap.collisions),
+		QueueDepth:        depth,
+	})
+	n.prevSnap = cur
+}
+
+// deliverCF passes a control-field transmission through one subscriber's
+// forward link and hands the result to its state machine.
+func (n *Network) deliverCF(e *subEntry, air []byte, layout Layout) {
+	rx := frame.Transmit(air, e.fwdModel, e.chanRNG)
+	cf, err := n.codec.DecodeControlFields(rx)
+	if err != nil {
+		n.metrics.CFDecodeFailures.Inc()
+		n.trace(EventCFDecodeFailed, e.sub.ID(), -1, "")
+		e.plan = e.sub.OnCycleNoSchedule()
+		e.hasPlan = true
+		e.planCycle = n.cycle - 1
+		return
+	}
+	e.plan = e.sub.OnControlFields(cf, layout, n.sim.Now())
+	e.hasPlan = true
+	e.planCycle = n.cycle - 1
+	e.sub.ObservePaging(cf)
+	n.maybeStartSources(e)
+}
+
+// maybeStartSources launches traffic generation once a subscriber
+// becomes active.
+func (n *Network) maybeStartSources(e *subEntry) {
+	if e.sub.State() != StateActive {
+		return
+	}
+	if e.sub.IsGPS && !e.gpsOn {
+		e.gpsOn = true
+		phase := time.Duration(e.chanRNG.Intn(int(n.cfg.GPSPeriod)))
+		var tick func()
+		tick = func() {
+			if e.sub.State() != StateActive {
+				e.gpsOn = false
+				return
+			}
+			n.metrics.GPSGenerated.Inc()
+			if !e.sub.AddGPSReport(n.sim.Now()) {
+				// The previous report was never sent: stale, dropped.
+				n.metrics.GPSLost.Inc()
+				n.metrics.GPSDeadlineViolations.Inc()
+			}
+			n.sim.After(n.cfg.GPSPeriod, tick)
+		}
+		n.sim.After(phase, tick)
+	}
+	if !e.sub.IsGPS && e.traffic != nil && !e.trafficOn {
+		e.trafficOn = true
+		var arrive func()
+		arrive = func() {
+			if e.sub.State() != StateActive {
+				e.trafficOn = false
+				return
+			}
+			now := n.sim.Now()
+			msg := e.traffic.NewMessage(now)
+			if e.sub.AddMessage(msg.Bytes, now) {
+				n.metrics.MessagesGenerated.Inc()
+				n.metrics.BytesGenerated.Addn(uint64(msg.Bytes))
+				n.metrics.PerUserGenerated[e.sub.ID()] += uint64(msg.Bytes)
+				n.msgMeta[msgKey(e.sub.ID(), uint16(msg.ID))] = msgMeta{createdAt: now, bytes: msg.Bytes}
+			} else {
+				n.metrics.MessagesDropped.Inc()
+			}
+			n.sim.After(e.traffic.NextGap(), arrive)
+		}
+		n.sim.After(e.traffic.NextGap(), arrive)
+	}
+}
+
+// gpsSlotStart resolves one GPS slot: the holder transmits its pending
+// report, if one arrived before the slot began.
+func (n *Network) gpsSlotStart(cf *frame.ControlFields, slot int, txStart time.Duration) {
+	holder := cf.GPSSchedule[slot]
+	if holder == frame.NoUser {
+		return
+	}
+	e := n.byID(holder)
+	if e == nil || !e.hasPlan || e.planCycle != n.cycle-1 || e.plan.GPSSlot != slot {
+		return
+	}
+	if _, pending := e.sub.GPSPendingSince(); !pending {
+		return
+	}
+	rep, arrival, ok := e.sub.MakeGPSReport()
+	if !ok {
+		return
+	}
+	delay := txStart - arrival
+	n.metrics.GPSAccessDelay.AddDuration(delay)
+	if delay > phy.GPSAccessDeadline {
+		n.metrics.GPSDeadlineViolations.Inc()
+	}
+	body, err := rep.Marshal()
+	if err != nil {
+		return
+	}
+	// GPS packets carry 72 information bits in 256 coded bits — a rate
+	// ~0.28 code comparable in strength to the RS(64,48) protecting data
+	// slots. Model that protection by tolerating the same number of
+	// corrupted bytes as the RS correction radius; heavier corruption
+	// (the burst regime) loses the report, which is never retransmitted.
+	rx := append([]byte(nil), body...)
+	changed := 0
+	if e.revModel != nil {
+		changed = e.revModel.Corrupt(rx, e.chanRNG)
+	}
+	if changed > gpsCorrectableBytes {
+		n.metrics.GPSLost.Inc()
+		n.trace(EventGPSLost, holder, slot, "channel burst")
+		return
+	}
+	if _, ok := n.base.RecordGPS(body); ok {
+		n.trace(EventGPSRx, holder, slot, fmt.Sprintf("delay=%v", delay))
+	}
+}
+
+// gpsCorrectableBytes is the error tolerance credited to the GPS
+// packet's heavy channel code (matched to the RS t=8 of data slots).
+const gpsCorrectableBytes = 8
+
+// dataSlotEnd resolves one reverse data slot: scheduled owner and/or
+// contenders transmit; collisions destroy everything.
+func (n *Network) dataSlotEnd(cycle, slot int, isLast, contention bool) {
+	// The last slot of cycle k lands after cycle k+1 began; its ACK
+	// belongs to the previous ACK window.
+	intoPrev := cycle != n.cycle-1
+
+	type tx struct {
+		e    *subEntry
+		info []byte
+	}
+	var txs []tx
+	for _, e := range n.subs {
+		if !e.hasPlan || e.planCycle != cycle {
+			continue
+		}
+		if !contention {
+			for _, s := range e.plan.DataSlots {
+				if s == slot {
+					if pkt := e.sub.MakeDataPacket(slot); pkt != nil {
+						info, err := pkt.Marshal()
+						if err == nil {
+							txs = append(txs, tx{e: e, info: info})
+							n.metrics.FragmentsSent.Inc()
+						}
+					}
+				}
+			}
+		}
+		if e.plan.ContentionSlot == slot {
+			info, err := e.sub.MakeContentionPacket()
+			if err == nil && info != nil {
+				txs = append(txs, tx{e: e, info: info})
+			}
+		}
+	}
+
+	payloads := make([][]byte, 0, len(txs))
+	for _, t := range txs {
+		cw, err := n.codec.EncodePayload(t.info)
+		if err != nil {
+			continue
+		}
+		rx := frame.Transmit(cw, t.e.revModel, t.e.chanRNG)
+		decoded, err := n.codec.DecodePayload(rx)
+		if err != nil {
+			payloads = append(payloads, nil) // loss
+			continue
+		}
+		payloads = append(payloads, decoded)
+	}
+
+	out := n.base.RecordReverse(slot, intoPrev, isLast, payloads, contention)
+	if out.Collision {
+		n.trace(EventCollision, frame.NoUser, slot, fmt.Sprintf("%d stations", len(payloads)))
+	}
+	if out.Received == nil && !out.Collision && len(payloads) == 1 && !contention {
+		n.trace(EventDataLost, frame.NoUser, slot, "rs decode failure")
+	}
+	n.handleOutcome(out, cycle)
+}
+
+// handleOutcome turns base-station reception outcomes into metrics.
+func (n *Network) handleOutcome(out ReverseOutcome, cycle int) {
+	if out.Received == nil {
+		return
+	}
+	now := n.sim.Now()
+	switch out.Received.Type {
+	case frame.TypeData:
+		h := out.Received.Data.Header
+		n.trace(EventDataRx, h.User, -1, fmt.Sprintf("msg=%d frag=%d/%d", h.MsgID, h.Frag+1, h.FragTotal))
+		if h.MoreSlots > 0 {
+			n.trace(EventPiggybackRx, h.User, -1, fmt.Sprintf("+%d slots", h.MoreSlots))
+		}
+		n.noteDemandHeard(h.User, now)
+		if out.MessageComplete {
+			key := msgKey(out.User, out.MsgID)
+			if meta, ok := n.msgMeta[key]; ok {
+				n.metrics.MessagesDelivered.Inc()
+				n.metrics.MessageDelay.AddDuration(now - meta.createdAt)
+				n.trace(EventMessageComplete, out.User, -1,
+					fmt.Sprintf("msg=%d %dB in %v", out.MsgID, out.Bytes, now-meta.createdAt))
+				delete(n.msgMeta, key)
+			}
+			if n.OnUplinkComplete != nil {
+				n.OnUplinkComplete(out.User, out.MsgID, out.Bytes)
+			}
+		}
+	case frame.TypeReservation:
+		r := out.Received.Reservation
+		if r.Slots == 0 {
+			n.trace(EventPageResponse, r.User, -1, "")
+		} else {
+			n.trace(EventReservationRx, r.User, -1, fmt.Sprintf("%d slots", r.Slots))
+		}
+		n.noteDemandHeard(r.User, now)
+	case frame.TypeRegistration:
+		n.trace(EventRegistrationRx, frame.NoUser, -1, fmt.Sprintf("ein=%d", out.Received.Register.EIN))
+		if out.NewRegistration {
+			n.trace(EventRegistered, out.AssignedID, -1, fmt.Sprintf("ein=%d", out.Received.Register.EIN))
+			if e, ok := n.byEIN[out.Received.Register.EIN]; ok {
+				n.metrics.RegistrationLatency.Add(float64(e.sub.RegistrationCycles(cycle)))
+			}
+		}
+	}
+}
+
+// noteDemandHeard closes the reservation-latency clock for a user whose
+// demand just reached the base station.
+func (n *Network) noteDemandHeard(user frame.UserID, now time.Duration) {
+	e := n.byID(user)
+	if e == nil {
+		return
+	}
+	if since, ok := e.sub.NeedSince(); ok {
+		n.metrics.ReservationLatency.AddDuration(now - since)
+		e.sub.ClearNeed()
+	}
+}
+
+// forwardSlotEnd delivers one forward data slot to its scheduled user.
+func (n *Network) forwardSlotEnd(user frame.UserID) {
+	pkt := n.base.PopForward(user)
+	if pkt == nil {
+		return
+	}
+	n.metrics.ForwardPktsSent.Inc()
+	e := n.byID(user)
+	if e == nil || !e.hasPlan || e.planCycle != n.cycle-1 {
+		return // subscriber missed the control fields: not listening
+	}
+	info, err := pkt.Marshal()
+	if err != nil {
+		return
+	}
+	cw, err := n.codec.EncodePayload(info)
+	if err != nil {
+		return
+	}
+	rx := frame.Transmit(cw, e.fwdModel, e.chanRNG)
+	decoded, err := n.codec.DecodePayload(rx)
+	if err != nil {
+		return
+	}
+	parsed, err := frame.UnmarshalPacket(decoded)
+	if err != nil || parsed.Type != frame.TypeData {
+		return
+	}
+	n.metrics.ForwardPktsDelivered.Inc()
+	n.trace(EventForwardTx, user, -1, fmt.Sprintf("msg=%d frag=%d", parsed.Data.Header.MsgID, parsed.Data.Header.Frag))
+	if done, msgID, _ := e.sub.ReceiveForward(parsed.Data); done {
+		delete(n.fwdMeta, fwdKey(user, msgID))
+	}
+}
+
+// byID finds the entry of an active subscriber by user ID.
+func (n *Network) byID(user frame.UserID) *subEntry {
+	if user == frame.NoUser {
+		return nil
+	}
+	for _, e := range n.subs {
+		if e.sub.State() == StateActive && e.sub.ID() == user {
+			return e
+		}
+	}
+	return nil
+}
+
+func msgKey(user frame.UserID, msgID uint16) uint32 {
+	return uint32(user)<<16 | uint32(msgID)
+}
+
+func fwdKey(user frame.UserID, msgID uint16) uint32 {
+	return uint32(user)<<16 | uint32(msgID)
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/json"
+
+	"github.com/osu-netlab/osumac/internal/phy"
+)
+
+// Snapshot is a flat, JSON-serializable summary of a run's metrics, for
+// dashboards and offline analysis.
+type Snapshot struct {
+	Cycles int `json:"cycles"`
+
+	MessagesGenerated uint64  `json:"messagesGenerated"`
+	MessagesDelivered uint64  `json:"messagesDelivered"`
+	MessagesDropped   uint64  `json:"messagesDropped"`
+	BytesGenerated    uint64  `json:"bytesGenerated"`
+	BytesDelivered    uint64  `json:"bytesDelivered"`
+	FragmentsSent     uint64  `json:"fragmentsSent"`
+	FragmentsLost     uint64  `json:"fragmentsLost"`
+	Utilization       float64 `json:"utilization"`
+	PayloadUtil       float64 `json:"payloadUtilization"`
+
+	DelayMeanCycles float64 `json:"delayMeanCycles"`
+	DelayP95Cycles  float64 `json:"delayP95Cycles"`
+	DelayMaxCycles  float64 `json:"delayMaxCycles"`
+
+	CollisionProbability float64 `json:"collisionProbability"`
+	ReservationLatencyS  float64 `json:"reservationLatencySeconds"`
+	ControlOverhead      float64 `json:"controlOverhead"`
+	ContentionSlotsOpen  uint64  `json:"contentionSlotsOpen"`
+	ContentionSlotsUsed  uint64  `json:"contentionSlotsUsed"`
+	ContentionCollisions uint64  `json:"contentionCollisions"`
+
+	Fairness      float64 `json:"fairness"`
+	FairnessBytes float64 `json:"fairnessBytes"`
+	SecondCFGain  float64 `json:"secondCFGain"`
+	DataSlotsUsed float64 `json:"meanDataSlotsUsedPerCycle"`
+
+	RegistrationsApproved uint64  `json:"registrationsApproved"`
+	RegistrationsFailed   uint64  `json:"registrationsFailed"`
+	RegWithin2            float64 `json:"registrationWithin2Cycles"`
+	RegWithin10           float64 `json:"registrationWithin10Cycles"`
+	PageResponses         uint64  `json:"pageResponses"`
+
+	GPSGenerated        uint64  `json:"gpsGenerated"`
+	GPSDelivered        uint64  `json:"gpsDelivered"`
+	GPSLost             uint64  `json:"gpsLost"`
+	GPSMeanDelayS       float64 `json:"gpsMeanDelaySeconds"`
+	GPSMaxDelayS        float64 `json:"gpsMaxDelaySeconds"`
+	GPSViolations       uint64  `json:"gpsDeadlineViolations"`
+	CFDecodeFailures    uint64  `json:"cfDecodeFailures"`
+	CF2Listens          uint64  `json:"cf2Listens"`
+	ForwardSent         uint64  `json:"forwardPacketsSent"`
+	ForwardDelivered    uint64  `json:"forwardPacketsDelivered"`
+	ReverseDataPackets  uint64  `json:"reverseDataPackets"`
+	ReservationPackets  uint64  `json:"reservationPackets"`
+	PiggybackRequests   uint64  `json:"piggybackRequests"`
+	LastSlotDataPackets uint64  `json:"lastSlotDataPackets"`
+}
+
+// Snapshot flattens the metric bundle.
+func (m *Metrics) Snapshot() Snapshot {
+	cyc := phy.CycleLength.Seconds()
+	return Snapshot{
+		Cycles:            m.Cycles,
+		MessagesGenerated: m.MessagesGenerated.Value(),
+		MessagesDelivered: m.MessagesDelivered.Value(),
+		MessagesDropped:   m.MessagesDropped.Value(),
+		BytesGenerated:    m.BytesGenerated.Value(),
+		BytesDelivered:    m.BytesDelivered.Value(),
+		FragmentsSent:     m.FragmentsSent.Value(),
+		FragmentsLost:     m.FragmentsLost.Value(),
+		Utilization:       m.Utilization(),
+		PayloadUtil:       m.PayloadUtilization(),
+
+		DelayMeanCycles: m.MeanDelayCycles(phy.CycleLength),
+		DelayP95Cycles:  m.MessageDelay.Percentile(95) / cyc,
+		DelayMaxCycles:  m.MessageDelay.Max() / cyc,
+
+		CollisionProbability: m.CollisionProbability(),
+		ReservationLatencyS:  m.ReservationLatency.Mean(),
+		ControlOverhead:      m.ControlOverhead(),
+		ContentionSlotsOpen:  m.ContentionSlotsOpen.Value(),
+		ContentionSlotsUsed:  m.ContentionSlotsUsed.Value(),
+		ContentionCollisions: m.ContentionCollisions.Value(),
+
+		Fairness:      m.Fairness(),
+		FairnessBytes: m.FairnessBytes(),
+		SecondCFGain:  m.SecondCFGain(),
+		DataSlotsUsed: m.MeanDataSlotsUsed(),
+
+		RegistrationsApproved: m.RegistrationsApproved.Value(),
+		RegistrationsFailed:   m.RegistrationsFailed.Value(),
+		RegWithin2:            m.RegistrationWithin(2),
+		RegWithin10:           m.RegistrationWithin(10),
+		PageResponses:         m.PageResponses.Value(),
+
+		GPSGenerated:        m.GPSGenerated.Value(),
+		GPSDelivered:        m.GPSDelivered.Value(),
+		GPSLost:             m.GPSLost.Value(),
+		GPSMeanDelayS:       m.GPSAccessDelay.Mean(),
+		GPSMaxDelayS:        m.GPSAccessDelay.Max(),
+		GPSViolations:       m.GPSDeadlineViolations.Value(),
+		CFDecodeFailures:    m.CFDecodeFailures.Value(),
+		CF2Listens:          m.CF2Listens.Value(),
+		ForwardSent:         m.ForwardPktsSent.Value(),
+		ForwardDelivered:    m.ForwardPktsDelivered.Value(),
+		ReverseDataPackets:  m.ReverseDataPkts.Value(),
+		ReservationPackets:  m.ReservationPackets.Value(),
+		PiggybackRequests:   m.PiggybackRequests.Value(),
+		LastSlotDataPackets: m.LastSlotDataPkts.Value(),
+	}
+}
+
+// JSON renders the snapshot with indentation.
+func (m *Metrics) JSON() ([]byte, error) {
+	return json.MarshalIndent(m.Snapshot(), "", "  ")
+}

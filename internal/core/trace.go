@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/frame"
+)
+
+// EventKind classifies protocol trace events.
+type EventKind int
+
+// Trace event kinds, roughly in a cycle's chronological order.
+const (
+	EventCycleStart EventKind = iota + 1
+	EventCFDecodeFailed
+	EventRegistrationRx
+	EventRegistered
+	EventReservationRx
+	EventPiggybackRx
+	EventCollision
+	EventDataRx
+	EventDataLost
+	EventMessageComplete
+	EventGPSRx
+	EventGPSLost
+	EventForwardTx
+	EventPageResponse
+	EventFormatSwitch
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventCycleStart:
+		return "cycle-start"
+	case EventCFDecodeFailed:
+		return "cf-decode-failed"
+	case EventRegistrationRx:
+		return "registration-rx"
+	case EventRegistered:
+		return "registered"
+	case EventReservationRx:
+		return "reservation-rx"
+	case EventPiggybackRx:
+		return "piggyback-rx"
+	case EventCollision:
+		return "collision"
+	case EventDataRx:
+		return "data-rx"
+	case EventDataLost:
+		return "data-lost"
+	case EventMessageComplete:
+		return "message-complete"
+	case EventGPSRx:
+		return "gps-rx"
+	case EventGPSLost:
+		return "gps-lost"
+	case EventForwardTx:
+		return "forward-tx"
+	case EventPageResponse:
+		return "page-response"
+	case EventFormatSwitch:
+		return "format-switch"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one protocol occurrence.
+type TraceEvent struct {
+	// At is the virtual time of the event.
+	At time.Duration
+	// Cycle is the notification cycle index.
+	Cycle int
+	// Kind classifies the event.
+	Kind EventKind
+	// User is the subscriber involved (frame.NoUser when none).
+	User frame.UserID
+	// Slot is the reverse slot index involved, or -1.
+	Slot int
+	// Detail carries a short human-readable annotation.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (e TraceEvent) String() string {
+	s := fmt.Sprintf("%12v c%04d %-18s", e.At, e.Cycle, e.Kind)
+	if e.User != frame.NoUser {
+		s += fmt.Sprintf(" %v", e.User)
+	}
+	if e.Slot >= 0 {
+		s += fmt.Sprintf(" slot=%d", e.Slot)
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Tracer receives protocol events. Implementations must be cheap: the
+// hook sits on the hot path (use a nil tracer to disable tracing).
+type Tracer interface {
+	Trace(TraceEvent)
+}
+
+// TraceBuffer is a bounded in-memory Tracer: it keeps the most recent
+// Cap events (default 4096).
+type TraceBuffer struct {
+	// Cap bounds the buffer; 0 means 4096.
+	Cap int
+
+	events  []TraceEvent
+	dropped int
+}
+
+var _ Tracer = (*TraceBuffer)(nil)
+
+// Trace implements Tracer.
+func (b *TraceBuffer) Trace(e TraceEvent) {
+	capacity := b.Cap
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if len(b.events) >= capacity {
+		// Drop the oldest half to amortize copies.
+		half := len(b.events) / 2
+		copy(b.events, b.events[half:])
+		b.events = b.events[:len(b.events)-half]
+		b.dropped += half
+	}
+	b.events = append(b.events, e)
+}
+
+// Events returns the retained events in order.
+func (b *TraceBuffer) Events() []TraceEvent {
+	out := make([]TraceEvent, len(b.events))
+	copy(out, b.events)
+	return out
+}
+
+// Dropped returns how many old events were evicted.
+func (b *TraceBuffer) Dropped() int { return b.dropped }
+
+// Filter returns the retained events of one kind.
+func (b *TraceBuffer) Filter(kind EventKind) []TraceEvent {
+	var out []TraceEvent
+	for _, e := range b.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FuncTracer adapts a closure into a Tracer.
+type FuncTracer func(TraceEvent)
+
+var _ Tracer = FuncTracer(nil)
+
+// Trace implements Tracer.
+func (f FuncTracer) Trace(e TraceEvent) { f(e) }
+
+// trace emits an event if tracing is enabled.
+func (n *Network) trace(kind EventKind, user frame.UserID, slot int, detail string) {
+	if n.cfg.Tracer == nil {
+		return
+	}
+	n.cfg.Tracer.Trace(TraceEvent{
+		At:     n.sim.Now(),
+		Cycle:  n.cycle - 1,
+		Kind:   kind,
+		User:   user,
+		Slot:   slot,
+		Detail: detail,
+	})
+}

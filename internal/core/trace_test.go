@@ -1,0 +1,165 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/frame"
+)
+
+func TestTraceBufferCollectsProtocolEvents(t *testing.T) {
+	buf := &TraceBuffer{}
+	n := newTestNetwork(t, func(c *Config) {
+		c.Tracer = buf
+		c.MeanInterarrival = 10 * time.Second
+	})
+	if _, err := n.AddSubscriber(100, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddSubscriber(200, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []EventKind{
+		EventCycleStart, EventRegistrationRx, EventRegistered,
+		EventDataRx, EventMessageComplete, EventGPSRx,
+	} {
+		if len(buf.Filter(kind)) == 0 {
+			t.Errorf("no %v events traced", kind)
+		}
+	}
+	// Events are time-ordered.
+	evs := buf.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("trace not time-ordered")
+		}
+	}
+}
+
+func TestTraceFormatSwitchEvent(t *testing.T) {
+	buf := &TraceBuffer{}
+	n := newTestNetwork(t, func(c *Config) { c.Tracer = buf })
+	var gps []*Subscriber
+	for i := 0; i < 5; i++ {
+		s, err := n.AddSubscriber(frame.EIN(200+i), true, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gps = append(gps, s)
+	}
+	if err := n.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range gps[:2] {
+		if err := n.Deregister(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	switches := buf.Filter(EventFormatSwitch)
+	if len(switches) == 0 {
+		t.Fatal("format switch not traced")
+	}
+	if !strings.Contains(switches[len(switches)-1].Detail, "format2") {
+		t.Fatalf("switch detail = %q", switches[len(switches)-1].Detail)
+	}
+}
+
+func TestTraceCollisionEvents(t *testing.T) {
+	buf := &TraceBuffer{}
+	n := newTestNetwork(t, func(c *Config) { c.Tracer = buf })
+	for i := 0; i < 10; i++ {
+		if _, err := n.AddSubscriber(frame.EIN(100+i), false, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.Filter(EventCollision)) == 0 {
+		t.Fatal("registration storm produced no collision traces")
+	}
+}
+
+func TestTraceBufferBounded(t *testing.T) {
+	buf := &TraceBuffer{Cap: 10}
+	for i := 0; i < 100; i++ {
+		buf.Trace(TraceEvent{Cycle: i, Kind: EventCycleStart, User: frame.NoUser, Slot: -1})
+	}
+	if len(buf.Events()) > 10 {
+		t.Fatalf("buffer holds %d events, cap 10", len(buf.Events()))
+	}
+	if buf.Dropped() == 0 {
+		t.Fatal("no drops recorded")
+	}
+	// Retained events are the most recent.
+	evs := buf.Events()
+	if evs[len(evs)-1].Cycle != 99 {
+		t.Fatal("newest event lost")
+	}
+}
+
+func TestFuncTracer(t *testing.T) {
+	count := 0
+	var tr Tracer = FuncTracer(func(TraceEvent) { count++ })
+	tr.Trace(TraceEvent{})
+	tr.Trace(TraceEvent{})
+	if count != 2 {
+		t.Fatal("FuncTracer did not forward")
+	}
+}
+
+func TestTraceEventString(t *testing.T) {
+	e := TraceEvent{
+		At: 5 * time.Second, Cycle: 3, Kind: EventDataRx,
+		User: 7, Slot: 2, Detail: "msg=1",
+	}
+	s := e.String()
+	for _, want := range []string{"data-rx", "u7", "slot=2", "msg=1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	// NoUser and slot -1 are omitted.
+	e2 := TraceEvent{Kind: EventCycleStart, User: frame.NoUser, Slot: -1}
+	if strings.Contains(e2.String(), "slot=") {
+		t.Fatal("slot -1 rendered")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{
+		EventCycleStart, EventCFDecodeFailed, EventRegistrationRx,
+		EventRegistered, EventReservationRx, EventPiggybackRx,
+		EventCollision, EventDataRx, EventDataLost, EventMessageComplete,
+		EventGPSRx, EventGPSLost, EventForwardTx, EventPageResponse,
+		EventFormatSwitch,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad kind string %q", s)
+		}
+		seen[s] = true
+	}
+	if EventKind(99).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+}
+
+func TestNilTracerIsCheapNoop(t *testing.T) {
+	n := newTestNetwork(t, nil) // no tracer configured
+	if _, err := n.AddSubscriber(100, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(5); err != nil {
+		t.Fatal(err)
+	}
+}

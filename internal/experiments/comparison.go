@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	osumac "github.com/osu-netlab/osumac"
+	"github.com/osu-netlab/osumac/internal/baseline"
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/phy"
+	"github.com/osu-netlab/osumac/internal/sched"
+	"github.com/osu-netlab/osumac/internal/traffic"
+)
+
+// ComparisonPoint is one (protocol, load) cell of the X1 extension
+// experiment: OSU-MAC against the surveyed baselines on equal slot
+// budgets.
+type ComparisonPoint struct {
+	Protocol        string
+	Load            float64
+	Throughput      float64
+	MeanDelayCycles float64
+	CollisionRate   float64 // collisions per frame/cycle
+	Fairness        float64
+}
+
+// Comparison runs OSU-MAC (full stack) and the §4 baselines
+// (frame-level models, idealized medium) over the load sweep. See the
+// baseline package docs for why this comparison is conservative against
+// OSU-MAC; the paper itself declines a quantitative comparison, so this
+// is an extension, not a paper figure.
+func Comparison(seed uint64, users, frames int, loads []float64) ([]ComparisonPoint, error) {
+	if loads == nil {
+		loads = osumac.PaperLoads
+	}
+	var out []ComparisonPoint
+
+	for _, load := range loads {
+		scn := osumac.Scenario{
+			Seed: seed, GPSUsers: 0, DataUsers: users, Load: load,
+			VariableSizes: true, Cycles: frames, WarmupCycles: frames / 20,
+		}
+		res, err := osumac.Run(scn)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ComparisonPoint{
+			Protocol:        "osu-mac",
+			Load:            load,
+			Throughput:      res.Utilization,
+			MeanDelayCycles: res.MeanDelayCycles,
+			CollisionRate:   float64(res.Metrics.ContentionCollisions.Value()) / float64(res.Metrics.Cycles),
+			Fairness:        res.Fairness,
+		})
+	}
+
+	for _, mk := range []func() baseline.Protocol{
+		func() baseline.Protocol { return baseline.NewPRMA() },
+		func() baseline.Protocol { return baseline.NewDTDMA() },
+		func() baseline.Protocol { return baseline.NewRAMA() },
+		func() baseline.Protocol { return baseline.NewDRMA() },
+		func() baseline.Protocol { return baseline.NewFAMA() },
+	} {
+		for _, load := range loads {
+			res, err := baseline.Run(baseline.Config{
+				Protocol: mk(),
+				Users:    users,
+				Frames:   frames,
+				Slots:    phy.Format1DataSlots,
+				Load:     load,
+				Seed:     seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ComparisonPoint{
+				Protocol:        res.Protocol,
+				Load:            load,
+				Throughput:      res.Throughput,
+				MeanDelayCycles: res.MeanDelayFrames,
+				CollisionRate:   res.CollisionRate,
+				Fairness:        res.Fairness,
+			})
+		}
+	}
+	return out, nil
+}
+
+// AblationPoint is one row of the X2 scheduler/contention ablations.
+type AblationPoint struct {
+	Variant         string
+	Load            float64
+	Utilization     float64
+	MeanDelayCycles float64
+	Fairness        float64
+	CollisionProb   float64
+}
+
+// SchedulerAblation compares the paper's round-robin + lumping against
+// round-robin without lumping, FCFS and longest-queue-first, and the
+// dynamic contention controller against a pinned single contention slot.
+func SchedulerAblation(seed uint64, cycles int, loads []float64) ([]AblationPoint, error) {
+	if loads == nil {
+		loads = []float64{0.5, 0.9}
+	}
+	variants := []struct {
+		name   string
+		mutate func(*osumac.Config)
+	}{
+		{"rr+lump (paper)", func(*osumac.Config) {}},
+		{"rr no-lump", func(c *osumac.Config) {
+			c.Scheduler = &sched.RoundRobin{Lump: false}
+		}},
+		{"fcfs", func(c *osumac.Config) {
+			c.Scheduler = sched.FCFS{}
+		}},
+		{"longest-queue", func(c *osumac.Config) {
+			c.Scheduler = sched.LongestQueueFirst{}
+		}},
+		{"static 1 contention slot", func(c *osumac.Config) {
+			c.MinContentionSlots = 1
+			c.MaxContentionSlots = 1
+		}},
+		{"explicit-reservation policy", func(c *osumac.Config) {
+			c.Policy = core.ReserveExplicit
+		}},
+	}
+	var out []AblationPoint
+	for _, v := range variants {
+		for _, load := range loads {
+			pt, err := runAblation(seed, cycles, load, v.mutate)
+			if err != nil {
+				return nil, err
+			}
+			pt.Variant = v.name
+			out = append(out, *pt)
+		}
+	}
+	return out, nil
+}
+
+// runAblation executes one OSU-MAC variant at one load and summarizes
+// the ablation metrics.
+func runAblation(seed uint64, cycles int, load float64, mutate func(*osumac.Config)) (*AblationPoint, error) {
+	cfg := core.NewConfig()
+	cfg.Seed = seed
+	cfg.MeanInterarrival = traffic.InterarrivalForSlots(
+		load, 10, traffic.PaperVariable, frame.MaxPayload,
+		phy.CycleLength, phy.Format1DataSlots)
+	mutate(&cfg)
+	n, err := core.NewNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := n.AddSubscriber(frame.EIN(1000+i), true, 0); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := n.AddSubscriber(frame.EIN(2000+i), false, 0); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.Run(cycles); err != nil {
+		return nil, err
+	}
+	m := n.Metrics()
+	return &AblationPoint{
+		Load:            load,
+		Utilization:     m.Utilization(),
+		MeanDelayCycles: m.MeanDelayCycles(phy.CycleLength),
+		Fairness:        m.Fairness(),
+		CollisionProb:   m.CollisionProbability(),
+	}, nil
+}

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/osu-netlab/osumac/internal/phy"
+)
+
+// Small scales keep these tests fast; the full-scale runs live in
+// cmd/experiments and bench_test.go.
+const (
+	testCycles = 120
+	testWarmup = 10
+)
+
+func TestLoadSweepShapes(t *testing.T) {
+	opts := SweepOptions{
+		Seed: 42, GPSUsers: 4, DataUsers: 10,
+		Cycles: testCycles, Warmup: testWarmup, Variable: true,
+		Loads: []float64{0.3, 0.9, 1.1},
+	}
+	pts, err := LoadSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	lo, mid, hi := pts[0], pts[1], pts[2]
+
+	// Fig 8a: utilization tracks load at light load, saturates at
+	// overload below the offered load.
+	if lo.Utilization < 0.2 || lo.Utilization > 0.45 {
+		t.Errorf("utilization at 0.3 = %.3f", lo.Utilization)
+	}
+	if hi.Utilization > 1.0 {
+		t.Errorf("utilization exceeds 1: %.3f", hi.Utilization)
+	}
+	if hi.Utilization < mid.Utilization-0.1 {
+		t.Errorf("utilization collapsed at overload: %.3f vs %.3f", hi.Utilization, mid.Utilization)
+	}
+
+	// Fig 8b: delay increases dramatically past 0.9.
+	if lo.MeanDelayCycles <= 0 {
+		t.Error("no delay measured at light load")
+	}
+	if hi.MeanDelayCycles <= lo.MeanDelayCycles {
+		t.Errorf("delay did not grow with load: %.1f vs %.1f", hi.MeanDelayCycles, lo.MeanDelayCycles)
+	}
+
+	// Fig 10: control overhead decreases with load (piggybacking).
+	if hi.ControlOverhead >= lo.ControlOverhead {
+		t.Errorf("control overhead did not fall: %.4f → %.4f", lo.ControlOverhead, hi.ControlOverhead)
+	}
+
+	// Fig 11: fairness stays high.
+	for _, p := range pts {
+		if p.Fairness < 0.95 {
+			t.Errorf("fairness %.4f at load %.1f", p.Fairness, p.Load)
+		}
+	}
+
+	// Fig 12a band: the paper reports 5-14 % second-CF gain.
+	for _, p := range pts {
+		if p.SecondCFGain < 0.03 || p.SecondCFGain > 0.20 {
+			t.Errorf("CF2 gain %.3f at load %.1f outside plausible band", p.SecondCFGain, p.Load)
+		}
+	}
+
+	// GPS deadline never violated on the ideal channel.
+	for _, p := range pts {
+		if p.GPSDeadlineViolation != 0 {
+			t.Errorf("GPS violations at load %.1f", p.Load)
+		}
+	}
+}
+
+func TestFig12aSecondCFWins(t *testing.T) {
+	pts, err := Fig12a(42, testCycles, testWarmup, []float64{1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pts[0]
+	if p.SecondCFGain <= 0 {
+		t.Fatal("no last-slot traffic with CF2 enabled")
+	}
+	// At saturation the CF2 design must beat the single-CF alternative:
+	// the last slot carries data instead of being wasted.
+	if p.UtilizationCF2 <= p.UtilizationNoCF {
+		t.Fatalf("CF2 utilization %.3f not above single-CF %.3f", p.UtilizationCF2, p.UtilizationNoCF)
+	}
+}
+
+func TestFig12bDynamicSlotsWin(t *testing.T) {
+	pts, err := Fig12b(42, testCycles, testWarmup, []float64{1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dyn1, static1 float64
+	for _, p := range pts {
+		if p.GPSUsers == 1 && p.Load == 1.0 {
+			if p.Dynamic {
+				dyn1 = p.MeanDataSlotsUsed
+			} else {
+				static1 = p.MeanDataSlotsUsed
+			}
+		}
+	}
+	// With 1 GPS user at saturation, dynamic adjustment converts five
+	// idle GPS slots into a ninth data slot (paper: up to ~15 % more
+	// bandwidth).
+	if dyn1 <= static1 {
+		t.Fatalf("dynamic %.2f slots/cycle not above static %.2f", dyn1, static1)
+	}
+}
+
+func TestRegistrationTargets(t *testing.T) {
+	r, err := Registration(42, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Registrants != 16 {
+		t.Fatalf("registered %d/16", r.Registrants)
+	}
+	if r.Within2Cycles < 0.8 {
+		t.Errorf("within-2 = %.2f, target 0.80", r.Within2Cycles)
+	}
+	if r.Within10 < 0.99 {
+		t.Errorf("within-10 = %.2f, target 0.99", r.Within10)
+	}
+}
+
+func TestGPSAccessDelayBound(t *testing.T) {
+	r, err := GPSAccessDelay(42, testCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Violations != 0 {
+		t.Fatalf("%d deadline violations", r.Violations)
+	}
+	if r.MaxDelayS > phy.GPSAccessDeadline.Seconds() {
+		t.Fatalf("max delay %.3f exceeds bound", r.MaxDelayS)
+	}
+	if r.Delivered == 0 {
+		t.Fatal("no GPS reports delivered")
+	}
+}
+
+func TestTables(t *testing.T) {
+	t1 := Table1()
+	if len(t1) < 10 {
+		t.Fatalf("Table 1 rows = %d", len(t1))
+	}
+	t2 := Table2()
+	// 8 GPS rows + 9 data rows.
+	if len(t2) != 17 {
+		t.Fatalf("Table 2 rows = %d, want 17", len(t2))
+	}
+	if t2[0].Format1 != "0.30125" || t2[0].Format2 != "0.30125" {
+		t.Fatalf("GPS slot 1 = %q/%q", t2[0].Format1, t2[0].Format2)
+	}
+	if t2[8].Format1 != "1.00125" {
+		t.Fatalf("data slot 1 format 1 = %q", t2[8].Format1)
+	}
+	if t2[16].Format1 != "--" || t2[16].Format2 != "3.79375" {
+		t.Fatalf("data slot 9 = %q/%q", t2[16].Format1, t2[16].Format2)
+	}
+}
+
+func TestComparisonCoversAllProtocols(t *testing.T) {
+	pts, err := Comparison(42, 8, 200, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range pts {
+		seen[p.Protocol] = true
+		if p.Throughput < 0 || p.Throughput > 1.01 {
+			t.Errorf("%s throughput %.3f", p.Protocol, p.Throughput)
+		}
+	}
+	for _, want := range []string{"osu-mac", "prma", "d-tdma", "rama", "drma", "fama"} {
+		if !seen[want] {
+			t.Errorf("missing protocol %s", want)
+		}
+	}
+}
+
+func TestSchedulerAblation(t *testing.T) {
+	pts, err := SchedulerAblation(42, testCycles, []float64{0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationPoint{}
+	for _, p := range pts {
+		byName[p.Variant] = p
+	}
+	rr, ok1 := byName["rr+lump (paper)"]
+	fcfs, ok2 := byName["fcfs"]
+	if !ok1 || !ok2 {
+		t.Fatal("missing ablation variants")
+	}
+	// Round-robin must be at least as fair as FCFS under load.
+	if rr.Fairness < fcfs.Fairness-0.01 {
+		t.Errorf("rr fairness %.4f below fcfs %.4f", rr.Fairness, fcfs.Fairness)
+	}
+}
+
+func TestEffectiveInterarrivalPositive(t *testing.T) {
+	if EffectiveInterarrival(0.8, 10, 4, true) <= 0 {
+		t.Fatal("interarrival not positive")
+	}
+	// Heavier load → shorter interarrival.
+	if EffectiveInterarrival(1.0, 10, 4, true) >= EffectiveInterarrival(0.5, 10, 4, true) {
+		t.Fatal("interarrival not monotone in load")
+	}
+}
+
+func TestReplicatedSweep(t *testing.T) {
+	opts := SweepOptions{
+		Seed: 10, GPSUsers: 4, DataUsers: 10,
+		Cycles: 80, Warmup: 8, Variable: true,
+		Loads: []float64{0.5},
+	}
+	pts, err := ReplicatedSweep(opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Replications != 3 {
+		t.Fatalf("pts = %+v", pts)
+	}
+	p := pts[0]
+	if p.UtilizationMean <= 0 || p.UtilizationMean > 1 {
+		t.Fatalf("utilization mean %v", p.UtilizationMean)
+	}
+	// Three different seeds should show some variance somewhere.
+	if p.UtilizationStd == 0 && p.DelayStd == 0 && p.CollisionStd == 0 {
+		t.Fatal("replications identical across seeds")
+	}
+	if p.FairnessMean < 0.95 {
+		t.Fatalf("fairness %v", p.FairnessMean)
+	}
+}
+
+func TestReplicatedSweepValidation(t *testing.T) {
+	if _, err := ReplicatedSweep(SweepOptions{}, 0); err == nil {
+		t.Fatal("zero replications accepted")
+	}
+}
+
+func TestRobustnessAcrossPopulations(t *testing.T) {
+	r, err := Robustness(42, 0.5, 150, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 9 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Paper §5: conclusions hold over a wide range of populations —
+	// at a fixed load the realized utilization must cluster near ρ for
+	// every (GPS, data) combination.
+	if r.UtilMax-r.UtilMin > 0.15 {
+		t.Fatalf("utilization spread %.3f–%.3f too wide", r.UtilMin, r.UtilMax)
+	}
+	if r.UtilMin < 0.35 || r.UtilMax > 0.65 {
+		t.Fatalf("utilization [%.3f, %.3f] far from ρ=0.5", r.UtilMin, r.UtilMax)
+	}
+	if r.FairMin < 0.95 {
+		t.Fatalf("fairness dropped to %.3f in some population", r.FairMin)
+	}
+}

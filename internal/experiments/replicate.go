@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/osu-netlab/osumac/internal/stats"
+)
+
+// ReplicatedPoint is one load point aggregated over independent seeds:
+// mean and sample standard deviation for the headline metrics.
+type ReplicatedPoint struct {
+	Load         float64
+	Replications int
+
+	UtilizationMean, UtilizationStd float64
+	DelayMean, DelayStd             float64 // cycles
+	CollisionMean, CollisionStd     float64
+	OverheadMean, OverheadStd       float64
+	FairnessMean, FairnessStd       float64
+	CF2GainMean, CF2GainStd         float64
+}
+
+// ReplicatedSweep runs the load sweep across `replications` seeds
+// (seed, seed+1, …) and aggregates each point. Use it when reporting
+// results: single-seed runs of a 200-800 cycle simulation carry visible
+// stochastic noise at light load.
+func ReplicatedSweep(opts SweepOptions, replications int) ([]ReplicatedPoint, error) {
+	if replications <= 0 {
+		return nil, fmt.Errorf("experiments: need ≥1 replication, got %d", replications)
+	}
+	loads := opts.Loads
+	if loads == nil {
+		loads = defaultLoads()
+	}
+	acc := make([]map[string]*stats.Sample, len(loads))
+	for i := range acc {
+		acc[i] = map[string]*stats.Sample{
+			"util": {}, "delay": {}, "coll": {}, "ovhd": {}, "fair": {}, "cf2": {},
+		}
+	}
+	for r := 0; r < replications; r++ {
+		o := opts
+		o.Seed = opts.Seed + uint64(r)
+		o.Loads = loads
+		pts, err := LoadSweep(o)
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range pts {
+			acc[i]["util"].Add(p.Utilization)
+			acc[i]["delay"].Add(p.MeanDelayCycles)
+			acc[i]["coll"].Add(p.CollisionProb)
+			acc[i]["ovhd"].Add(p.ControlOverhead)
+			acc[i]["fair"].Add(p.Fairness)
+			acc[i]["cf2"].Add(p.SecondCFGain)
+		}
+	}
+	out := make([]ReplicatedPoint, len(loads))
+	for i, load := range loads {
+		out[i] = ReplicatedPoint{
+			Load:            load,
+			Replications:    replications,
+			UtilizationMean: acc[i]["util"].Mean(),
+			UtilizationStd:  sampleStd(acc[i]["util"]),
+			DelayMean:       acc[i]["delay"].Mean(),
+			DelayStd:        sampleStd(acc[i]["delay"]),
+			CollisionMean:   acc[i]["coll"].Mean(),
+			CollisionStd:    sampleStd(acc[i]["coll"]),
+			OverheadMean:    acc[i]["ovhd"].Mean(),
+			OverheadStd:     sampleStd(acc[i]["ovhd"]),
+			FairnessMean:    acc[i]["fair"].Mean(),
+			FairnessStd:     sampleStd(acc[i]["fair"]),
+			CF2GainMean:     acc[i]["cf2"].Mean(),
+			CF2GainStd:      sampleStd(acc[i]["cf2"]),
+		}
+	}
+	return out, nil
+}
+
+// sampleStd converts the population variance of stats.Sample into the
+// unbiased sample standard deviation.
+func sampleStd(s *stats.Sample) float64 {
+	n := float64(s.Count())
+	if n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.Variance() * n / (n - 1))
+}
+
+// defaultLoads returns the paper's sweep points without importing the
+// root package here twice.
+func defaultLoads() []float64 {
+	return []float64{0.3, 0.5, 0.8, 0.9, 1.0, 1.1}
+}

@@ -1,0 +1,86 @@
+package frame
+
+import (
+	"fmt"
+
+	"github.com/osu-netlab/osumac/internal/phy"
+	"github.com/osu-netlab/osumac/internal/rs"
+	"github.com/osu-netlab/osumac/internal/sim"
+)
+
+// Codec turns marshaled frames into on-air RS codewords and back,
+// applying a channel error model on receive. It owns no state beyond
+// the immutable RS code, so one Codec may be shared by every entity in
+// a simulation.
+type Codec struct {
+	code *rs.Code
+}
+
+// NewCodec returns a codec using the paper's RS(64,48) code.
+func NewCodec() *Codec {
+	return &Codec{code: rs.NewPaperCode()}
+}
+
+// Code exposes the underlying RS code (for tests and diagnostics).
+func (c *Codec) Code() *rs.Code { return c.code }
+
+// EncodePayload RS-encodes a 48-byte information block into one 64-byte
+// codeword.
+func (c *Codec) EncodePayload(info []byte) ([]byte, error) {
+	return c.code.Encode(info)
+}
+
+// DecodePayload RS-decodes one codeword back to 48 information bytes.
+func (c *Codec) DecodePayload(cw []byte) ([]byte, error) {
+	return c.code.Decode(cw)
+}
+
+// EncodeControlFields produces the on-air form of a control-field set:
+// two consecutive RS codewords (128 bytes).
+func (c *Codec) EncodeControlFields(cf *ControlFields) ([]byte, error) {
+	info := cf.Marshal()
+	if len(info) != phy.ControlFieldCodewords*phy.CodewordInfoBytes {
+		return nil, fmt.Errorf("frame: control fields marshal to %d bytes", len(info))
+	}
+	out := make([]byte, 0, phy.ControlFieldCodewords*phy.CodewordBytes)
+	for i := 0; i < phy.ControlFieldCodewords; i++ {
+		cw, err := c.code.Encode(info[i*phy.CodewordInfoBytes : (i+1)*phy.CodewordInfoBytes])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cw...)
+	}
+	return out, nil
+}
+
+// DecodeControlFields decodes two received codewords into control
+// fields. Any codeword failing RS decode fails the whole set: a mobile
+// that cannot read the control fields has no schedule for the cycle.
+func (c *Codec) DecodeControlFields(air []byte) (*ControlFields, error) {
+	want := phy.ControlFieldCodewords * phy.CodewordBytes
+	if len(air) != want {
+		return nil, fmt.Errorf("%w: control fields air size %d, want %d", ErrBadLength, len(air), want)
+	}
+	info := make([]byte, 0, phy.ControlFieldCodewords*phy.CodewordInfoBytes)
+	for i := 0; i < phy.ControlFieldCodewords; i++ {
+		block, err := c.code.Decode(air[i*phy.CodewordBytes : (i+1)*phy.CodewordBytes])
+		if err != nil {
+			return nil, fmt.Errorf("control field codeword %d: %w", i, err)
+		}
+		info = append(info, block...)
+	}
+	return UnmarshalControlFields(info)
+}
+
+// Transmit models one coded transmission through a channel error model:
+// the codeword is copied, corrupted according to the model, and
+// returned. The caller decodes the result; a decode error is a packet
+// loss.
+func Transmit(cw []byte, model phy.ErrorModel, rng *sim.RNG) []byte {
+	out := make([]byte, len(cw))
+	copy(out, cw)
+	if model != nil {
+		model.Corrupt(out, rng)
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/osu-netlab/osumac/internal/phy"
+	"github.com/osu-netlab/osumac/internal/sim"
+)
+
+func TestCodecControlFieldsCleanRoundTrip(t *testing.T) {
+	c := NewCodec()
+	cf := NewControlFields()
+	cf.GPSSchedule[0] = 3
+	cf.ReverseSchedule[4] = 12
+	cf.ReverseACKs[0] = ReverseACK{User: 12, EIN: 0xAAAA}
+
+	air, err := c.EncodeControlFields(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(air) != 128 {
+		t.Fatalf("air size %d, want 128 (2 RS codewords)", len(air))
+	}
+	got, err := c.DecodeControlFields(air)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *cf {
+		t.Fatal("control fields round-trip mismatch")
+	}
+}
+
+func TestCodecControlFieldsSurviveCorrectableErrors(t *testing.T) {
+	c := NewCodec()
+	rng := sim.NewRNG(1)
+	cf := NewControlFields()
+	cf.ForwardSchedule[10] = 30
+
+	air, err := c.EncodeControlFields(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Up to 8 byte errors per codeword are correctable.
+	for i := 0; i < 8; i++ {
+		air[rng.Intn(64)] ^= byte(rng.UniformInt(1, 255))    // first codeword
+		air[64+rng.Intn(64)] ^= byte(rng.UniformInt(1, 255)) // second codeword
+	}
+	got, err := c.DecodeControlFields(air)
+	if err != nil {
+		t.Fatalf("correctable corruption broke decode: %v", err)
+	}
+	if *got != *cf {
+		t.Fatal("corrected control fields differ")
+	}
+}
+
+func TestCodecControlFieldsFailOnBurst(t *testing.T) {
+	c := NewCodec()
+	cf := NewControlFields()
+	air, err := c.EncodeControlFields(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ { // destroy the first codeword
+		air[i] ^= 0xFF
+	}
+	if _, err := c.DecodeControlFields(air); err == nil {
+		t.Fatal("burst-corrupted control fields decoded")
+	}
+}
+
+func TestCodecControlFieldsLengthCheck(t *testing.T) {
+	c := NewCodec()
+	if _, err := c.DecodeControlFields(make([]byte, 127)); err == nil {
+		t.Fatal("short air buffer accepted")
+	}
+}
+
+func TestCodecPayloadRoundTrip(t *testing.T) {
+	c := NewCodec()
+	p := &ReservationRequest{User: 5, Slots: 2}
+	info, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := c.EncodePayload(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cw) != phy.CodewordBytes {
+		t.Fatalf("codeword %d bytes, want %d", len(cw), phy.CodewordBytes)
+	}
+	back, err := c.DecodePayload(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, info) {
+		t.Fatal("payload round-trip mismatch")
+	}
+}
+
+func TestTransmitDoesNotAliasInput(t *testing.T) {
+	cw := bytes.Repeat([]byte{0x11}, 64)
+	rng := sim.NewRNG(3)
+	out := Transmit(cw, phy.IID{P: 1.0}, rng)
+	for _, b := range cw {
+		if b != 0x11 {
+			t.Fatal("Transmit mutated the input codeword")
+		}
+	}
+	same := true
+	for i := range out {
+		if out[i] != cw[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("P=1 model left output identical")
+	}
+}
+
+func TestTransmitNilModel(t *testing.T) {
+	cw := []byte{1, 2, 3}
+	out := Transmit(cw, nil, sim.NewRNG(1))
+	if !bytes.Equal(out, cw) {
+		t.Fatal("nil model should pass through unchanged")
+	}
+}
+
+func TestEndToEndPacketOverNoisyChannel(t *testing.T) {
+	// Full pipeline: marshal → RS encode → channel → RS decode →
+	// unmarshal, under the two-regime model. Every delivered packet must
+	// be exact; losses are expected.
+	c := NewCodec()
+	rng := sim.NewRNG(9)
+	model := phy.TwoRegime{PLoss: 0.2, MaxCorrectable: 8}
+	payload := []byte("bus 4 at (40.0014N, 83.0196W)")
+	var delivered, lost int
+	for i := 0; i < 500; i++ {
+		p := &DataPacket{
+			Header:  DataHeader{User: 4, MsgID: uint16(i), FragTotal: 1},
+			Payload: payload,
+		}
+		info, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cw, err := c.EncodePayload(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx := Transmit(cw, model, rng)
+		back, err := c.DecodePayload(rx)
+		if err != nil {
+			lost++
+			continue
+		}
+		got, err := UnmarshalPacket(back)
+		if err != nil {
+			t.Fatalf("delivered packet failed to parse: %v", err)
+		}
+		if !bytes.Equal(got.Data.Payload, payload) {
+			t.Fatal("delivered packet corrupted silently")
+		}
+		delivered++
+	}
+	if delivered == 0 || lost == 0 {
+		t.Fatalf("expected both outcomes; delivered=%d lost=%d", delivered, lost)
+	}
+}

@@ -1,0 +1,98 @@
+package frame
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/osu-netlab/osumac/internal/phy"
+	"github.com/osu-netlab/osumac/internal/sim"
+)
+
+// Robustness: parsers must never panic on arbitrary input — a corrupted
+// RS decode that slips through must fail cleanly.
+
+func TestUnmarshalPacketNeverPanics(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, phy.CodewordInfoBytes)
+		for j := range b {
+			b[j] = byte(rng.Uint64())
+		}
+		pkt, err := UnmarshalPacket(b) // must not panic
+		if err == nil && pkt == nil {
+			t.Fatal("nil packet without error")
+		}
+	}
+}
+
+func TestUnmarshalControlFieldsNeverPanics(t *testing.T) {
+	rng := sim.NewRNG(2)
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, phy.ControlFieldCodewords*phy.CodewordInfoBytes)
+		for j := range b {
+			b[j] = byte(rng.Uint64())
+		}
+		cf, err := UnmarshalControlFields(b)
+		if err != nil {
+			continue
+		}
+		// Whatever parsed must re-marshal to the same bits (the layout
+		// is total over 6-bit fields).
+		if got, err := UnmarshalControlFields(cf.Marshal()); err != nil || *got != *cf {
+			t.Fatal("re-marshal mismatch on random control fields")
+		}
+	}
+}
+
+func TestUnmarshalGPSReportNeverPanics(t *testing.T) {
+	rng := sim.NewRNG(3)
+	valid := 0
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, GPSReportBytes)
+		for j := range b {
+			b[j] = byte(rng.Uint64())
+		}
+		if _, err := UnmarshalGPSReport(b); err == nil {
+			valid++
+		}
+	}
+	// The 8-bit checksum lets ~1/256 of random bodies through.
+	if valid > 100 {
+		t.Fatalf("%d/5000 random GPS bodies validated; checksum too weak", valid)
+	}
+}
+
+// Property: parsing arbitrary length-correct bytes either fails or
+// yields a packet that marshals back into parseable bytes.
+func TestPropertyPacketParseStability(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		b := make([]byte, phy.CodewordInfoBytes)
+		for j := range b {
+			b[j] = byte(rng.Uint64())
+		}
+		pkt, err := UnmarshalPacket(b)
+		if err != nil {
+			return true
+		}
+		var back []byte
+		switch pkt.Type {
+		case TypeData:
+			back, err = pkt.Data.Marshal()
+		case TypeRegistration:
+			back, err = pkt.Register.Marshal()
+		case TypeReservation:
+			back, err = pkt.Reservation.Marshal()
+		default:
+			return false
+		}
+		if err != nil {
+			return false
+		}
+		_, err = UnmarshalPacket(back)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

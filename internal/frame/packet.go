@@ -1,0 +1,259 @@
+package frame
+
+import (
+	"fmt"
+
+	"github.com/osu-netlab/osumac/internal/bitio"
+	"github.com/osu-netlab/osumac/internal/phy"
+)
+
+// PacketType tags the contents of a reverse-channel packet. Control
+// information travels in-band: data packets carry a header, while
+// registration and reservation requests are standalone control packets
+// sent in contention slots (paper §3.1).
+type PacketType int
+
+// Reverse-channel packet types.
+const (
+	TypeData PacketType = iota + 1
+	TypeRegistration
+	TypeReservation
+)
+
+// String implements fmt.Stringer.
+func (t PacketType) String() string {
+	switch t {
+	case TypeData:
+		return "data"
+	case TypeRegistration:
+		return "registration"
+	case TypeReservation:
+		return "reservation"
+	default:
+		return fmt.Sprintf("PacketType(%d)", int(t))
+	}
+}
+
+// Bit widths of the data-packet header fields.
+const (
+	typeBits       = 4
+	moreSlotsBits  = 4
+	msgIDBits      = 16
+	fragBits       = 8
+	payloadLenBits = 6
+
+	// headerBits is the data header size: 4+6+4+16+8+8+6 = 52, padded
+	// to 56 bits (7 bytes).
+	headerBits  = 56
+	headerBytes = headerBits / 8
+
+	// MaxPayload is the data bytes one packet carries: 48-byte RS
+	// message minus the 7-byte header.
+	MaxPayload = phy.CodewordInfoBytes - headerBytes
+
+	// MaxMoreSlots caps the implicit piggyback reservation request.
+	MaxMoreSlots = 1<<moreSlotsBits - 1
+	// MaxFragments caps the fragments per message.
+	MaxFragments = 1<<fragBits - 1
+)
+
+// DataHeader is the in-band control header of a reverse data packet.
+// MoreSlots is the paper's implicit-reservation field: the number of
+// additional data slots the subscriber requests for the next cycle.
+type DataHeader struct {
+	User      UserID
+	MoreSlots uint8
+	MsgID     uint16
+	Frag      uint8
+	FragTotal uint8
+}
+
+// DataPacket is a regular reverse- or forward-channel data packet: one
+// RS(64,48) codeword with a 7-byte header and up to 41 payload bytes.
+type DataPacket struct {
+	Header  DataHeader
+	Payload []byte
+}
+
+// Marshal packs the packet into the 48 information bytes of one RS
+// codeword.
+func (p *DataPacket) Marshal() ([]byte, error) {
+	if len(p.Payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: payload %d bytes, max %d", ErrBadPacket, len(p.Payload), MaxPayload)
+	}
+	if p.Header.MoreSlots > MaxMoreSlots {
+		return nil, fmt.Errorf("%w: MoreSlots %d, max %d", ErrBadPacket, p.Header.MoreSlots, MaxMoreSlots)
+	}
+	if p.Header.User > NoUser {
+		return nil, fmt.Errorf("%w: user ID %d exceeds 6 bits", ErrBadPacket, p.Header.User)
+	}
+	w := bitio.NewWriter(phy.CodewordInfoBits)
+	mustWrite(w, uint64(TypeData), typeBits)
+	mustWrite(w, uint64(p.Header.User), UserIDBits)
+	mustWrite(w, uint64(p.Header.MoreSlots), moreSlotsBits)
+	mustWrite(w, uint64(p.Header.MsgID), msgIDBits)
+	mustWrite(w, uint64(p.Header.Frag), fragBits)
+	mustWrite(w, uint64(p.Header.FragTotal), fragBits)
+	mustWrite(w, uint64(len(p.Payload)), payloadLenBits)
+	mustWrite(w, 0, headerBits-52) // pad header to a whole byte count
+	if err := w.WriteBytes(p.Payload); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// RegistrationRequest asks the base station to admit a new subscriber
+// (paper §3.2). WantGPS selects the real-time GPS service class.
+type RegistrationRequest struct {
+	EIN     EIN
+	WantGPS bool
+}
+
+// Marshal packs the request into 48 information bytes.
+func (p *RegistrationRequest) Marshal() ([]byte, error) {
+	w := bitio.NewWriter(phy.CodewordInfoBits)
+	mustWrite(w, uint64(TypeRegistration), typeBits)
+	mustWrite(w, uint64(p.EIN), EINBits)
+	if err := w.WriteBool(p.WantGPS); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// ReservationRequest explicitly asks for data slots in the next cycle
+// (paper §3.1 reservation means 1).
+type ReservationRequest struct {
+	User  UserID
+	Slots uint8
+}
+
+// Marshal packs the request into 48 information bytes.
+func (p *ReservationRequest) Marshal() ([]byte, error) {
+	if p.Slots > MaxMoreSlots {
+		return nil, fmt.Errorf("%w: Slots %d, max %d", ErrBadPacket, p.Slots, MaxMoreSlots)
+	}
+	if !p.User.Valid() {
+		return nil, fmt.Errorf("%w: invalid user ID %d", ErrBadPacket, p.User)
+	}
+	w := bitio.NewWriter(phy.CodewordInfoBits)
+	mustWrite(w, uint64(TypeReservation), typeBits)
+	mustWrite(w, uint64(p.User), UserIDBits)
+	mustWrite(w, uint64(p.Slots), moreSlotsBits)
+	return w.Bytes(), nil
+}
+
+// Packet is the decoded form of a reverse-channel packet: exactly one of
+// the pointers is non-nil, matching Type.
+type Packet struct {
+	Type        PacketType
+	Data        *DataPacket
+	Register    *RegistrationRequest
+	Reservation *ReservationRequest
+}
+
+// UnmarshalPacket parses the 48 information bytes of a reverse packet.
+func UnmarshalPacket(b []byte) (*Packet, error) {
+	if len(b) != phy.CodewordInfoBytes {
+		return nil, fmt.Errorf("%w: packet %d bytes, want %d", ErrBadLength, len(b), phy.CodewordInfoBytes)
+	}
+	r := bitio.NewReader(b)
+	t := PacketType(mustRead(r, typeBits))
+	switch t {
+	case TypeData:
+		h := DataHeader{
+			User:      UserID(mustRead(r, UserIDBits)),
+			MoreSlots: uint8(mustRead(r, moreSlotsBits)),
+			MsgID:     uint16(mustRead(r, msgIDBits)),
+			Frag:      uint8(mustRead(r, fragBits)),
+			FragTotal: uint8(mustRead(r, fragBits)),
+		}
+		n := int(mustRead(r, payloadLenBits))
+		if n > MaxPayload {
+			return nil, fmt.Errorf("%w: payload length %d exceeds max %d", ErrBadPacket, n, MaxPayload)
+		}
+		if err := r.Skip(headerBits - 52); err != nil {
+			return nil, err
+		}
+		payload, err := r.ReadBytes(n)
+		if err != nil {
+			return nil, err
+		}
+		return &Packet{Type: TypeData, Data: &DataPacket{Header: h, Payload: payload}}, nil
+	case TypeRegistration:
+		ein := EIN(mustRead(r, EINBits))
+		wantGPS, err := r.ReadBool()
+		if err != nil {
+			return nil, err
+		}
+		return &Packet{Type: TypeRegistration, Register: &RegistrationRequest{EIN: ein, WantGPS: wantGPS}}, nil
+	case TypeReservation:
+		user := UserID(mustRead(r, UserIDBits))
+		slots := uint8(mustRead(r, moreSlotsBits))
+		if !user.Valid() {
+			return nil, fmt.Errorf("%w: reservation from invalid user %d", ErrBadPacket, user)
+		}
+		return &Packet{Type: TypeReservation, Reservation: &ReservationRequest{User: user, Slots: slots}}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown packet type %d", ErrBadPacket, int(t))
+	}
+}
+
+// GPSReport is the periodic 72-bit location packet a bus transmits
+// (paper §2.1). The checksum lets the receiver detect corruption;
+// corrupted GPS packets are discarded, never retransmitted.
+type GPSReport struct {
+	User      UserID
+	Sequence  uint16
+	Latitude  uint32 // 24-bit fixed-point
+	Longitude uint32 // 24-bit fixed-point
+}
+
+// GPSReportBytes is the on-air body size: 72 bits of report + 8-bit
+// checksum padded into the 128-symbol GPS packet body.
+const GPSReportBytes = phy.GPSPacketSymbols * phy.BitsPerSymbol / 8
+
+// Marshal packs the report plus checksum into the GPS packet body.
+func (g *GPSReport) Marshal() ([]byte, error) {
+	if g.User > NoUser {
+		return nil, fmt.Errorf("%w: user ID %d exceeds 6 bits", ErrBadPacket, g.User)
+	}
+	if g.Latitude >= 1<<24 || g.Longitude >= 1<<24 {
+		return nil, fmt.Errorf("%w: coordinates exceed 24 bits", ErrBadPacket)
+	}
+	w := bitio.NewWriter(GPSReportBytes * 8)
+	mustWrite(w, uint64(g.User), UserIDBits)
+	mustWrite(w, uint64(g.Sequence), 16)
+	mustWrite(w, uint64(g.Latitude), 24)
+	mustWrite(w, uint64(g.Longitude), 24)
+	mustWrite(w, 0, 2) // pad to the 72-bit report boundary
+	body := w.Bytes()
+	body[9] = xorChecksum(body[:9])
+	return body, nil
+}
+
+// UnmarshalGPSReport parses and validates a GPS packet body. A checksum
+// mismatch returns ErrBadPacket: the report is discarded.
+func UnmarshalGPSReport(b []byte) (*GPSReport, error) {
+	if len(b) != GPSReportBytes {
+		return nil, fmt.Errorf("%w: GPS body %d bytes, want %d", ErrBadLength, len(b), GPSReportBytes)
+	}
+	if xorChecksum(b[:9]) != b[9] {
+		return nil, fmt.Errorf("%w: GPS checksum mismatch", ErrBadPacket)
+	}
+	r := bitio.NewReader(b)
+	g := &GPSReport{}
+	g.User = UserID(mustRead(r, UserIDBits))
+	g.Sequence = uint16(mustRead(r, 16))
+	g.Latitude = uint32(mustRead(r, 24))
+	g.Longitude = uint32(mustRead(r, 24))
+	return g, nil
+}
+
+func xorChecksum(b []byte) byte {
+	var c byte = 0xA5 // nonzero seed so an all-zero body fails validation
+	for _, x := range b {
+		c ^= x
+		c = c<<1 | c>>7
+	}
+	return c
+}

@@ -1,0 +1,257 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/osu-netlab/osumac/internal/phy"
+)
+
+func TestDataPacketRoundTrip(t *testing.T) {
+	p := &DataPacket{
+		Header: DataHeader{
+			User:      17,
+			MoreSlots: 3,
+			MsgID:     0xCAFE,
+			Frag:      2,
+			FragTotal: 5,
+		},
+		Payload: []byte("hello, narrow-band world"),
+	}
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != phy.CodewordInfoBytes {
+		t.Fatalf("marshal size %d, want %d", len(b), phy.CodewordInfoBytes)
+	}
+	got, err := UnmarshalPacket(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeData || got.Data == nil {
+		t.Fatalf("decoded type %v", got.Type)
+	}
+	if got.Data.Header != p.Header {
+		t.Fatalf("header mismatch: %+v vs %+v", got.Data.Header, p.Header)
+	}
+	if !bytes.Equal(got.Data.Payload, p.Payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestDataPacketMaxPayload(t *testing.T) {
+	if MaxPayload != 41 {
+		t.Fatalf("MaxPayload = %d, want 41 (48 info bytes − 7 header)", MaxPayload)
+	}
+	p := &DataPacket{Header: DataHeader{User: 1}, Payload: make([]byte, MaxPayload)}
+	if _, err := p.Marshal(); err != nil {
+		t.Fatalf("max payload rejected: %v", err)
+	}
+	p.Payload = make([]byte, MaxPayload+1)
+	if _, err := p.Marshal(); !errors.Is(err, ErrBadPacket) {
+		t.Fatalf("oversize payload: err = %v, want ErrBadPacket", err)
+	}
+}
+
+func TestDataPacketValidation(t *testing.T) {
+	p := &DataPacket{Header: DataHeader{User: 1, MoreSlots: MaxMoreSlots + 1}}
+	if _, err := p.Marshal(); !errors.Is(err, ErrBadPacket) {
+		t.Fatal("oversize MoreSlots accepted")
+	}
+	p2 := &DataPacket{Header: DataHeader{User: 64}}
+	if _, err := p2.Marshal(); !errors.Is(err, ErrBadPacket) {
+		t.Fatal("7-bit user ID accepted")
+	}
+}
+
+func TestEmptyPayloadPacket(t *testing.T) {
+	p := &DataPacket{Header: DataHeader{User: 0, MsgID: 1, FragTotal: 1}}
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalPacket(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data.Payload) != 0 {
+		t.Fatalf("payload length %d, want 0", len(got.Data.Payload))
+	}
+}
+
+func TestRegistrationRoundTrip(t *testing.T) {
+	for _, wantGPS := range []bool{true, false} {
+		p := &RegistrationRequest{EIN: 0x1234, WantGPS: wantGPS}
+		b, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalPacket(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != TypeRegistration || got.Register == nil {
+			t.Fatalf("decoded type %v", got.Type)
+		}
+		if *got.Register != *p {
+			t.Fatalf("got %+v, want %+v", got.Register, p)
+		}
+	}
+}
+
+func TestReservationRoundTrip(t *testing.T) {
+	p := &ReservationRequest{User: 42, Slots: 9}
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalPacket(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeReservation || got.Reservation == nil {
+		t.Fatalf("decoded type %v", got.Type)
+	}
+	if *got.Reservation != *p {
+		t.Fatalf("got %+v, want %+v", got.Reservation, p)
+	}
+}
+
+func TestReservationValidation(t *testing.T) {
+	if _, err := (&ReservationRequest{User: NoUser, Slots: 1}).Marshal(); !errors.Is(err, ErrBadPacket) {
+		t.Fatal("reservation from NoUser accepted")
+	}
+	if _, err := (&ReservationRequest{User: 1, Slots: MaxMoreSlots + 1}).Marshal(); !errors.Is(err, ErrBadPacket) {
+		t.Fatal("oversize slot request accepted")
+	}
+}
+
+func TestUnmarshalPacketErrors(t *testing.T) {
+	if _, err := UnmarshalPacket(make([]byte, 47)); !errors.Is(err, ErrBadLength) {
+		t.Fatal("short packet accepted")
+	}
+	// Type nibble 0 and 15 are invalid.
+	b := make([]byte, phy.CodewordInfoBytes)
+	if _, err := UnmarshalPacket(b); !errors.Is(err, ErrBadPacket) {
+		t.Fatal("type 0 accepted")
+	}
+	b[0] = 0xF0
+	if _, err := UnmarshalPacket(b); !errors.Is(err, ErrBadPacket) {
+		t.Fatal("type 15 accepted")
+	}
+}
+
+func TestGPSReportRoundTrip(t *testing.T) {
+	g := &GPSReport{User: 6, Sequence: 777, Latitude: 0xABCDE, Longitude: 0x12345}
+	b, err := g.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != GPSReportBytes {
+		t.Fatalf("GPS body %d bytes, want %d", len(b), GPSReportBytes)
+	}
+	got, err := UnmarshalGPSReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *g {
+		t.Fatalf("got %+v, want %+v", got, g)
+	}
+}
+
+func TestGPSReportBodySizeMatchesPHY(t *testing.T) {
+	// 128 channel symbols × 2 bits/symbol = 256 bits = 32 bytes.
+	if GPSReportBytes != 32 {
+		t.Fatalf("GPSReportBytes = %d, want 32", GPSReportBytes)
+	}
+}
+
+func TestGPSReportChecksumDetectsCorruption(t *testing.T) {
+	g := &GPSReport{User: 1, Sequence: 2, Latitude: 3, Longitude: 4}
+	b, err := g.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		corrupted := append([]byte(nil), b...)
+		corrupted[i] ^= 0x40
+		if _, err := UnmarshalGPSReport(corrupted); err == nil {
+			t.Fatalf("corruption at byte %d undetected", i)
+		}
+	}
+}
+
+func TestGPSReportValidation(t *testing.T) {
+	if _, err := (&GPSReport{User: 64}).Marshal(); !errors.Is(err, ErrBadPacket) {
+		t.Fatal("7-bit user accepted")
+	}
+	if _, err := (&GPSReport{User: 1, Latitude: 1 << 24}).Marshal(); !errors.Is(err, ErrBadPacket) {
+		t.Fatal("25-bit latitude accepted")
+	}
+	if _, err := UnmarshalGPSReport(make([]byte, 31)); !errors.Is(err, ErrBadLength) {
+		t.Fatal("short GPS body accepted")
+	}
+}
+
+// Property: data packets with arbitrary valid fields round-trip.
+func TestPropertyDataPacketRoundTrip(t *testing.T) {
+	f := func(user, more, frag, total uint8, msgID uint16, payload []byte) bool {
+		p := &DataPacket{
+			Header: DataHeader{
+				User:      UserID(user % 64),
+				MoreSlots: more % 16,
+				MsgID:     msgID,
+				Frag:      frag,
+				FragTotal: total,
+			},
+			Payload: payload,
+		}
+		if len(p.Payload) > MaxPayload {
+			p.Payload = p.Payload[:MaxPayload]
+		}
+		b, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalPacket(b)
+		if err != nil || got.Type != TypeData {
+			return false
+		}
+		return got.Data.Header == p.Header && bytes.Equal(got.Data.Payload, p.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GPS reports round-trip and every single-bit corruption is
+// caught by the checksum.
+func TestPropertyGPSChecksum(t *testing.T) {
+	f := func(user uint8, seq uint16, lat, lon uint32, bit uint16) bool {
+		g := &GPSReport{
+			User:      UserID(user % 64),
+			Sequence:  seq,
+			Latitude:  lat % (1 << 24),
+			Longitude: lon % (1 << 24),
+		}
+		b, err := g.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalGPSReport(b)
+		if err != nil || *got != *g {
+			return false
+		}
+		// Flip one bit within the checksummed region (first 10 bytes).
+		pos := int(bit) % (10 * 8)
+		b[pos/8] ^= 1 << uint(pos%8)
+		_, err = UnmarshalGPSReport(b)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package gf256 implements arithmetic over the finite field GF(2⁸)
+// with the primitive polynomial x⁸ + x⁴ + x³ + x² + 1 (0x11D), the
+// conventional choice for Reed-Solomon codes over bytes and the field
+// used by the OSU-MAC RS(64,48) code.
+//
+// Field elements are bytes. Addition and subtraction are both XOR.
+// Multiplication and division use precomputed log/antilog tables built
+// once at package load from the generator α = 0x02.
+package gf256
+
+// Order is the number of elements in the field.
+const Order = 256
+
+// Poly is the primitive polynomial used to construct the field,
+// expressed with the x⁸ term included (0x11D = x⁸+x⁴+x³+x²+1).
+const Poly = 0x11D
+
+// Generator is the primitive element α whose powers enumerate the
+// multiplicative group.
+const Generator = 0x02
+
+var (
+	expTable [512]byte // expTable[i] = α^i, doubled to avoid mod 255 in Mul
+	logTable [256]byte // logTable[x] = log_α(x); logTable[0] is unused
+)
+
+func init() {
+	// Table construction is deterministic, allocation-free and has no
+	// side effects beyond the two package tables, which fits the narrow
+	// carve-out for init() (deterministic precomputation).
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		expTable[i+255] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	// α^255 = 1 wraps; fill the two remaining doubled-table slots.
+	expTable[510] = expTable[0]
+	expTable[511] = expTable[1]
+}
+
+// Add returns a + b in GF(2⁸) (XOR).
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a − b in GF(2⁸); identical to Add in characteristic 2.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a · b in GF(2⁸).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a / b in GF(2⁸). Division by zero panics: it indicates a
+// logic error in the caller (RS decoders check denominators first).
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(logTable[a]) - int(logTable[b])
+	if d < 0 {
+		d += 255
+	}
+	return expTable[d]
+}
+
+// Inv returns the multiplicative inverse of a. It panics on zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Exp returns α^n for any integer n (negative allowed).
+func Exp(n int) byte {
+	n %= 255
+	if n < 0 {
+		n += 255
+	}
+	return expTable[n]
+}
+
+// Log returns log_α(a) in [0,255). It panics on zero, which has no
+// logarithm.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// Pow returns a^n. 0⁰ is defined as 1 for polynomial-evaluation
+// convenience.
+func Pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	e := (int(logTable[a]) * n) % 255
+	if e < 0 {
+		e += 255
+	}
+	return expTable[e]
+}

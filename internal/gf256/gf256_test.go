@@ -1,0 +1,268 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTablesConsistent(t *testing.T) {
+	// α^log(x) == x for all nonzero x, and log(α^i) == i for i in [0,255).
+	for x := 1; x < 256; x++ {
+		if got := Exp(Log(byte(x))); got != byte(x) {
+			t.Fatalf("Exp(Log(%d)) = %d", x, got)
+		}
+	}
+	for i := 0; i < 255; i++ {
+		if got := Log(Exp(i)); got != i {
+			t.Fatalf("Log(Exp(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestGeneratorOrder255(t *testing.T) {
+	seen := make(map[byte]bool, 255)
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		if seen[x] {
+			t.Fatalf("generator cycle shorter than 255 (repeat at %d)", i)
+		}
+		seen[x] = true
+		x = Mul(x, Generator)
+	}
+	if x != 1 {
+		t.Fatalf("α^255 = %d, want 1", x)
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	cases := []struct{ a, b, want byte }{
+		{0, 0, 0},
+		{0, 7, 0},
+		{1, 211, 211},
+		{2, 2, 4},
+		{0x80, 2, 0x1D},    // x⁷·x = x⁸ ≡ 0x1D
+		{0x53, 0xCA, 0x8F}, // regression value for poly 0x11D
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x,%#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDivAndInv(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if Mul(byte(a), inv) != 1 {
+			t.Fatalf("a·Inv(a) != 1 for a=%d", a)
+		}
+		if Div(1, byte(a)) != inv {
+			t.Fatalf("Div(1,a) != Inv(a) for a=%d", a)
+		}
+	}
+	if Div(0, 5) != 0 {
+		t.Fatal("0/x should be 0")
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestLogZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log(0) did not panic")
+		}
+	}()
+	Log(0)
+}
+
+func TestPow(t *testing.T) {
+	if Pow(0, 0) != 1 {
+		t.Fatal("0⁰ should be 1 by convention")
+	}
+	if Pow(0, 3) != 0 {
+		t.Fatal("0³ should be 0")
+	}
+	for a := 1; a < 256; a += 17 {
+		acc := byte(1)
+		for n := 0; n < 10; n++ {
+			if got := Pow(byte(a), n); got != acc {
+				t.Fatalf("Pow(%d,%d) = %d, want %d", a, n, got, acc)
+			}
+			acc = Mul(acc, byte(a))
+		}
+	}
+}
+
+func TestExpNegative(t *testing.T) {
+	for n := -10; n < 10; n++ {
+		want := Pow(Generator, ((n%255)+255)%255)
+		if got := Exp(n); got != want {
+			t.Fatalf("Exp(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Field axioms as property tests.
+
+func TestPropertyFieldAxioms(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+
+	commMul := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(commMul, cfg); err != nil {
+		t.Error("multiplication not commutative:", err)
+	}
+
+	assocMul := func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(assocMul, cfg); err != nil {
+		t.Error("multiplication not associative:", err)
+	}
+
+	distrib := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(distrib, cfg); err != nil {
+		t.Error("distributivity fails:", err)
+	}
+
+	addInverse := func(a byte) bool { return Add(a, a) == 0 }
+	if err := quick.Check(addInverse, cfg); err != nil {
+		t.Error("additive self-inverse fails:", err)
+	}
+
+	mulIdentity := func(a byte) bool { return Mul(a, 1) == a }
+	if err := quick.Check(mulIdentity, cfg); err != nil {
+		t.Error("multiplicative identity fails:", err)
+	}
+
+	divRoundTrip := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(divRoundTrip, cfg); err != nil {
+		t.Error("div/mul round-trip fails:", err)
+	}
+}
+
+func TestPolyEvalHorner(t *testing.T) {
+	// p(x) = 3 + 2x + x², p(2) = 3 ^ Mul(2,2) ^ Mul(1,4)
+	p := []byte{3, 2, 1}
+	want := byte(3) ^ Mul(2, 2) ^ Mul(1, Mul(2, 2))
+	if got := PolyEval(p, 2); got != want {
+		t.Fatalf("PolyEval = %d, want %d", got, want)
+	}
+	if PolyEval(nil, 7) != 0 {
+		t.Fatal("empty polynomial should evaluate to 0")
+	}
+	if PolyEval(p, 0) != 3 {
+		t.Fatal("p(0) should be the constant term")
+	}
+}
+
+func TestPolyMulDegreeAndZero(t *testing.T) {
+	a := []byte{1, 1}    // 1 + x
+	b := []byte{2, 0, 1} // 2 + x²
+	prod := PolyMul(a, b)
+	if d := PolyDegree(prod); d != 3 {
+		t.Fatalf("degree = %d, want 3", d)
+	}
+	if PolyMul(nil, b) != nil || PolyMul(a, []byte{0, 0}) != nil {
+		t.Fatal("multiplying by zero polynomial should give nil")
+	}
+}
+
+func TestPolyDivMod(t *testing.T) {
+	a := []byte{5, 3, 0, 7, 1} // degree 4
+	b := []byte{2, 1}          // degree 1
+	quo, rem := PolyDivMod(a, b)
+	// Check a == quo*b + rem.
+	back := PolyAdd(PolyMul(quo, b), rem)
+	if PolyDegree(back) != PolyDegree(a) {
+		t.Fatalf("reconstruction degree mismatch")
+	}
+	for i := 0; i <= PolyDegree(a); i++ {
+		var bi byte
+		if i < len(back) {
+			bi = back[i]
+		}
+		if bi != a[i] {
+			t.Fatalf("reconstruction differs at %d", i)
+		}
+	}
+	if PolyDegree(rem) >= PolyDegree(b) {
+		t.Fatalf("remainder degree %d not < divisor degree %d", PolyDegree(rem), PolyDegree(b))
+	}
+}
+
+func TestPolyDivModByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("division by zero polynomial did not panic")
+		}
+	}()
+	PolyDivMod([]byte{1, 2}, []byte{0})
+}
+
+func TestPolyDeriv(t *testing.T) {
+	// d/dx (a + bx + cx² + dx³) = b + dx² in characteristic 2.
+	p := []byte{9, 7, 5, 3}
+	d := PolyDeriv(p)
+	want := []byte{7, 0, 3}
+	if len(d) != len(want) {
+		t.Fatalf("deriv = %v, want %v", d, want)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("deriv = %v, want %v", d, want)
+		}
+	}
+	if PolyDeriv([]byte{5}) != nil {
+		t.Fatal("derivative of constant should be nil")
+	}
+}
+
+// Property: polynomial division reconstruction for random polynomials.
+func TestPropertyPolyDivModReconstruction(t *testing.T) {
+	f := func(aRaw, bRaw []byte) bool {
+		a := PolyTrim(aRaw)
+		b := PolyTrim(bRaw)
+		if PolyDegree(b) < 0 {
+			return true
+		}
+		quo, rem := PolyDivMod(a, b)
+		back := PolyTrim(PolyAdd(PolyMul(quo, b), rem))
+		aT := PolyTrim(a)
+		if len(back) != len(aT) {
+			return false
+		}
+		for i := range aT {
+			if back[i] != aT[i] {
+				return false
+			}
+		}
+		return PolyDegree(rem) < PolyDegree(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package gf256
+
+// Polynomial operations over GF(2⁸). A polynomial is a byte slice with
+// coefficients in ascending power order: p[i] is the coefficient of xⁱ.
+// The zero polynomial is represented by an empty (or all-zero) slice.
+
+// PolyDegree returns the degree of p, or -1 for the zero polynomial.
+func PolyDegree(p []byte) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// PolyTrim returns p without trailing zero coefficients.
+func PolyTrim(p []byte) []byte {
+	d := PolyDegree(p)
+	return p[:d+1]
+}
+
+// PolyAdd returns a + b.
+func PolyAdd(a, b []byte) []byte {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]byte, n)
+	copy(out, a)
+	for i := range b {
+		out[i] ^= b[i]
+	}
+	return out
+}
+
+// PolyMul returns a · b.
+func PolyMul(a, b []byte) []byte {
+	if PolyDegree(a) < 0 || PolyDegree(b) < 0 {
+		return nil
+	}
+	out := make([]byte, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] ^= Mul(ai, bj)
+		}
+	}
+	return out
+}
+
+// PolyScale returns c · p.
+func PolyScale(p []byte, c byte) []byte {
+	out := make([]byte, len(p))
+	for i, pi := range p {
+		out[i] = Mul(pi, c)
+	}
+	return out
+}
+
+// PolyEval evaluates p at x using Horner's rule.
+func PolyEval(p []byte, x byte) byte {
+	var acc byte
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = Mul(acc, x) ^ p[i]
+	}
+	return acc
+}
+
+// PolyDivMod returns the quotient and remainder of a ÷ b. It panics if b
+// is the zero polynomial.
+func PolyDivMod(a, b []byte) (quo, rem []byte) {
+	db := PolyDegree(b)
+	if db < 0 {
+		panic("gf256: polynomial division by zero")
+	}
+	rem = make([]byte, len(a))
+	copy(rem, a)
+	da := PolyDegree(rem)
+	if da < db {
+		return nil, PolyTrim(rem)
+	}
+	quo = make([]byte, da-db+1)
+	lead := Inv(b[db])
+	for d := da; d >= db; d-- {
+		if rem[d] == 0 {
+			continue
+		}
+		c := Mul(rem[d], lead)
+		quo[d-db] = c
+		for i := 0; i <= db; i++ {
+			rem[d-db+i] ^= Mul(c, b[i])
+		}
+	}
+	return quo, PolyTrim(rem)
+}
+
+// PolyDeriv returns the formal derivative of p. In characteristic 2 the
+// even-power terms vanish and odd-power terms keep their coefficient.
+func PolyDeriv(p []byte) []byte {
+	if len(p) <= 1 {
+		return nil
+	}
+	out := make([]byte, len(p)-1)
+	for i := 1; i < len(p); i += 2 {
+		out[i-1] = p[i]
+	}
+	return PolyTrim(out)
+}

@@ -1,0 +1,119 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/osu-netlab/osumac/internal/sim"
+)
+
+// AWGN models the narrow-band link as an additive white Gaussian noise
+// channel at a given Eb/N0. The testbed modulates QPSK (2 coded bits
+// per channel symbol, paper Table 1); with Gray mapping the coded bit
+// error rate is Q(√(2·Eb/N0)) and a coded RS byte (4 QPSK symbols) is
+// in error when any of its 8 bits flips. This ties the simulator's
+// byte-level corruption to a physical signal-to-noise knob.
+type AWGN struct {
+	// EbN0dB is the per-information-bit SNR in decibels.
+	EbN0dB float64
+
+	pByte float64
+	init  bool
+}
+
+var _ ErrorModel = (*AWGN)(nil)
+
+// NewAWGN returns an AWGN channel at the given Eb/N0 (dB).
+func NewAWGN(ebN0dB float64) *AWGN {
+	m := &AWGN{EbN0dB: ebN0dB}
+	m.prepare()
+	return m
+}
+
+func (m *AWGN) prepare() {
+	ebN0 := math.Pow(10, m.EbN0dB/10)
+	ber := qfunc(math.Sqrt(2 * ebN0))
+	m.pByte = 1 - math.Pow(1-ber, 8)
+	m.init = true
+}
+
+// BitErrorRate returns the coded bit error probability at this SNR.
+func (m *AWGN) BitErrorRate() float64 {
+	ebN0 := math.Pow(10, m.EbN0dB/10)
+	return qfunc(math.Sqrt(2 * ebN0))
+}
+
+// ByteErrorRate returns the per-RS-symbol (byte) error probability.
+func (m *AWGN) ByteErrorRate() float64 {
+	if !m.init {
+		m.prepare()
+	}
+	return m.pByte
+}
+
+// Corrupt implements ErrorModel.
+func (m *AWGN) Corrupt(cw []byte, rng *sim.RNG) int {
+	if !m.init {
+		m.prepare()
+	}
+	changed := 0
+	for i := range cw {
+		if rng.Bool(m.pByte) {
+			cw[i] ^= byte(rng.UniformInt(1, 255))
+			changed++
+		}
+	}
+	return changed
+}
+
+// Name implements ErrorModel.
+func (m *AWGN) Name() string { return fmt.Sprintf("awgn(Eb/N0=%gdB)", m.EbN0dB) }
+
+// qfunc is the Gaussian tail probability Q(x) = P(N(0,1) > x).
+func qfunc(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// CodewordLossProbability returns the probability that a full RS(n,k)
+// codeword of nBytes bytes exceeds t byte errors at this SNR — handy
+// for calibrating TwoRegime shortcuts against a physical operating
+// point.
+func (m *AWGN) CodewordLossProbability(nBytes, t int) float64 {
+	if !m.init {
+		m.prepare()
+	}
+	p := m.pByte
+	// P(X > t) for X ~ Binomial(nBytes, p).
+	var cdf float64
+	for k := 0; k <= t; k++ {
+		cdf += binomPMF(nBytes, k, p)
+	}
+	if cdf > 1 {
+		cdf = 1
+	}
+	return 1 - cdf
+}
+
+func binomPMF(n, k int, p float64) float64 {
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	// Work in logs for numerical stability.
+	logC := lgamma(n+1) - lgamma(k+1) - lgamma(n-k+1)
+	logP := logC + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(logP)
+}
+
+func lgamma(x int) float64 {
+	v, _ := math.Lgamma(float64(x))
+	return v
+}

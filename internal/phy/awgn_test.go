@@ -1,0 +1,125 @@
+package phy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/osu-netlab/osumac/internal/sim"
+)
+
+func TestAWGNBERKnownValues(t *testing.T) {
+	// QPSK BER = Q(√(2·Eb/N0)): textbook value at 0 dB ≈ 0.0786,
+	// at 9.6 dB ≈ 1e-5.
+	m0 := NewAWGN(0)
+	if got := m0.BitErrorRate(); math.Abs(got-0.0786) > 0.001 {
+		t.Fatalf("BER at 0 dB = %v, want ~0.0786", got)
+	}
+	m96 := NewAWGN(9.6)
+	if got := m96.BitErrorRate(); got > 2e-5 || got < 2e-6 {
+		t.Fatalf("BER at 9.6 dB = %v, want ~1e-5", got)
+	}
+}
+
+func TestAWGNMonotoneInSNR(t *testing.T) {
+	prev := 1.0
+	for snr := -5.0; snr <= 15; snr += 2 {
+		ber := NewAWGN(snr).BitErrorRate()
+		if ber >= prev {
+			t.Fatalf("BER not decreasing at %v dB", snr)
+		}
+		prev = ber
+	}
+}
+
+func TestAWGNByteErrorRate(t *testing.T) {
+	m := NewAWGN(4)
+	ber := m.BitErrorRate()
+	want := 1 - math.Pow(1-ber, 8)
+	if math.Abs(m.ByteErrorRate()-want) > 1e-12 {
+		t.Fatal("byte error rate inconsistent with BER")
+	}
+}
+
+func TestAWGNCorruptEmpirical(t *testing.T) {
+	m := NewAWGN(3)
+	rng := sim.NewRNG(1)
+	total, changed := 0, 0
+	for i := 0; i < 2000; i++ {
+		cw := make([]byte, 64)
+		changed += m.Corrupt(cw, rng)
+		total += 64
+	}
+	got := float64(changed) / float64(total)
+	want := m.ByteErrorRate()
+	if math.Abs(got-want) > 0.15*want+0.001 {
+		t.Fatalf("empirical byte error rate %v, want ~%v", got, want)
+	}
+}
+
+func TestAWGNHighSNRIsClean(t *testing.T) {
+	m := NewAWGN(20)
+	rng := sim.NewRNG(2)
+	cw := make([]byte, 64)
+	changed := 0
+	for i := 0; i < 1000; i++ {
+		changed += m.Corrupt(cw, rng)
+	}
+	if changed != 0 {
+		t.Fatalf("20 dB channel corrupted %d bytes in 64k", changed)
+	}
+}
+
+func TestAWGNZeroValuePrepares(t *testing.T) {
+	var m AWGN // EbN0dB = 0
+	if m.ByteErrorRate() <= 0 {
+		t.Fatal("zero-value AWGN has no error rate")
+	}
+	rng := sim.NewRNG(3)
+	cw := make([]byte, 64)
+	m2 := AWGN{EbN0dB: 0}
+	if n := m2.Corrupt(cw, rng); n == 0 {
+		// 0 dB corrupts ~48% of bytes; 0 changes in 64 is astronomically
+		// unlikely.
+		t.Fatal("zero-value AWGN never corrupts")
+	}
+}
+
+func TestAWGNCodewordLossProbability(t *testing.T) {
+	// At very high SNR the RS(64,48) word never exceeds t=8 errors.
+	if p := NewAWGN(15).CodewordLossProbability(64, 8); p > 1e-9 {
+		t.Fatalf("loss at 15 dB = %v", p)
+	}
+	// At very low SNR it always does.
+	if p := NewAWGN(-10).CodewordLossProbability(64, 8); p < 0.999 {
+		t.Fatalf("loss at -10 dB = %v", p)
+	}
+	// Monotone in SNR.
+	prev := 1.1
+	for snr := -5.0; snr < 12; snr += 1 {
+		p := NewAWGN(snr).CodewordLossProbability(64, 8)
+		if p > prev+1e-12 {
+			t.Fatalf("loss probability not decreasing at %v dB", snr)
+		}
+		prev = p
+	}
+}
+
+func TestAWGNName(t *testing.T) {
+	if NewAWGN(6.5).Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+// TestAWGNWaterfallThroughRS characterizes the coded system: below the
+// waterfall SNR the RS decoder loses most codewords, above it nearly
+// none — the cliff behaviour narrow-band coded links exhibit.
+func TestAWGNWaterfallThroughRS(t *testing.T) {
+	low := NewAWGN(2).CodewordLossProbability(64, 8)
+	high := NewAWGN(8).CodewordLossProbability(64, 8)
+	if low < 0.5 {
+		t.Fatalf("below waterfall: loss %v, want > 0.5", low)
+	}
+	if high > 1e-3 {
+		t.Fatalf("above waterfall: loss %v, want < 1e-3", high)
+	}
+}

@@ -1,0 +1,211 @@
+// Package phy models the physical layer of the OSU narrow-band wireless
+// modem testbed: channel symbol rates, pilot-symbol framing, preamble /
+// postamble / guard-time accounting (paper Table 1), the half-duplex
+// transmit/receive constraint, and wireless channel error models.
+package phy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Direction distinguishes the two channels of a cell.
+type Direction int
+
+// The forward channel carries base → mobile traffic; the reverse channel
+// carries mobile → base traffic.
+const (
+	Forward Direction = iota + 1
+	Reverse
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Forward:
+		return "forward"
+	case Reverse:
+		return "reverse"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Channel symbol rates and modulation (paper §2.2, Table 1).
+const (
+	// ForwardSymbolRate is the forward channel rate in symbols/second.
+	ForwardSymbolRate = 3200
+	// ReverseSymbolRate is the reverse channel rate in symbols/second.
+	ReverseSymbolRate = 2400
+	// BitsPerSymbol is the QPSK coding rate: two coded bits per symbol.
+	BitsPerSymbol = 2
+)
+
+// Pilot-symbol frame structure (paper Fig. 1).
+const (
+	// PSFrameSymbols is the total channel symbols per pilot-symbol frame.
+	PSFrameSymbols = 150
+	// PSFrameInfoSymbols is the data symbols per pilot-symbol frame.
+	PSFrameInfoSymbols = 128
+	// PSFramePilots is the pilot symbols per PS frame (7 leading + 15
+	// interleaved).
+	PSFramePilots = PSFrameSymbols - PSFrameInfoSymbols
+)
+
+// Reed-Solomon codeword framing (paper Table 1).
+const (
+	// CodewordInfoBits is the information payload of one RS(64,48)
+	// codeword.
+	CodewordInfoBits = 384
+	// CodewordBits is the coded size of one RS(64,48) codeword.
+	CodewordBits = 512
+	// CodewordInfoBytes and CodewordBytes are the byte equivalents.
+	CodewordInfoBytes = CodewordInfoBits / 8
+	CodewordBytes     = CodewordBits / 8
+	// CodewordSymbols is the channel symbols for one codeword's coded
+	// bits (512 bits / 2 bits-per-symbol).
+	CodewordSymbols = CodewordBits / BitsPerSymbol
+	// PacketPSFrames is PS frames per regular data packet.
+	PacketPSFrames = 2
+	// PacketSymbols is channel symbols per regular data packet: the 256
+	// codeword symbols carried inside 2 PS frames of 150 symbols each.
+	PacketSymbols = PacketPSFrames * PSFrameSymbols
+)
+
+// Reverse-channel per-packet overheads (paper Table 1).
+const (
+	// RegularPreambleSymbols precedes each regular packet on the reverse
+	// channel.
+	RegularPreambleSymbols = 600
+	// RegularPostambleSymbols follows each regular packet.
+	RegularPostambleSymbols = 51
+	// GuardSymbols separates consecutive packets on the reverse channel.
+	GuardSymbols = 18
+	// RegularSlotSymbols is the total reverse-channel data-slot length:
+	// preamble + body + postamble + guard = 600+300+51+18 = 969.
+	RegularSlotSymbols = RegularPreambleSymbols + PacketSymbols +
+		RegularPostambleSymbols + GuardSymbols
+
+	// GPSPacketInfoBits is the GPS location report payload.
+	GPSPacketInfoBits = 72
+	// GPSPacketSymbols is the GPS packet body length in channel symbols.
+	GPSPacketSymbols = 128
+	// GPSPreambleSymbols precedes each GPS packet.
+	GPSPreambleSymbols = 64
+	// GPSSlotSymbols is the total GPS slot length: 64+128+18 = 210.
+	GPSSlotSymbols = GPSPreambleSymbols + GPSPacketSymbols + GuardSymbols
+)
+
+// Forward-channel notification-cycle framing (paper §3.4, Fig. 4).
+const (
+	// CyclePreamble1Symbols starts each forward notification cycle.
+	CyclePreamble1Symbols = 300
+	// CyclePreamble2Symbols precedes the second set of control fields.
+	CyclePreamble2Symbols = 150
+	// CyclePreambleSymbols is the per-cycle total (Table 1 lists 450).
+	CyclePreambleSymbols = CyclePreamble1Symbols + CyclePreamble2Symbols
+	// ControlFieldCodewords is the RS codewords per control-field set.
+	ControlFieldCodewords = 2
+	// ControlFieldSymbols is the channel symbols per control-field set.
+	ControlFieldSymbols = ControlFieldCodewords * PacketSymbols
+)
+
+// HalfDuplexSwitch is the guard a mobile needs between its transmit and
+// receive functions (paper §2.2: 20 ms each way).
+const HalfDuplexSwitch = 20 * time.Millisecond
+
+// SymbolDuration returns the exact air time of n channel symbols at the
+// given symbol rate. The result is exact whenever n·10⁹ divides the
+// rate; all slot-level aggregates in the paper do.
+func SymbolDuration(n, symbolsPerSecond int) time.Duration {
+	return time.Duration(n) * time.Second / time.Duration(symbolsPerSecond)
+}
+
+// Derived canonical durations (paper Table 1 and §3.3–3.4). All values
+// are exact in nanoseconds.
+var (
+	// ForwardPacketTime is 300 symbols at 3200 sym/s = 93.75 ms.
+	ForwardPacketTime = SymbolDuration(PacketSymbols, ForwardSymbolRate)
+	// ReversePacketTime is 300 symbols at 2400 sym/s = 125 ms.
+	ReversePacketTime = SymbolDuration(PacketSymbols, ReverseSymbolRate)
+	// ReverseDataSlotTime is 969 symbols = 403.75 ms.
+	ReverseDataSlotTime = SymbolDuration(RegularSlotSymbols, ReverseSymbolRate)
+	// GPSSlotTime is 210 symbols = 87.5 ms.
+	GPSSlotTime = SymbolDuration(GPSSlotSymbols, ReverseSymbolRate)
+	// CyclePreambleTime is 450 symbols at 3200 sym/s = 140.625 ms.
+	CyclePreambleTime = SymbolDuration(CyclePreambleSymbols, ForwardSymbolRate)
+	// ControlFieldTime is one control-field set (600 symbols) = 187.5 ms.
+	ControlFieldTime = SymbolDuration(ControlFieldSymbols, ForwardSymbolRate)
+)
+
+// Forward notification-cycle layout (paper §3.4): preamble(300) + CF1
+// (600) + 1 data slot (300) + preamble(150) + CF2 (600) + 36 data slots.
+const (
+	// ForwardDataSlots is N, the data slots per forward cycle.
+	ForwardDataSlots = 37
+	// ForwardCycleSymbols is the total forward cycle length in symbols.
+	ForwardCycleSymbols = CyclePreamble1Symbols + ControlFieldSymbols +
+		PacketSymbols + CyclePreamble2Symbols + ControlFieldSymbols +
+		(ForwardDataSlots-1)*PacketSymbols
+)
+
+// CycleLength is the notification-cycle length on both channels:
+// 12750 symbols at 3200 sym/s = 3.984375 s (the paper quotes 3.9844).
+var CycleLength = SymbolDuration(ForwardCycleSymbols, ForwardSymbolRate)
+
+// ReverseShift is δ, the offset of the reverse cycle behind the forward
+// cycle: first preamble + first control fields + 20 ms switch time
+// = 93.75 + 187.5 + 20 = 301.25 ms (paper §3.4 problem 2).
+var ReverseShift = SymbolDuration(CyclePreamble1Symbols, ForwardSymbolRate) +
+	ControlFieldTime + HalfDuplexSwitch
+
+// Reverse cycle formats (paper §3.3, Fig. 3).
+const (
+	// Format1GPSSlots / Format1DataSlots: used when >3 GPS users.
+	Format1GPSSlots  = 8
+	Format1DataSlots = 8
+	// Format2GPSSlots / Format2DataSlots: used when ≤3 GPS users; five
+	// unused GPS slots coalesce into one extra data slot.
+	Format2GPSSlots  = 3
+	Format2DataSlots = 9
+	// Format2TailGuardSymbols is the guard closing format 2 (0.03375 s).
+	Format2TailGuardSymbols = 81
+	// MaxGPSUsers is the GPS subscriber capacity of a cell.
+	MaxGPSUsers = 8
+	// MaxDataUsers is the regular-data subscriber capacity of a cell.
+	MaxDataUsers = 64
+)
+
+// GPSAccessDeadline is the hard real-time bound: every active GPS user
+// must get a slot in any 4-second window (paper §2.1).
+const GPSAccessDeadline = 4 * time.Second
+
+// FrameEfficiency returns the PS-frame transmission efficiency 128/150.
+func FrameEfficiency() float64 {
+	return float64(PSFrameInfoSymbols) / float64(PSFrameSymbols)
+}
+
+// DataRateBps returns the raw channel bit rate for a direction:
+// 6.4 kbps forward, 4.8 kbps reverse.
+func DataRateBps(d Direction) int {
+	switch d {
+	case Forward:
+		return ForwardSymbolRate * BitsPerSymbol
+	case Reverse:
+		return ReverseSymbolRate * BitsPerSymbol
+	default:
+		return 0
+	}
+}
+
+// SymbolRate returns the channel symbol rate for a direction.
+func SymbolRate(d Direction) int {
+	switch d {
+	case Forward:
+		return ForwardSymbolRate
+	case Reverse:
+		return ReverseSymbolRate
+	default:
+		return 0
+	}
+}

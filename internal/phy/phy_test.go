@@ -1,0 +1,151 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestTable1Constants pins every physical-layer value from paper Table 1.
+func TestTable1Constants(t *testing.T) {
+	cases := []struct {
+		name string
+		got  any
+		want any
+	}{
+		{"forward symbol rate", ForwardSymbolRate, 3200},
+		{"reverse symbol rate", ReverseSymbolRate, 2400},
+		{"coding rate (bits/symbol)", BitsPerSymbol, 2},
+		{"info symbols per pilot frame", PSFrameInfoSymbols, 128},
+		{"channel symbols per pilot frame", PSFrameSymbols, 150},
+		{"info bits per RS codeword", CodewordInfoBits, 384},
+		{"bits per RS codeword", CodewordBits, 512},
+		{"pilot frames per regular packet", PacketPSFrames, 2},
+		{"channel symbols per regular packet", PacketSymbols, 300},
+		{"cycle preamble (symbols)", CyclePreambleSymbols, 450},
+		{"GPS packet info bits", GPSPacketInfoBits, 72},
+		{"GPS packet symbols", GPSPacketSymbols, 128},
+		{"GPS preamble symbols", GPSPreambleSymbols, 64},
+		{"regular preamble symbols", RegularPreambleSymbols, 600},
+		{"regular postamble symbols", RegularPostambleSymbols, 51},
+		{"guard symbols", GuardSymbols, 18},
+		{"GPS slot total symbols", GPSSlotSymbols, 210},
+		{"regular slot total symbols", RegularSlotSymbols, 969},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestTable1Durations pins the second-valued rows of Table 1.
+func TestTable1Durations(t *testing.T) {
+	ms := func(f float64) time.Duration {
+		return time.Duration(math.Round(f * float64(time.Second)))
+	}
+	cases := []struct {
+		name string
+		got  time.Duration
+		want time.Duration
+	}{
+		{"time per regular packet forward", ForwardPacketTime, ms(0.09375)},
+		{"time per regular packet reverse", ReversePacketTime, ms(0.125)},
+		{"time per cycle preamble", CyclePreambleTime, ms(0.140625)},
+		{"GPS slot time", GPSSlotTime, ms(0.0875)},
+		{"regular slot time", ReverseDataSlotTime, ms(0.40375)},
+		{"control field set time", ControlFieldTime, ms(0.1875)},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestCycleLength(t *testing.T) {
+	// Paper §3.4: exact forward cycle length 3.984375 s (quoted 3.9844).
+	want := 3984375 * time.Microsecond
+	if CycleLength != want {
+		t.Fatalf("CycleLength = %v, want %v", CycleLength, want)
+	}
+	if ForwardCycleSymbols != 12750 {
+		t.Fatalf("ForwardCycleSymbols = %d, want 12750", ForwardCycleSymbols)
+	}
+}
+
+func TestReverseShift(t *testing.T) {
+	// δ = 0.09375 + 0.1875 + 0.020 = 0.30125 s (paper §3.4 problem 2 and
+	// Table 2 GPS slot 1).
+	want := 301250 * time.Microsecond
+	if ReverseShift != want {
+		t.Fatalf("ReverseShift = %v, want %v", ReverseShift, want)
+	}
+}
+
+func TestReverseCycleFitsForwardCycle(t *testing.T) {
+	// Format 1 payload: 8 GPS + 8 data slots = 3.93 s, leaving the
+	// 0.054375 s alignment guard the paper rounds to 0.0544.
+	f1 := 8*GPSSlotTime + 8*ReverseDataSlotTime
+	if f1 != 3930*time.Millisecond {
+		t.Fatalf("format 1 body = %v, want 3.93s", f1)
+	}
+	pad := CycleLength - f1
+	if pad != 54375*time.Microsecond {
+		t.Fatalf("format 1 alignment guard = %v, want 54.375ms", pad)
+	}
+	// Format 2 payload: 3 GPS + 9 data slots + 0.03375 s tail guard.
+	f2 := 3*GPSSlotTime + 9*ReverseDataSlotTime +
+		SymbolDuration(Format2TailGuardSymbols, ReverseSymbolRate)
+	if f2 != 3930*time.Millisecond {
+		t.Fatalf("format 2 body = %v, want 3.93s", f2)
+	}
+}
+
+func TestFrameEfficiency(t *testing.T) {
+	want := 128.0 / 150.0
+	if got := FrameEfficiency(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("FrameEfficiency = %v, want %v", got, want)
+	}
+}
+
+func TestDataRates(t *testing.T) {
+	if got := DataRateBps(Forward); got != 6400 {
+		t.Fatalf("forward rate = %d, want 6400", got)
+	}
+	if got := DataRateBps(Reverse); got != 4800 {
+		t.Fatalf("reverse rate = %d, want 4800", got)
+	}
+	if DataRateBps(Direction(99)) != 0 {
+		t.Fatal("unknown direction should have zero rate")
+	}
+	if SymbolRate(Forward) != 3200 || SymbolRate(Reverse) != 2400 {
+		t.Fatal("SymbolRate mismatch")
+	}
+	if SymbolRate(Direction(0)) != 0 {
+		t.Fatal("unknown direction should have zero symbol rate")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Forward.String() != "forward" || Reverse.String() != "reverse" {
+		t.Fatal("Direction.String mismatch")
+	}
+	if Direction(42).String() == "" {
+		t.Fatal("unknown direction should still render")
+	}
+}
+
+func TestSymbolDurationExactness(t *testing.T) {
+	// 969 symbols at 2400 sym/s is exactly 403.75 ms.
+	if got := SymbolDuration(969, 2400); got != 403750*time.Microsecond {
+		t.Fatalf("969@2400 = %v", got)
+	}
+	// 300 symbols at 3200 sym/s is exactly 93.75 ms.
+	if got := SymbolDuration(300, 3200); got != 93750*time.Microsecond {
+		t.Fatalf("300@3200 = %v", got)
+	}
+	if got := SymbolDuration(0, 2400); got != 0 {
+		t.Fatalf("0 symbols = %v", got)
+	}
+}

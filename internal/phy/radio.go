@@ -1,0 +1,124 @@
+package phy
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Interval is a half-open time interval [Start, End).
+type Interval struct {
+	Start, End time.Duration
+}
+
+// Overlaps reports whether two half-open intervals intersect.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start < other.End && other.Start < iv.End
+}
+
+// Duration returns End − Start.
+func (iv Interval) Duration() time.Duration { return iv.End - iv.Start }
+
+// Valid reports whether the interval is non-empty and well-formed.
+func (iv Interval) Valid() bool { return iv.End > iv.Start }
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%v,%v)", iv.Start, iv.End)
+}
+
+// HalfDuplexPlan validates a mobile subscriber's schedule within one
+// notification cycle against the half-duplex transmission constraint
+// (paper §3.5): the radio cannot transmit and receive at once, and a
+// 20 ms switch guard is required between a transmit interval and a
+// receive interval in either order.
+//
+// The zero value is an empty plan ready for use.
+type HalfDuplexPlan struct {
+	tx []Interval
+	rx []Interval
+	// Switch is the transmit↔receive turnaround guard; zero means
+	// HalfDuplexSwitch.
+	Switch time.Duration
+}
+
+func (p *HalfDuplexPlan) guard() time.Duration {
+	if p.Switch > 0 {
+		return p.Switch
+	}
+	return HalfDuplexSwitch
+}
+
+// CanTransmit reports whether adding a transmit interval keeps the plan
+// feasible: it must not overlap or come within the switch guard of any
+// receive interval. Transmit-transmit adjacency needs no guard.
+func (p *HalfDuplexPlan) CanTransmit(iv Interval) bool {
+	if !iv.Valid() {
+		return false
+	}
+	g := p.guard()
+	padded := Interval{Start: iv.Start - g, End: iv.End + g}
+	for _, rx := range p.rx {
+		if padded.Overlaps(rx) {
+			return false
+		}
+	}
+	return true
+}
+
+// CanReceive reports whether adding a receive interval keeps the plan
+// feasible against all transmit intervals.
+func (p *HalfDuplexPlan) CanReceive(iv Interval) bool {
+	if !iv.Valid() {
+		return false
+	}
+	g := p.guard()
+	padded := Interval{Start: iv.Start - g, End: iv.End + g}
+	for _, tx := range p.tx {
+		if padded.Overlaps(tx) {
+			return false
+		}
+	}
+	return true
+}
+
+// AddTransmit records a transmit interval. It returns an error if the
+// interval violates the half-duplex constraint.
+func (p *HalfDuplexPlan) AddTransmit(iv Interval) error {
+	if !p.CanTransmit(iv) {
+		return fmt.Errorf("phy: transmit %v violates half-duplex constraint", iv)
+	}
+	p.tx = append(p.tx, iv)
+	return nil
+}
+
+// AddReceive records a receive interval. It returns an error if the
+// interval violates the half-duplex constraint.
+func (p *HalfDuplexPlan) AddReceive(iv Interval) error {
+	if !p.CanReceive(iv) {
+		return fmt.Errorf("phy: receive %v violates half-duplex constraint", iv)
+	}
+	p.rx = append(p.rx, iv)
+	return nil
+}
+
+// Transmits returns a copy of the recorded transmit intervals, sorted by
+// start time.
+func (p *HalfDuplexPlan) Transmits() []Interval { return sortedCopy(p.tx) }
+
+// Receives returns a copy of the recorded receive intervals, sorted by
+// start time.
+func (p *HalfDuplexPlan) Receives() []Interval { return sortedCopy(p.rx) }
+
+// Reset clears the plan for reuse in the next cycle.
+func (p *HalfDuplexPlan) Reset() {
+	p.tx = p.tx[:0]
+	p.rx = p.rx[:0]
+}
+
+func sortedCopy(ivs []Interval) []Interval {
+	out := make([]Interval, len(ivs))
+	copy(out, ivs)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

@@ -1,0 +1,192 @@
+package phy
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func iv(startMs, endMs int) Interval {
+	return Interval{
+		Start: time.Duration(startMs) * time.Millisecond,
+		End:   time.Duration(endMs) * time.Millisecond,
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want bool
+	}{
+		{iv(0, 10), iv(5, 15), true},
+		{iv(0, 10), iv(10, 20), false}, // half-open: touching is fine
+		{iv(10, 20), iv(0, 10), false},
+		{iv(0, 30), iv(10, 20), true}, // containment
+		{iv(5, 6), iv(5, 6), true},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v overlaps %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("overlap not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestIntervalValidAndDuration(t *testing.T) {
+	if !iv(0, 5).Valid() || iv(5, 5).Valid() || iv(6, 5).Valid() {
+		t.Fatal("Valid misclassifies intervals")
+	}
+	if iv(10, 25).Duration() != 15*time.Millisecond {
+		t.Fatal("Duration wrong")
+	}
+}
+
+func TestHalfDuplexSimultaneousForbidden(t *testing.T) {
+	var p HalfDuplexPlan
+	if err := p.AddTransmit(iv(100, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if p.CanReceive(iv(150, 250)) {
+		t.Fatal("overlapping rx allowed during tx")
+	}
+}
+
+func TestHalfDuplexSwitchGuard(t *testing.T) {
+	var p HalfDuplexPlan
+	if err := p.AddTransmit(iv(100, 200)); err != nil {
+		t.Fatal(err)
+	}
+	// Receive must start at least 20 ms after transmit ends.
+	if p.CanReceive(iv(210, 240)) {
+		t.Fatal("rx 10ms after tx allowed; needs 20ms switch")
+	}
+	if !p.CanReceive(iv(220, 240)) {
+		t.Fatal("rx exactly 20ms after tx should be allowed")
+	}
+	// And symmetrically before the transmit starts.
+	if p.CanReceive(iv(60, 90)) {
+		t.Fatal("rx ending 10ms before tx allowed; needs 20ms switch")
+	}
+	if !p.CanReceive(iv(50, 80)) {
+		t.Fatal("rx ending 20ms before tx should be allowed")
+	}
+}
+
+func TestHalfDuplexGuardAppliesBothDirections(t *testing.T) {
+	var p HalfDuplexPlan
+	if err := p.AddReceive(iv(100, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if p.CanTransmit(iv(205, 230)) {
+		t.Fatal("tx 5ms after rx allowed")
+	}
+	if !p.CanTransmit(iv(220, 250)) {
+		t.Fatal("tx 20ms after rx should be allowed")
+	}
+}
+
+func TestHalfDuplexBackToBackSameFunction(t *testing.T) {
+	var p HalfDuplexPlan
+	if err := p.AddTransmit(iv(0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive transmissions need no switch guard.
+	if err := p.AddTransmit(iv(100, 200)); err != nil {
+		t.Fatalf("back-to-back tx rejected: %v", err)
+	}
+	if err := p.AddReceive(iv(500, 600)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddReceive(iv(600, 700)); err != nil {
+		t.Fatalf("back-to-back rx rejected: %v", err)
+	}
+}
+
+func TestHalfDuplexAddRejectsViolations(t *testing.T) {
+	var p HalfDuplexPlan
+	if err := p.AddTransmit(iv(100, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddReceive(iv(150, 250)); err == nil {
+		t.Fatal("AddReceive accepted a violating interval")
+	}
+	if err := p.AddTransmit(iv(0, 0)); err == nil {
+		t.Fatal("empty interval accepted")
+	}
+}
+
+func TestHalfDuplexCustomSwitch(t *testing.T) {
+	p := HalfDuplexPlan{Switch: 50 * time.Millisecond}
+	if err := p.AddTransmit(iv(100, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if p.CanReceive(iv(230, 260)) {
+		t.Fatal("30ms gap allowed with 50ms switch")
+	}
+	if !p.CanReceive(iv(250, 280)) {
+		t.Fatal("50ms gap rejected")
+	}
+}
+
+func TestHalfDuplexReset(t *testing.T) {
+	var p HalfDuplexPlan
+	if err := p.AddTransmit(iv(0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	if err := p.AddReceive(iv(0, 100)); err != nil {
+		t.Fatalf("after reset, rx rejected: %v", err)
+	}
+	if len(p.Transmits()) != 0 || len(p.Receives()) != 1 {
+		t.Fatal("reset did not clear intervals")
+	}
+}
+
+func TestTransmitsReceivesSorted(t *testing.T) {
+	var p HalfDuplexPlan
+	for _, x := range []Interval{iv(300, 350), iv(0, 50), iv(100, 150)} {
+		if err := p.AddTransmit(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := p.Transmits()
+	for i := 1; i < len(got); i++ {
+		if got[i].Start < got[i-1].Start {
+			t.Fatalf("Transmits not sorted: %v", got)
+		}
+	}
+}
+
+// Property: any accepted (tx, rx) pair is separated by at least the
+// switch guard and never overlaps.
+func TestPropertyHalfDuplexSeparation(t *testing.T) {
+	f := func(startsRaw []uint16) bool {
+		var p HalfDuplexPlan
+		for i, s := range startsRaw {
+			start := time.Duration(s) * time.Millisecond
+			interval := Interval{Start: start, End: start + 50*time.Millisecond}
+			if i%2 == 0 {
+				_ = p.AddTransmit(interval) // may legitimately fail
+			} else {
+				_ = p.AddReceive(interval)
+			}
+		}
+		for _, tx := range p.Transmits() {
+			for _, rx := range p.Receives() {
+				gap := rx.Start - tx.End
+				if gap < 0 {
+					gap = tx.Start - rx.End
+				}
+				if gap < HalfDuplexSwitch {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/osu-netlab/osumac/internal/sim"
+)
+
+func encodeRandom(t *testing.T, c *Code, seed uint64) ([]byte, []byte) {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	msg := make([]byte, c.K())
+	for i := range msg {
+		msg[i] = byte(rng.Uint64())
+	}
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return msg, cw
+}
+
+func TestErasuresOnlyUpTo2T(t *testing.T) {
+	c := NewPaperCode()
+	msg, cw := encodeRandom(t, c, 1)
+	rng := sim.NewRNG(2)
+	// 2t = 16 erasures are correctable (each costs one parity symbol).
+	positions := rng.Shuffled(c.N())[:c.N()-c.K()]
+	corrupted := append([]byte(nil), cw...)
+	for _, p := range positions {
+		corrupted[p] ^= byte(rng.UniformInt(1, 255))
+	}
+	got, err := c.DecodeWithErasures(corrupted, positions)
+	if err != nil {
+		t.Fatalf("16 erasures: %v", err)
+	}
+	if !bytes.Equal(got[:c.K()], msg) {
+		t.Fatal("erasure-only decode wrong")
+	}
+}
+
+func TestErasuresPlusErrors(t *testing.T) {
+	c := NewPaperCode()
+	msg, cw := encodeRandom(t, c, 3)
+	rng := sim.NewRNG(4)
+	// 2e + s ≤ 16: try e = 4 errors with s = 8 erasures.
+	perm := rng.Shuffled(c.N())
+	erasures := perm[:8]
+	errorsAt := perm[8:12]
+	corrupted := append([]byte(nil), cw...)
+	for _, p := range append(append([]int{}, erasures...), errorsAt...) {
+		corrupted[p] ^= byte(rng.UniformInt(1, 255))
+	}
+	got, err := c.DecodeWithErasures(corrupted, erasures)
+	if err != nil {
+		t.Fatalf("4 errors + 8 erasures: %v", err)
+	}
+	if !bytes.Equal(got[:c.K()], msg) {
+		t.Fatal("errors-and-erasures decode wrong")
+	}
+}
+
+func TestErasureFlagOnCleanByte(t *testing.T) {
+	// Flagging an uncorrupted byte as an erasure must still decode
+	// (its "correction" is zero).
+	c := NewPaperCode()
+	msg, cw := encodeRandom(t, c, 5)
+	corrupted := append([]byte(nil), cw...)
+	corrupted[10] ^= 0x55
+	got, err := c.DecodeWithErasures(corrupted, []int{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:c.K()], msg) {
+		t.Fatal("decode with clean-byte erasures wrong")
+	}
+}
+
+func TestErasuresBeyondBudgetFail(t *testing.T) {
+	c := NewPaperCode()
+	_, cw := encodeRandom(t, c, 6)
+	rng := sim.NewRNG(7)
+	positions := rng.Shuffled(c.N())[:c.N()-c.K()+1] // 17 > 2t
+	if _, err := c.DecodeWithErasures(cw, positions); !errors.Is(err, ErrTooManyErrors) {
+		t.Fatalf("17 erasures: err = %v", err)
+	}
+}
+
+func TestErasureValidation(t *testing.T) {
+	c := NewPaperCode()
+	_, cw := encodeRandom(t, c, 8)
+	if _, err := c.DecodeWithErasures(cw[:63], nil); !errors.Is(err, ErrLength) {
+		t.Fatal("short word accepted")
+	}
+	if _, err := c.DecodeWithErasures(cw, []int{-1}); err == nil {
+		t.Fatal("negative erasure position accepted")
+	}
+	if _, err := c.DecodeWithErasures(cw, []int{64}); err == nil {
+		t.Fatal("out-of-range erasure accepted")
+	}
+	if _, err := c.DecodeWithErasures(cw, []int{5, 5}); err == nil {
+		t.Fatal("duplicate erasure accepted")
+	}
+}
+
+func TestErasureEmptyListDelegates(t *testing.T) {
+	c := NewPaperCode()
+	msg, cw := encodeRandom(t, c, 9)
+	cw[0] ^= 0x01
+	got, err := c.DecodeWithErasures(cw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:c.K()], msg) {
+		t.Fatal("delegated decode wrong")
+	}
+}
+
+func TestErasureCleanWordFastPath(t *testing.T) {
+	c := NewPaperCode()
+	msg, cw := encodeRandom(t, c, 10)
+	got, err := c.DecodeWithErasures(cw, []int{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:c.K()], msg) {
+		t.Fatal("clean word mangled")
+	}
+}
+
+// Property: any combination with 2e + s ≤ n−k decodes exactly.
+func TestPropertyErrorsAndErasures(t *testing.T) {
+	c := NewPaperCode()
+	f := func(seed uint64, sRaw, eRaw uint8) bool {
+		rng := sim.NewRNG(seed)
+		s := int(sRaw) % (c.N() - c.K() + 1) // 0..16 erasures
+		maxE := (c.N() - c.K() - s) / 2
+		e := 0
+		if maxE > 0 {
+			e = int(eRaw) % (maxE + 1)
+		}
+		msg := make([]byte, c.K())
+		for i := range msg {
+			msg[i] = byte(rng.Uint64())
+		}
+		cw, err := c.Encode(msg)
+		if err != nil {
+			return false
+		}
+		perm := rng.Shuffled(c.N())
+		erasures := perm[:s]
+		errAt := perm[s : s+e]
+		for _, p := range append(append([]int{}, erasures...), errAt...) {
+			cw[p] ^= byte(rng.UniformInt(1, 255))
+		}
+		got, err := c.DecodeWithErasures(cw, erasures)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got[:c.K()], msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,286 @@
+// Package rs implements systematic Reed-Solomon codes over GF(2⁸),
+// including the RS(64,48) code the OSU narrow-band wireless testbed uses
+// to protect every data slot and control field.
+//
+// The encoder appends n−k parity symbols computed as the remainder of
+// the message polynomial modulo the generator polynomial
+// g(x) = ∏_{i=0}^{n-k-1} (x − α^i). The decoder computes syndromes, runs
+// Berlekamp–Massey to find the error-locator polynomial, locates errors
+// with a Chien search and corrects them with Forney's algorithm. Up to
+// t = (n−k)/2 symbol errors are corrected; beyond that the decoder
+// reports failure, which the MAC treats as a packet loss — exactly the
+// bimodal behaviour the paper observed in field tests.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/osu-netlab/osumac/internal/gf256"
+)
+
+// Paper code parameters: RS(64,48), 64 coded bytes carrying 48
+// information bytes, correcting up to 8 byte errors.
+const (
+	PaperN = 64
+	PaperK = 48
+)
+
+var (
+	// ErrTooManyErrors is returned when the received word is corrupted
+	// beyond the code's correction radius and decoding fails.
+	ErrTooManyErrors = errors.New("rs: too many errors to correct")
+	// ErrLength is returned when an input has the wrong length.
+	ErrLength = errors.New("rs: wrong input length")
+)
+
+// Code is a Reed-Solomon code with fixed (n, k). It is immutable after
+// construction and safe for concurrent use.
+type Code struct {
+	n, k int
+	gen  []byte // generator polynomial, ascending powers, degree n-k
+}
+
+// New constructs an RS(n,k) code over GF(256). n must be in (k, 255] and
+// k positive.
+func New(n, k int) (*Code, error) {
+	if k <= 0 || n <= k || n > 255 {
+		return nil, fmt.Errorf("rs: invalid parameters n=%d k=%d", n, k)
+	}
+	gen := []byte{1}
+	for i := 0; i < n-k; i++ {
+		// Multiply by (x + α^i); subtraction is addition in GF(2⁸).
+		gen = gf256.PolyMul(gen, []byte{gf256.Exp(i), 1})
+	}
+	return &Code{n: n, k: k, gen: gen}, nil
+}
+
+// MustNew is New for static configurations; it panics on invalid
+// parameters, which indicates a programming error.
+func MustNew(n, k int) *Code {
+	c, err := New(n, k)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewPaperCode returns the RS(64,48) code used by the OSU testbed.
+func NewPaperCode() *Code { return MustNew(PaperN, PaperK) }
+
+// N returns the codeword length in bytes.
+func (c *Code) N() int { return c.n }
+
+// K returns the message length in bytes.
+func (c *Code) K() int { return c.k }
+
+// T returns the maximum number of correctable byte errors, (n−k)/2.
+func (c *Code) T() int { return (c.n - c.k) / 2 }
+
+// Encode produces the systematic codeword for msg: the k message bytes
+// followed by n−k parity bytes. msg must be exactly k bytes.
+func (c *Code) Encode(msg []byte) ([]byte, error) {
+	if len(msg) != c.k {
+		return nil, fmt.Errorf("%w: message %d bytes, want %d", ErrLength, len(msg), c.k)
+	}
+	// Treat the codeword polynomial with the message in the HIGH-order
+	// coefficients: cw(x) = msg(x)·x^(n−k) + parity(x). Internally we
+	// store codewords as byte slices where index 0 is the first
+	// transmitted byte (message first), so the polynomial coefficient of
+	// x^(n-1-i) is cw[i].
+	parity := make([]byte, c.n-c.k)
+	// Synthetic LFSR division: process message bytes high-order first.
+	for _, m := range msg {
+		feedback := m ^ parity[0]
+		copy(parity, parity[1:])
+		parity[len(parity)-1] = 0
+		if feedback != 0 {
+			for j := 0; j < len(parity); j++ {
+				// gen has degree n-k; coefficient of x^(n-k-1-j) is
+				// gen[n-k-1-j].
+				parity[j] ^= gf256.Mul(feedback, c.gen[len(parity)-1-j])
+			}
+		}
+	}
+	out := make([]byte, c.n)
+	copy(out, msg)
+	copy(out[c.k:], parity)
+	return out, nil
+}
+
+// syndromes returns the n−k syndromes S_i = cw(α^i) and whether all are
+// zero. The codeword is interpreted with cw[0] as the coefficient of
+// x^(n−1).
+func (c *Code) syndromes(cw []byte) ([]byte, bool) {
+	syn := make([]byte, c.n-c.k)
+	clean := true
+	for i := range syn {
+		x := gf256.Exp(i)
+		var acc byte
+		for _, b := range cw {
+			acc = gf256.Mul(acc, x) ^ b
+		}
+		syn[i] = acc
+		if acc != 0 {
+			clean = false
+		}
+	}
+	return syn, clean
+}
+
+// Decode corrects up to T() byte errors in place of a copy of cw and
+// returns the k message bytes. It returns ErrTooManyErrors when the
+// error pattern exceeds the correction radius (decode failure), and
+// ErrLength for a wrong-sized input. The input slice is not modified.
+func (c *Code) Decode(cw []byte) ([]byte, error) {
+	corrected, _, err := c.DecodeCodeword(cw)
+	if err != nil {
+		return nil, err
+	}
+	return corrected[:c.k], nil
+}
+
+// DecodeCodeword corrects a copy of cw, returning the full corrected
+// codeword and the number of byte errors fixed.
+func (c *Code) DecodeCodeword(cw []byte) ([]byte, int, error) {
+	if len(cw) != c.n {
+		return nil, 0, fmt.Errorf("%w: codeword %d bytes, want %d", ErrLength, len(cw), c.n)
+	}
+	out := make([]byte, c.n)
+	copy(out, cw)
+
+	syn, clean := c.syndromes(out)
+	if clean {
+		return out, 0, nil
+	}
+
+	sigma, err := berlekampMassey(syn, c.T())
+	if err != nil {
+		return nil, 0, err
+	}
+
+	positions, err := c.chienSearch(sigma)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	if err := c.forney(out, syn, sigma, positions); err != nil {
+		return nil, 0, err
+	}
+
+	// Re-check syndromes: Berlekamp–Massey can produce a spurious locator
+	// for >t errors; a failed re-check means decode failure.
+	if _, ok := c.syndromes(out); !ok {
+		return nil, 0, ErrTooManyErrors
+	}
+	return out, len(positions), nil
+}
+
+// berlekampMassey finds the error-locator polynomial σ(x) (ascending
+// powers, σ(0)=1) from the syndromes. If the implied number of errors
+// exceeds t it fails.
+func berlekampMassey(syn []byte, t int) ([]byte, error) {
+	sigma := []byte{1}
+	prev := []byte{1}
+	var l, m int = 0, 1
+	b := byte(1)
+
+	for i := 0; i < len(syn); i++ {
+		// Compute discrepancy d = S_i + Σ_{j=1..l} σ_j·S_{i−j}.
+		d := syn[i]
+		for j := 1; j <= l && j < len(sigma); j++ {
+			d ^= gf256.Mul(sigma[j], syn[i-j])
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*l <= i {
+			tmp := make([]byte, len(sigma))
+			copy(tmp, sigma)
+			coef := gf256.Div(d, b)
+			sigma = polySubShifted(sigma, prev, coef, m)
+			l = i + 1 - l
+			prev = tmp
+			b = d
+			m = 1
+		} else {
+			coef := gf256.Div(d, b)
+			sigma = polySubShifted(sigma, prev, coef, m)
+			m++
+		}
+	}
+	if l > t {
+		return nil, ErrTooManyErrors
+	}
+	return gf256.PolyTrim(sigma), nil
+}
+
+// polySubShifted returns sigma − coef·x^shift·prev (characteristic 2, so
+// subtraction is XOR).
+func polySubShifted(sigma, prev []byte, coef byte, shift int) []byte {
+	need := len(prev) + shift
+	out := make([]byte, max(len(sigma), need))
+	copy(out, sigma)
+	for i, p := range prev {
+		out[i+shift] ^= gf256.Mul(coef, p)
+	}
+	return out
+}
+
+// chienSearch finds error positions (byte indices into the codeword,
+// index 0 = first transmitted byte = coefficient of x^(n−1)) as the
+// roots of σ. It fails if the number of distinct roots does not match
+// deg σ, which signals an uncorrectable pattern.
+func (c *Code) chienSearch(sigma []byte) ([]int, error) {
+	deg := gf256.PolyDegree(sigma)
+	if deg <= 0 {
+		return nil, ErrTooManyErrors
+	}
+	var positions []int
+	for pos := 0; pos < c.n; pos++ {
+		// Codeword byte pos has locator X = α^(n−1−pos); σ has a root at
+		// X⁻¹.
+		xInv := gf256.Exp(-(c.n - 1 - pos))
+		if gf256.PolyEval(sigma, xInv) == 0 {
+			positions = append(positions, pos)
+		}
+	}
+	if len(positions) != deg {
+		return nil, ErrTooManyErrors
+	}
+	return positions, nil
+}
+
+// forney computes error magnitudes and corrects out in place.
+func (c *Code) forney(out, syn, sigma []byte, positions []int) error {
+	// Error evaluator Ω(x) = [S(x)·σ(x)] mod x^(n−k).
+	sPoly := make([]byte, len(syn))
+	copy(sPoly, syn)
+	omega := gf256.PolyMul(sPoly, sigma)
+	if len(omega) > len(syn) {
+		omega = omega[:len(syn)]
+	}
+	omega = gf256.PolyTrim(omega)
+	sigmaDeriv := gf256.PolyDeriv(sigma)
+
+	for _, pos := range positions {
+		x := gf256.Exp(c.n - 1 - pos) // locator X_j
+		xInv := gf256.Inv(x)
+		denom := gf256.PolyEval(sigmaDeriv, xInv)
+		if denom == 0 {
+			return ErrTooManyErrors
+		}
+		// e_j = X_j · Ω(X_j⁻¹) / σ'(X_j⁻¹) for first consecutive root b=0.
+		num := gf256.Mul(x, gf256.PolyEval(omega, xInv))
+		out[pos] ^= gf256.Div(num, denom)
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,325 @@
+// Package sched implements OSU-MAC's slot scheduling (paper §3.5): the
+// round-robin reverse-channel scheduler with post-pass lumping, simpler
+// alternatives used for ablation benchmarks, and the forward-channel
+// assigner that honours the half-duplex and two-control-field
+// constraints.
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/phy"
+)
+
+// Request is one subscriber's demand for reverse data slots in the next
+// notification cycle, aggregated from explicit reservations, piggyback
+// bits and contention-slot data.
+type Request struct {
+	// User identifies the subscriber.
+	User frame.UserID
+	// Slots is the number of data slots requested (≥1).
+	Slots int
+	// Arrival orders requests for FCFS scheduling; lower is earlier.
+	Arrival int
+}
+
+// ReverseScheduler assigns reverse data slots to requests.
+type ReverseScheduler interface {
+	// Schedule fills the available slot positions with user IDs. avail
+	// lists the assignable slot indices in time order (contention slots
+	// are excluded by the caller). The result is parallel to avail;
+	// frame.NoUser marks a slot left unassigned.
+	Schedule(requests []Request, avail int) []frame.UserID
+	// Name identifies the scheduler in experiment output.
+	Name() string
+}
+
+// RoundRobin is the paper's scheduler: it serves one slot per requesting
+// user per round, resuming after the last-served user of the previous
+// cycle, then lumps each user's slots into a contiguous run so the
+// subscriber does not repeatedly switch between transmitting and
+// receiving within the cycle (paper §3.5).
+type RoundRobin struct {
+	// Lump disables the consolidation pass when false-negated; it is on
+	// by default via NewRoundRobin and exposed for the ablation bench.
+	Lump bool
+
+	lastServed frame.UserID
+	haveLast   bool
+}
+
+var _ ReverseScheduler = (*RoundRobin)(nil)
+
+// NewRoundRobin returns the paper's configuration (lumping enabled).
+func NewRoundRobin() *RoundRobin {
+	return &RoundRobin{Lump: true}
+}
+
+// Name implements ReverseScheduler.
+func (r *RoundRobin) Name() string {
+	if r.Lump {
+		return "round-robin+lump"
+	}
+	return "round-robin"
+}
+
+// Schedule implements ReverseScheduler.
+func (r *RoundRobin) Schedule(requests []Request, avail int) []frame.UserID {
+	out := unassigned(avail)
+	users, demand := dedupe(requests)
+	if len(users) == 0 || avail == 0 {
+		return out
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+
+	// Resume the rotation after the last-served user.
+	start := 0
+	if r.haveLast {
+		for i, u := range users {
+			if u > r.lastServed {
+				start = i
+				break
+			}
+		}
+	}
+
+	// Round-robin allocation: one slot per user with remaining demand.
+	counts := make(map[frame.UserID]int, len(users))
+	var order []frame.UserID // first-allocation order, drives lumping
+	allocated := 0
+	idx := start
+	for allocated < avail {
+		progress := false
+		for n := 0; n < len(users) && allocated < avail; n++ {
+			u := users[(idx+n)%len(users)]
+			if demand[u] == 0 {
+				continue
+			}
+			if counts[u] == 0 {
+				order = append(order, u)
+			}
+			counts[u]++
+			demand[u]--
+			allocated++
+			r.lastServed = u
+			r.haveLast = true
+			progress = true
+		}
+		if !progress {
+			break
+		}
+		idx = start // subsequent rounds keep the same rotation order
+	}
+
+	if r.Lump {
+		pos := 0
+		for _, u := range order {
+			for n := 0; n < counts[u]; n++ {
+				out[pos] = u
+				pos++
+			}
+		}
+		return out
+	}
+
+	// Unlumped: emit in raw round-robin order.
+	remaining := counts
+	pos := 0
+	for pos < allocated {
+		for n := 0; n < len(order) && pos < allocated; n++ {
+			u := order[n]
+			if remaining[u] == 0 {
+				continue
+			}
+			out[pos] = u
+			remaining[u]--
+			pos++
+		}
+	}
+	return out
+}
+
+// FCFS serves requests strictly in arrival order until slots run out.
+// Used as an ablation baseline: it can starve users under load.
+type FCFS struct{}
+
+var _ ReverseScheduler = FCFS{}
+
+// Name implements ReverseScheduler.
+func (FCFS) Name() string { return "fcfs" }
+
+// Schedule implements ReverseScheduler.
+func (FCFS) Schedule(requests []Request, avail int) []frame.UserID {
+	out := unassigned(avail)
+	reqs := make([]Request, len(requests))
+	copy(reqs, requests)
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+	pos := 0
+	for _, req := range reqs {
+		for n := 0; n < req.Slots && pos < avail; n++ {
+			out[pos] = req.User
+			pos++
+		}
+	}
+	return out
+}
+
+// LongestQueueFirst gives all slots to the largest demands first — a
+// throughput-greedy ablation baseline with poor fairness.
+type LongestQueueFirst struct{}
+
+var _ ReverseScheduler = LongestQueueFirst{}
+
+// Name implements ReverseScheduler.
+func (LongestQueueFirst) Name() string { return "longest-queue-first" }
+
+// Schedule implements ReverseScheduler.
+func (LongestQueueFirst) Schedule(requests []Request, avail int) []frame.UserID {
+	out := unassigned(avail)
+	users, demand := dedupe(requests)
+	sort.Slice(users, func(i, j int) bool {
+		if demand[users[i]] != demand[users[j]] {
+			return demand[users[i]] > demand[users[j]]
+		}
+		return users[i] < users[j]
+	})
+	pos := 0
+	for _, u := range users {
+		for n := 0; n < demand[u] && pos < avail; n++ {
+			out[pos] = u
+			pos++
+		}
+	}
+	return out
+}
+
+// unassigned returns a slot vector of all frame.NoUser.
+func unassigned(n int) []frame.UserID {
+	out := make([]frame.UserID, n)
+	for i := range out {
+		out[i] = frame.NoUser
+	}
+	return out
+}
+
+// dedupe merges duplicate per-user requests, summing demands.
+func dedupe(requests []Request) ([]frame.UserID, map[frame.UserID]int) {
+	demand := make(map[frame.UserID]int, len(requests))
+	var users []frame.UserID
+	for _, req := range requests {
+		if req.Slots <= 0 || !req.User.Valid() {
+			continue
+		}
+		if _, seen := demand[req.User]; !seen {
+			users = append(users, req.User)
+		}
+		demand[req.User] += req.Slots
+	}
+	return users, demand
+}
+
+// Lumped reports whether each user's slots form a single contiguous run
+// in the schedule (unassigned slots are transparent): no A…B…A pattern.
+func Lumped(schedule []frame.UserID) bool {
+	finished := make(map[frame.UserID]bool)
+	var current frame.UserID = frame.NoUser
+	for _, u := range schedule {
+		if u == frame.NoUser {
+			continue
+		}
+		if u == current {
+			continue
+		}
+		if finished[u] {
+			return false
+		}
+		if current != frame.NoUser {
+			finished[current] = true
+		}
+		current = u
+	}
+	return true
+}
+
+// ForwardConstraints carries what the forward assigner must respect for
+// one cycle.
+type ForwardConstraints struct {
+	// SlotIntervals are the forward data slots' air times, in slot-index
+	// order, relative to the forward cycle start.
+	SlotIntervals []phy.Interval
+	// TxIntervals maps each user to its reverse-channel transmit
+	// intervals this cycle (same time origin).
+	TxIntervals map[frame.UserID][]phy.Interval
+	// CF2User is the subscriber listening to the second control-field
+	// set; it must not receive forward slot 0 (paper §3.4 problem 1).
+	// frame.NoUser when the last reverse slot is unassigned.
+	CF2User frame.UserID
+	// Switch overrides the half-duplex switch guard; zero means the
+	// default 20 ms.
+	Switch time.Duration
+}
+
+// AssignForward fills forward data slots round-robin across users with
+// forward demand, skipping slots that would violate the half-duplex
+// constraint against the user's reverse transmissions or the CF2 rule.
+// demands maps user → queued forward packets. Returns the slot → user
+// vector (frame.NoUser = idle).
+func AssignForward(demands []Request, c ForwardConstraints) []frame.UserID {
+	out := unassigned(len(c.SlotIntervals))
+	users, remaining := dedupe(demands)
+	if len(users) == 0 {
+		return out
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+
+	plans := make(map[frame.UserID]*phy.HalfDuplexPlan, len(users))
+	for _, u := range users {
+		p := &phy.HalfDuplexPlan{Switch: c.Switch}
+		for _, iv := range c.TxIntervals[u] {
+			// Reverse transmissions are fixed; recording them cannot
+			// fail on a fresh plan.
+			if err := p.AddTransmit(iv); err != nil {
+				// Overlapping reverse slots for one user would be a
+				// scheduling bug upstream; treat the user as
+				// unschedulable this cycle.
+				remaining[u] = 0
+				break
+			}
+		}
+		plans[u] = p
+	}
+
+	for slot, iv := range c.SlotIntervals {
+		assigned := false
+		for n := 0; n < len(users) && !assigned; n++ {
+			u := users[n]
+			if remaining[u] == 0 {
+				continue
+			}
+			if slot == 0 && u == c.CF2User {
+				continue
+			}
+			if !plans[u].CanReceive(iv) {
+				continue
+			}
+			if err := plans[u].AddReceive(iv); err != nil {
+				continue
+			}
+			out[slot] = u
+			remaining[u]--
+			assigned = true
+		}
+		// Rotate fairness: move the served user to the back.
+		if assigned {
+			for n, u := range users {
+				if u == out[slot] {
+					users = append(append(append([]frame.UserID{}, users[:n]...), users[n+1:]...), u)
+					break
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel models virtual time as a time.Duration offset from the start
+// of the simulation. Events are closures scheduled at absolute virtual
+// times and executed in (time, priority, sequence) order, so two events
+// scheduled for the same instant run in a deterministic order: first by
+// ascending priority, then by scheduling order.
+//
+// The kernel is single-threaded by design: all protocol entities run in
+// the event loop, which removes the need for locking inside protocol
+// state machines and makes every run exactly reproducible for a given
+// seed. This mirrors the JavaSim environment used by the OSU-MAC paper.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Priority orders events that fire at the same virtual instant. Lower
+// values run first.
+type Priority int
+
+// Standard priorities. Most events use PriorityNormal; channel-delivery
+// events use PriorityDeliver so that receptions complete before the next
+// slot's control logic runs at the same instant.
+const (
+	PriorityDeliver Priority = -10
+	PriorityNormal  Priority = 0
+	PriorityLate    Priority = 10
+)
+
+// ErrStopped is returned by Run when the simulation was halted by Stop
+// before the horizon was reached.
+var ErrStopped = errors.New("simulation stopped")
+
+// Event is a scheduled closure. The closure receives the simulator so
+// that handlers can schedule follow-up events without capturing it.
+type Event struct {
+	at       time.Duration
+	priority Priority
+	seq      uint64
+	index    int // heap index; -1 once popped or canceled
+	fn       func()
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Canceled reports whether the event has been canceled or already fired.
+func (e *Event) Canceled() bool { return e.index == -1 }
+
+// eventQueue is a min-heap on (at, priority, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulator is a single-threaded discrete-event simulator.
+//
+// The zero value is not usable; construct with New.
+type Simulator struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// New returns an empty simulator positioned at virtual time zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// EventsFired returns the number of events executed so far. It is useful
+// for sanity checks and benchmarks.
+func (s *Simulator) EventsFired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn at the absolute virtual time at with the given
+// priority. Scheduling in the past is an error: the kernel never rewinds
+// the clock.
+func (s *Simulator) At(at time.Duration, p Priority, fn func()) (*Event, error) {
+	if at < s.now {
+		return nil, fmt.Errorf("sim: schedule at %v before now %v", at, s.now)
+	}
+	ev := &Event{at: at, priority: p, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev, nil
+}
+
+// After schedules fn delay after the current virtual time at normal
+// priority. Negative delays are clamped to zero.
+func (s *Simulator) After(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	ev, err := s.At(s.now+delay, PriorityNormal, fn)
+	if err != nil {
+		// Unreachable: now+delay >= now for delay >= 0.
+		panic(err)
+	}
+	return ev
+}
+
+// AfterPriority schedules fn delay after the current time with an
+// explicit priority.
+func (s *Simulator) AfterPriority(delay time.Duration, p Priority, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	ev, err := s.At(s.now+delay, p, fn)
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}
+
+// Cancel removes a scheduled event. Canceling a nil, fired, or already
+// canceled event is a no-op and reports false.
+func (s *Simulator) Cancel(ev *Event) bool {
+	if ev == nil || ev.index == -1 {
+		return false
+	}
+	heap.Remove(&s.queue, ev.index)
+	ev.index = -1
+	ev.fn = nil
+	return true
+}
+
+// Stop halts the event loop after the currently executing event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events until the queue drains or virtual time would pass
+// horizon. Events scheduled exactly at the horizon still run. It returns
+// ErrStopped if Stop was called, otherwise nil.
+func (s *Simulator) Run(horizon time.Duration) error {
+	s.stopped = false
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		next := s.queue[0]
+		if next.at > horizon {
+			// Leave future events queued; advance to the horizon so
+			// repeated Run calls see monotonic time.
+			s.now = horizon
+			return nil
+		}
+		popped, ok := heap.Pop(&s.queue).(*Event)
+		if !ok {
+			return errors.New("sim: corrupt event queue")
+		}
+		s.now = popped.at
+		s.fired++
+		fn := popped.fn
+		popped.fn = nil
+		if fn != nil {
+			fn()
+		}
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return nil
+}
+
+// RunUntilIdle executes all queued events and leaves the clock at the
+// time of the last event fired. It is intended for tests; production
+// scenarios should use Run with a finite horizon so that periodic
+// processes terminate.
+func (s *Simulator) RunUntilIdle() error {
+	s.stopped = false
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		popped, ok := heap.Pop(&s.queue).(*Event)
+		if !ok {
+			return errors.New("sim: corrupt event queue")
+		}
+		s.now = popped.at
+		s.fired++
+		fn := popped.fn
+		popped.fn = nil
+		if fn != nil {
+			fn()
+		}
+	}
+	return nil
+}
+
+// Every schedules fn to run now+period, now+2·period, … until the
+// returned stop function is invoked or the simulation ends. The period
+// must be positive.
+func (s *Simulator) Every(period time.Duration, fn func()) (stop func(), err error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("sim: non-positive period %v", period)
+	}
+	var (
+		current *Event
+		halted  bool
+	)
+	var tick func()
+	tick = func() {
+		if halted {
+			return
+		}
+		fn()
+		if halted {
+			return
+		}
+		current = s.After(period, tick)
+	}
+	current = s.After(period, tick)
+	return func() {
+		halted = true
+		s.Cancel(current)
+	}, nil
+}

@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRunOrdersEventsByTime(t *testing.T) {
+	s := New()
+	var got []int
+	s.After(30*time.Millisecond, func() { got = append(got, 3) })
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameInstantOrdersByPriorityThenSeq(t *testing.T) {
+	s := New()
+	var got []string
+	at := 5 * time.Millisecond
+	if _, err := s.At(at, PriorityLate, func() { got = append(got, "late") }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.At(at, PriorityNormal, func() { got = append(got, "n1") }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.At(at, PriorityDeliver, func() { got = append(got, "deliver") }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.At(at, PriorityNormal, func() { got = append(got, "n2") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"deliver", "n1", "n2", "late"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulingInPastFails(t *testing.T) {
+	s := New()
+	s.After(10*time.Millisecond, func() {
+		if _, err := s.At(5*time.Millisecond, PriorityNormal, func() {}); err == nil {
+			t.Error("scheduling in the past should fail")
+		}
+	})
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	s := New()
+	fired := false
+	s.After(time.Millisecond, func() {
+		s.After(-time.Second, func() { fired = true })
+	})
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("clamped event did not fire")
+	}
+	if s.Now() != time.Millisecond {
+		t.Fatalf("now = %v, want 1ms", s.Now())
+	}
+}
+
+func TestHorizonStopsAndAdvancesClock(t *testing.T) {
+	s := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		s.After(d, func() { fired = append(fired, d) })
+	}
+	if err := s.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2 (horizon-inclusive)", len(fired))
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("now = %v, want 2s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	// Resuming runs the remaining event.
+	if err := s.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events after resume, want 3", len(fired))
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("now = %v, want horizon 5s on idle queue", s.Now())
+	}
+}
+
+func TestStopHaltsLoop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	err := s.RunUntilIdle()
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	ev := s.After(time.Millisecond, func() { fired = true })
+	if !s.Cancel(ev) {
+		t.Fatal("cancel returned false for a live event")
+	}
+	if s.Cancel(ev) {
+		t.Fatal("double cancel returned true")
+	}
+	if s.Cancel(nil) {
+		t.Fatal("cancel(nil) returned true")
+	}
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	s := New()
+	var got []int
+	var events []*Event
+	for i := 0; i < 5; i++ {
+		i := i
+		events = append(events, s.After(time.Duration(i+1)*time.Millisecond, func() {
+			got = append(got, i)
+		}))
+	}
+	s.Cancel(events[2])
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New()
+	count := 0
+	stop, err := s.Every(time.Second, func() { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	stop()
+	if err := s.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("count after stop = %d, want 10", count)
+	}
+}
+
+func TestEveryStopFromWithinTick(t *testing.T) {
+	s := New()
+	count := 0
+	var stop func()
+	stop, err := s.Every(time.Second, func() {
+		count++
+		if count == 3 {
+			stop()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", s.Pending())
+	}
+}
+
+func TestEveryRejectsNonPositivePeriod(t *testing.T) {
+	s := New()
+	if _, err := s.Every(0, func() {}); err == nil {
+		t.Fatal("period 0 accepted")
+	}
+	if _, err := s.Every(-time.Second, func() {}); err == nil {
+		t.Fatal("negative period accepted")
+	}
+}
+
+func TestEventsFiredCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if s.EventsFired() != 7 {
+		t.Fatalf("fired = %d, want 7", s.EventsFired())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the clock matches each event's scheduled time.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New()
+		var fireTimes []time.Duration
+		for _, d := range delays {
+			at := time.Duration(d) * time.Microsecond
+			if _, err := s.At(at, PriorityNormal, func() {
+				if s.Now() != at {
+					t.Errorf("clock %v != scheduled %v", s.Now(), at)
+				}
+				fireTimes = append(fireTimes, s.Now())
+			}); err != nil {
+				return false
+			}
+		}
+		if err := s.RunUntilIdle(); err != nil {
+			return false
+		}
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FIFO among equal (time, priority) events.
+func TestPropertySameInstantFIFO(t *testing.T) {
+	f := func(n uint8) bool {
+		s := New()
+		count := int(n%64) + 1
+		var got []int
+		for i := 0; i < count; i++ {
+			i := i
+			if _, err := s.At(time.Millisecond, PriorityNormal, func() {
+				got = append(got, i)
+			}); err != nil {
+				return false
+			}
+		}
+		if err := s.RunUntilIdle(); err != nil {
+			return false
+		}
+		for i := range got {
+			if got[i] != i {
+				return false
+			}
+		}
+		return len(got) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	s := New()
+	ev := s.After(5*time.Millisecond, func() {})
+	if ev.At() != 5*time.Millisecond {
+		t.Fatalf("At() = %v", ev.At())
+	}
+	if ev.Canceled() {
+		t.Fatal("live event reports canceled")
+	}
+	s.Cancel(ev)
+	if !ev.Canceled() {
+		t.Fatal("canceled event reports live")
+	}
+}
+
+func TestAfterPriorityOrdersAtSameInstant(t *testing.T) {
+	s := New()
+	var got []string
+	s.AfterPriority(time.Millisecond, PriorityLate, func() { got = append(got, "late") })
+	s.AfterPriority(time.Millisecond, PriorityDeliver, func() { got = append(got, "deliver") })
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "deliver" || got[1] != "late" {
+		t.Fatalf("order = %v", got)
+	}
+	// Negative delay clamps like After.
+	fired := false
+	s.AfterPriority(-time.Second, PriorityNormal, func() { fired = true })
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("clamped AfterPriority event did not fire")
+	}
+}

@@ -1,0 +1,244 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.Count() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	for _, v := range []float64{4, 1, 3, 2} {
+		s.Add(v)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if !almost(s.Sum(), 10) || !almost(s.Mean(), 2.5) {
+		t.Fatalf("Sum/Mean = %v/%v", s.Sum(), s.Mean())
+	}
+	if !almost(s.Min(), 1) || !almost(s.Max(), 4) {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSampleVarianceStdDev(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if !almost(s.Variance(), 4) {
+		t.Fatalf("Variance = %v, want 4", s.Variance())
+	}
+	if !almost(s.StdDev(), 2) {
+		t.Fatalf("StdDev = %v, want 2", s.StdDev())
+	}
+	var one Sample
+	one.Add(5)
+	if one.Variance() != 0 {
+		t.Fatal("single observation variance should be 0")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if !almost(s.Percentile(0), 1) || !almost(s.Percentile(100), 100) {
+		t.Fatal("extreme percentiles wrong")
+	}
+	if got := s.Percentile(50); math.Abs(got-50.5) > 0.01 {
+		t.Fatalf("p50 = %v, want ~50.5", got)
+	}
+	if got := s.Percentile(99); got < 99 || got > 100 {
+		t.Fatalf("p99 = %v", got)
+	}
+}
+
+func TestPercentileInterleavedWithAdd(t *testing.T) {
+	// Percentile sorts internally; adding afterwards must still work.
+	var s Sample
+	s.Add(3)
+	s.Add(1)
+	_ = s.Percentile(50)
+	s.Add(2)
+	if !almost(s.Percentile(50), 2) {
+		t.Fatalf("p50 after re-add = %v, want 2", s.Percentile(50))
+	}
+}
+
+func TestFractionAtMost(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{1, 2, 2, 3, 10} {
+		s.Add(v)
+	}
+	cases := []struct {
+		limit float64
+		want  float64
+	}{
+		{0.5, 0}, {1, 0.2}, {2, 0.6}, {3, 0.8}, {10, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := s.FractionAtMost(c.limit); !almost(got, c.want) {
+			t.Errorf("FractionAtMost(%v) = %v, want %v", c.limit, got, c.want)
+		}
+	}
+	var empty Sample
+	if empty.FractionAtMost(5) != 0 {
+		t.Fatal("empty sample FractionAtMost should be 0")
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(1500 * time.Millisecond)
+	if !almost(s.Mean(), 1.5) {
+		t.Fatalf("Mean = %v, want 1.5", s.Mean())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(2)
+	s.Reset()
+	if s.Count() != 0 || s.Sum() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	s.Add(7)
+	if !almost(s.Mean(), 7) {
+		t.Fatal("sample unusable after reset")
+	}
+}
+
+func TestValuesIsACopy(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	vs := s.Values()
+	vs[0] = 99
+	if !almost(s.Mean(), 1) {
+		t.Fatal("Values exposed internal state")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if !almost(JainFairness([]float64{5, 5, 5}), 1) {
+		t.Fatal("equal allocation should score 1")
+	}
+	// One user hogging everything among n users scores 1/n.
+	if !almost(JainFairness([]float64{9, 0, 0}), 1.0/3) {
+		t.Fatalf("got %v, want 1/3", JainFairness([]float64{9, 0, 0}))
+	}
+	if !almost(JainFairness(nil), 1) || !almost(JainFairness([]float64{0, 0}), 1) {
+		t.Fatal("degenerate vectors should score 1")
+	}
+}
+
+func TestJainFairnessBounds(t *testing.T) {
+	f := func(xsRaw []uint8) bool {
+		if len(xsRaw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(xsRaw))
+		for i, v := range xsRaw {
+			xs[i] = float64(v)
+		}
+		j := JainFairness(xs)
+		return j >= 1.0/float64(len(xs))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Inc()
+	c.Addn(3)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if !almost(Ratio(1, 2), 0.5) {
+		t.Fatal("Ratio(1,2) wrong")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio by zero should be 0")
+	}
+}
+
+// Property: mean is bounded by min and max.
+func TestPropertyMeanBounded(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []int16, pRaw [4]uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		ps := make([]float64, 0, 4)
+		for _, p := range pRaw {
+			ps = append(ps, float64(p%101))
+		}
+		// Sort probe points.
+		for i := 0; i < len(ps); i++ {
+			for j := i + 1; j < len(ps); j++ {
+				if ps[j] < ps[i] {
+					ps[i], ps[j] = ps[j], ps[i]
+				}
+			}
+		}
+		prev := math.Inf(-1)
+		for _, p := range ps {
+			v := s.Percentile(p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

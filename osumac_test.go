@@ -1,0 +1,158 @@
+package osumac
+
+import (
+	"testing"
+)
+
+func TestRunDefaultScenario(t *testing.T) {
+	scn := NewScenario()
+	scn.Cycles = 120
+	scn.WarmupCycles = 10
+	res, err := Run(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1.01 {
+		t.Fatalf("utilization = %v", res.Utilization)
+	}
+	if res.MeanDelayCycles <= 0 {
+		t.Fatalf("mean delay = %v cycles", res.MeanDelayCycles)
+	}
+	if res.Fairness < 0.9 {
+		t.Fatalf("fairness = %v", res.Fairness)
+	}
+	if res.GPSDeadlineViolations != 0 {
+		t.Fatalf("GPS deadline violations = %d on ideal channel", res.GPSDeadlineViolations)
+	}
+	if res.Metrics == nil || res.Metrics.Cycles != 130 {
+		t.Fatalf("metrics cycles = %v", res.Metrics.Cycles)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	scn := NewScenario()
+	scn.GPSUsers = 9
+	if _, err := Build(scn); err == nil {
+		t.Fatal("9 GPS users accepted")
+	}
+	scn = NewScenario()
+	scn.DataUsers = -1
+	if _, err := Build(scn); err == nil {
+		t.Fatal("negative data users accepted")
+	}
+}
+
+func TestRunRejectsEmpty(t *testing.T) {
+	scn := NewScenario()
+	scn.Cycles = 0
+	scn.WarmupCycles = 0
+	if _, err := Run(scn); err == nil {
+		t.Fatal("zero-cycle run accepted")
+	}
+}
+
+func TestDataSlotsFor(t *testing.T) {
+	cases := []struct {
+		gps     int
+		dynamic bool
+		want    int
+	}{
+		{0, true, 9}, {3, true, 9}, {4, true, 8}, {8, true, 8},
+		{1, false, 8}, {0, false, 8},
+	}
+	for _, c := range cases {
+		if got := DataSlotsFor(c.gps, c.dynamic); got != c.want {
+			t.Errorf("DataSlotsFor(%d,%v) = %d, want %d", c.gps, c.dynamic, got, c.want)
+		}
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	scn := NewScenario()
+	scn.Cycles = 60
+	scn.WarmupCycles = 5
+	scn.ReverseLoss = 0.05
+	a, err := Run(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Utilization != b.Utilization || a.MeanDelayCycles != b.MeanDelayCycles {
+		t.Fatal("same scenario diverged across runs")
+	}
+}
+
+func TestRegistrationTargetsFromPaper(t *testing.T) {
+	// §2.1: 80 % of registrations within 2 cycles, 99 % within 10 —
+	// checked here for a realistically busy cell joining all at once.
+	scn := NewScenario()
+	scn.GPSUsers = 4
+	scn.DataUsers = 14
+	scn.Load = 0.5
+	scn.Cycles = 150
+	scn.WarmupCycles = 0
+	res, err := Run(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.RegistrationsApproved.Value() != 18 {
+		t.Fatalf("approved = %d, want 18", res.Metrics.RegistrationsApproved.Value())
+	}
+	if res.RegistrationWithin10 < 0.99 {
+		t.Fatalf("registration within 10 cycles = %.2f, want ≥0.99", res.RegistrationWithin10)
+	}
+}
+
+func TestPaperLoadsSweepPoints(t *testing.T) {
+	want := []float64{0.3, 0.5, 0.8, 0.9, 1.0, 1.1}
+	if len(PaperLoads) != len(want) {
+		t.Fatal("sweep points changed")
+	}
+	for i := range want {
+		if PaperLoads[i] != want[i] {
+			t.Fatal("sweep points changed")
+		}
+	}
+}
+
+func TestInterarrivalForLoad(t *testing.T) {
+	T := InterarrivalForLoad(0.8, 10, 2, true) // ≤3 GPS users → format 2, d=9
+	if T <= 0 {
+		t.Fatal("non-positive interarrival")
+	}
+	// More than 3 GPS users pins format 1 (d=8): the same ρ maps to a
+	// smaller slot budget, so the calibrated interarrival grows.
+	if InterarrivalForLoad(0.8, 10, 8, true) <= T {
+		t.Fatal("format-1 population should need a longer interarrival")
+	}
+	// Fixed sizes differ from variable.
+	if InterarrivalForLoad(0.8, 10, 2, false) == T {
+		t.Fatal("size distribution should affect calibration")
+	}
+}
+
+func TestRunPropagatesBuildError(t *testing.T) {
+	scn := NewScenario()
+	scn.GPSUsers = -1
+	if _, err := Run(scn); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+}
+
+func TestScenarioWithLossesRuns(t *testing.T) {
+	scn := NewScenario()
+	scn.Cycles = 40
+	scn.WarmupCycles = 5
+	scn.ReverseLoss = 0.1
+	scn.ForwardLoss = 0.05
+	res, err := Run(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.CFDecodeFailures.Value() == 0 {
+		t.Fatal("forward loss never hit the control fields")
+	}
+}
