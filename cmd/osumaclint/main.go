@@ -1,0 +1,115 @@
+// Command osumaclint runs the project-specific static analysis suite
+// over the OSU-MAC tree. It enforces the invariants the compiler cannot
+// see: deterministic scheduling inputs, checked errors, canonical
+// protocol constants, symmetric codecs, and panic-free exported APIs.
+//
+// Usage:
+//
+//	osumaclint [-json] [-analyzers name,name] [patterns...]
+//
+// Patterns follow go-command conventions ("./...", "./internal/frame");
+// the default is "./...". The module root is located by walking up from
+// the working directory to the nearest go.mod. The exit status is 1 when
+// findings are reported, 2 on driver errors, and 0 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/osu-netlab/osumac/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("osumaclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var subset []string
+	if *names != "" {
+		subset = strings.Split(*names, ",")
+	}
+	analyzers, err := lint.ByName(subset)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader := lint.NewLoader()
+	pkgs, err := loader.Load(root, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	diags := lint.Run(loader.Fset, pkgs, analyzers)
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("osumaclint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/osu-netlab/osumac/internal/lint"
+)
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, stderr.String())
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %s", a.Name)
+		}
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+// TestRunTreeIsClean is the merge gate in miniature: the repository's
+// own tree must lint clean.
+func TestRunTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole tree; skipped in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("osumaclint ./... exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("expected a clean tree, got %d findings", len(diags))
+	}
+}

@@ -73,6 +73,53 @@ func TestPropertyScenarioInvariants(t *testing.T) {
 	}
 }
 
+// FuzzScenario is the native-fuzzing twin of the property test above:
+// the fuzzer explores scenario configurations and every one must run
+// without error while preserving the conservation invariants. Cycle
+// counts are kept short so each execution stays cheap. Seed corpus:
+// testdata/fuzz/FuzzScenario.
+func FuzzScenario(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(4), uint8(5), uint8(0))
+	f.Add(uint64(7), uint8(8), uint8(11), uint8(12), uint8(2))
+	f.Add(uint64(42), uint8(0), uint8(1), uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, gpsRaw, dataRaw, loadRaw, lossRaw uint8) {
+		scn := Scenario{
+			Seed:          seed,
+			GPSUsers:      int(gpsRaw % 9),          // 0..8
+			DataUsers:     int(dataRaw%12) + 1,      // 1..12
+			Load:          float64(loadRaw%13) / 10, // 0.0..1.2
+			VariableSizes: seed%2 == 0,
+			Cycles:        8,
+			WarmupCycles:  2,
+			ReverseLoss:   float64(lossRaw%3) * 0.08, // 0, 0.08, 0.16
+		}
+		res, err := Run(scn)
+		if err != nil {
+			t.Fatalf("scenario error: %v (%+v)", err, scn)
+		}
+		m := res.Metrics
+		if res.Utilization < 0 || res.Utilization > 1 {
+			t.Fatalf("utilization %v out of range (%+v)", res.Utilization, scn)
+		}
+		if res.Fairness < 0 || res.Fairness > 1.0000001 {
+			t.Fatalf("fairness %v out of range (%+v)", res.Fairness, scn)
+		}
+		if m.MessagesDelivered.Value() > m.MessagesGenerated.Value() {
+			t.Fatalf("delivered more messages than generated (%+v)", scn)
+		}
+		if m.BytesDelivered.Value() > m.BytesGenerated.Value() {
+			t.Fatalf("delivered more bytes than generated (%+v)", scn)
+		}
+		if m.GPSDelivered.Value() > m.GPSGenerated.Value() {
+			t.Fatalf("delivered more GPS reports than generated (%+v)", scn)
+		}
+		if got := int(m.RegistrationsApproved.Value()); got > scn.GPSUsers+scn.DataUsers {
+			t.Fatalf("over-admitted: %d registrations for %d subscribers (%+v)",
+				got, scn.GPSUsers+scn.DataUsers, scn)
+		}
+	})
+}
+
 // TestPropertySeedSensitivity verifies different seeds actually change
 // outcomes (the RNG plumbing reaches the protocol) while the same seed
 // never does.

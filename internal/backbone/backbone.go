@@ -182,5 +182,11 @@ func (in *Internet) Run(cycles int) error {
 		}
 	}
 	horizon := start + time.Duration(cycles)*phy.CycleLength + phy.ReverseShift
-	return in.kernel.Run(horizon)
+	kerr := in.kernel.Run(horizon)
+	for _, cell := range in.cells {
+		if err := cell.Err(); err != nil {
+			return err
+		}
+	}
+	return kerr
 }

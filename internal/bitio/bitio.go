@@ -13,10 +13,15 @@ import (
 // underlying buffer.
 var ErrOverflow = errors.New("bitio: past end of buffer")
 
+// ErrValueRange is returned by the strict Put methods when a value does
+// not fit its declared field width.
+var ErrValueRange = errors.New("bitio: value exceeds field width")
+
 // Writer packs bits MSB-first into an internal buffer.
 type Writer struct {
 	buf  []byte
 	nbit int // bits written so far
+	err  error
 }
 
 // NewWriter returns a writer with the given capacity in bits. The
@@ -72,6 +77,48 @@ func (w *Writer) WriteBytes(p []byte) error {
 	return nil
 }
 
+// Err returns the first error recorded by the Put methods, or nil.
+func (w *Writer) Err() error { return w.err }
+
+// setErr records the first error seen by a Put method.
+func (w *Writer) setErr(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// PutBits writes the low width bits of v, MSB first, recording rather
+// than returning errors: after any Put fails, subsequent Puts are no-ops
+// and Err reports the first failure. Unlike WriteBits, PutBits is strict
+// about range: v must fit in width bits.
+func (w *Writer) PutBits(v uint64, width int) {
+	if w.err != nil {
+		return
+	}
+	if width < 64 && v >= 1<<uint(width) {
+		w.setErr(fmt.Errorf("%w: value %d in %d bits", ErrValueRange, v, width))
+		return
+	}
+	w.setErr(w.WriteBits(v, width))
+}
+
+// PutBool writes a single bit, recording errors like PutBits.
+func (w *Writer) PutBool(b bool) {
+	if w.err != nil {
+		return
+	}
+	w.setErr(w.WriteBool(b))
+}
+
+// PutBytes writes whole bytes at the current bit offset, recording
+// errors like PutBits.
+func (w *Writer) PutBytes(p []byte) {
+	if w.err != nil {
+		return
+	}
+	w.setErr(w.WriteBytes(p))
+}
+
 // Bytes returns the buffer padded with zero bits to whole bytes. The
 // returned slice is the full capacity; callers that need only the
 // written prefix can slice it with (Len()+7)/8.
@@ -85,6 +132,7 @@ func (w *Writer) Bytes() []byte {
 type Reader struct {
 	buf  []byte
 	nbit int
+	err  error
 }
 
 // NewReader returns a reader over p. The reader does not copy p; callers
@@ -137,6 +185,48 @@ func (r *Reader) ReadBytes(n int) ([]byte, error) {
 		out = append(out, byte(v))
 	}
 	return out, nil
+}
+
+// Err returns the first error recorded by the Take methods, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// setErr records the first error seen by a Take method.
+func (r *Reader) setErr(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// TakeBits reads width bits MSB-first, recording rather than returning
+// errors: after any Take fails, subsequent Takes return zero values and
+// Err reports the first failure.
+func (r *Reader) TakeBits(width int) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := r.ReadBits(width)
+	r.setErr(err)
+	return v
+}
+
+// TakeBool reads a single bit, recording errors like TakeBits.
+func (r *Reader) TakeBool() bool {
+	if r.err != nil {
+		return false
+	}
+	v, err := r.ReadBool()
+	r.setErr(err)
+	return v
+}
+
+// TakeBytes reads n whole bytes, recording errors like TakeBits.
+func (r *Reader) TakeBytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	p, err := r.ReadBytes(n)
+	r.setErr(err)
+	return p
 }
 
 // Skip advances the reader by n bits.

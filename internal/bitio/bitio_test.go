@@ -214,3 +214,77 @@ func TestPropertyRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPutTakeStickyRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.PutBits(0x2A, 6)
+	w.PutBool(true)
+	w.PutBits(0xBEEF, 16)
+	w.PutBytes([]byte{0x12, 0x34})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(w.Bytes())
+	if got := r.TakeBits(6); got != 0x2A {
+		t.Fatalf("TakeBits = %#x, want 0x2a", got)
+	}
+	if !r.TakeBool() {
+		t.Fatal("TakeBool = false, want true")
+	}
+	if got := r.TakeBits(16); got != 0xBEEF {
+		t.Fatalf("TakeBits = %#x, want 0xbeef", got)
+	}
+	if got := r.TakeBytes(2); !bytes.Equal(got, []byte{0x12, 0x34}) {
+		t.Fatalf("TakeBytes = %x, want 1234", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutBitsValueRange(t *testing.T) {
+	w := NewWriter(64)
+	w.PutBits(64, 6) // 64 needs 7 bits
+	if !errors.Is(w.Err(), ErrValueRange) {
+		t.Fatalf("err = %v, want ErrValueRange", w.Err())
+	}
+	// Sticky: later valid writes are no-ops and the first error persists.
+	before := w.Len()
+	w.PutBits(1, 6)
+	w.PutBool(true)
+	w.PutBytes([]byte{1})
+	if w.Len() != before {
+		t.Fatal("writes after error changed the buffer")
+	}
+	if !errors.Is(w.Err(), ErrValueRange) {
+		t.Fatalf("err = %v, want sticky ErrValueRange", w.Err())
+	}
+}
+
+func TestPutOverflowSticky(t *testing.T) {
+	w := NewWriter(8)
+	w.PutBits(0xFF, 8)
+	w.PutBits(1, 1)
+	if !errors.Is(w.Err(), ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", w.Err())
+	}
+}
+
+func TestTakeUnderflowSticky(t *testing.T) {
+	r := NewReader([]byte{0xAB})
+	if got := r.TakeBits(8); got != 0xAB {
+		t.Fatalf("TakeBits = %#x, want 0xab", got)
+	}
+	if got := r.TakeBits(1); got != 0 {
+		t.Fatalf("TakeBits past end = %#x, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", r.Err())
+	}
+	if got := r.TakeBytes(1); got != nil {
+		t.Fatalf("TakeBytes after error = %x, want nil", got)
+	}
+	if r.TakeBool() {
+		t.Fatal("TakeBool after error = true, want false")
+	}
+}

@@ -10,6 +10,23 @@ import (
 	"github.com/osu-netlab/osumac/internal/traffic"
 )
 
+// InternalError reports a broken protocol invariant detected mid-run
+// (e.g. the base station producing unencodable control fields). It
+// aborts the simulation instead of panicking so embedding programs can
+// surface the failure.
+type InternalError struct {
+	Op  string // the operation that failed, e.g. "control field encode"
+	Err error
+}
+
+// Error implements the error interface.
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("core: internal error: %s: %v", e.Op, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *InternalError) Unwrap() error { return e.Err }
+
 // Network wires one base station and its mobile subscribers onto the
 // discrete-event kernel and the simulated channels. It owns all
 // measurement plumbing (message delay, reservation and registration
@@ -21,6 +38,7 @@ type Network struct {
 	rootRNG *sim.RNG
 	base    *BaseStation
 	metrics *Metrics
+	runErr  error
 
 	subs     []*subEntry
 	byEIN    map[frame.EIN]*subEntry
@@ -111,6 +129,20 @@ func (n *Network) Config() Config { return n.cfg }
 // Cycle returns the number of notification cycles started.
 func (n *Network) Cycle() int { return n.cycle }
 
+// Err returns the internal error that aborted the run, if any. Callers
+// that drive the kernel themselves (e.g. multi-cell backbones) must
+// check it after the kernel stops.
+func (n *Network) Err() error { return n.runErr }
+
+// fail records the first internal error and halts the kernel; scheduled
+// events after the current one never fire.
+func (n *Network) fail(op string, err error) {
+	if n.runErr == nil {
+		n.runErr = &InternalError{Op: op, Err: err}
+		n.sim.Stop()
+	}
+}
+
 // Subscribers returns the subscribers in creation order.
 func (n *Network) Subscribers() []*Subscriber {
 	out := make([]*Subscriber, len(n.subs))
@@ -188,7 +220,11 @@ func (n *Network) Run(cycles int) error {
 		return err
 	}
 	horizon := start + time.Duration(cycles)*phy.CycleLength + phy.ReverseShift
-	return n.sim.Run(horizon)
+	kerr := n.sim.Run(horizon)
+	if n.runErr != nil {
+		return n.runErr
+	}
+	return kerr
 }
 
 // ScheduleCycles queues the next `cycles` notification cycles starting
@@ -248,7 +284,8 @@ func (n *Network) beginCycle(k int) {
 	// CF1 delivery.
 	cf1Air, err := n.codec.EncodeControlFields(cf1)
 	if err != nil {
-		panic(fmt.Sprintf("core: control field encode: %v", err))
+		n.fail("control field encode", err)
+		return
 	}
 	n.sim.AfterPriority(layout.CF1.End, sim.PriorityDeliver, func() {
 		for _, e := range n.subs {
@@ -264,7 +301,8 @@ func (n *Network) beginCycle(k int) {
 		cf2 := n.base.BuildCF2()
 		cf2Air, err := n.codec.EncodeControlFields(cf2)
 		if err != nil {
-			panic(fmt.Sprintf("core: control field encode: %v", err))
+			n.fail("control field encode", err)
+			return
 		}
 		for _, e := range n.subs {
 			if e.sub.State() == StateIdle || !e.listensCF2 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -658,5 +659,27 @@ func TestSubscriberAccessors(t *testing.T) {
 	}
 	if n.SubscriberByID(frame.NoUser) != nil {
 		t.Fatal("NoUser resolved")
+	}
+}
+
+func TestInternalErrorAbortsRun(t *testing.T) {
+	n := newTestNetwork(t, nil)
+	cause := frame.ErrBadPacket
+	n.fail("control field encode", cause)
+	var ie *InternalError
+	err := n.Run(1)
+	if !errors.As(err, &ie) {
+		t.Fatalf("Run error = %v, want *InternalError", err)
+	}
+	if ie.Op != "control field encode" || !errors.Is(err, cause) {
+		t.Fatalf("InternalError = %+v, want op and wrapped cause preserved", ie)
+	}
+	if n.Err() == nil {
+		t.Fatal("Err() = nil after internal failure")
+	}
+	// The first failure wins; later ones are ignored.
+	n.fail("other", errors.New("second"))
+	if got := n.Err().(*InternalError).Op; got != "control field encode" {
+		t.Fatalf("Err().Op = %q, want first failure kept", got)
 	}
 }

@@ -38,7 +38,10 @@ func (c *Codec) DecodePayload(cw []byte) ([]byte, error) {
 // EncodeControlFields produces the on-air form of a control-field set:
 // two consecutive RS codewords (128 bytes).
 func (c *Codec) EncodeControlFields(cf *ControlFields) ([]byte, error) {
-	info := cf.Marshal()
+	info, err := cf.Marshal()
+	if err != nil {
+		return nil, err
+	}
 	if len(info) != phy.ControlFieldCodewords*phy.CodewordInfoBytes {
 		return nil, fmt.Errorf("frame: control fields marshal to %d bytes", len(info))
 	}

@@ -162,26 +162,31 @@ func (cf *ControlFields) ContentionSlots() []int {
 }
 
 // Marshal packs the control fields into the information bytes of two RS
-// codewords (96 bytes); the trailing reserved bits are zero.
-func (cf *ControlFields) Marshal() []byte {
+// codewords (96 bytes); the trailing reserved bits are zero. An entry
+// that does not fit its field width (e.g. a user ID above 6 bits)
+// returns ErrBadPacket.
+func (cf *ControlFields) Marshal() ([]byte, error) {
 	w := bitio.NewWriter(phy.ControlFieldCodewords * phy.CodewordInfoBits)
 	for _, u := range cf.GPSSchedule {
-		mustWrite(w, uint64(u), UserIDBits)
+		w.PutBits(uint64(u), UserIDBits)
 	}
 	for _, u := range cf.ReverseSchedule {
-		mustWrite(w, uint64(u), UserIDBits)
+		w.PutBits(uint64(u), UserIDBits)
 	}
 	for _, u := range cf.ForwardSchedule {
-		mustWrite(w, uint64(u), UserIDBits)
+		w.PutBits(uint64(u), UserIDBits)
 	}
 	for _, a := range cf.ReverseACKs {
-		mustWrite(w, uint64(a.User), UserIDBits)
-		mustWrite(w, uint64(a.EIN), EINBits)
+		w.PutBits(uint64(a.User), UserIDBits)
+		w.PutBits(uint64(a.EIN), EINBits)
 	}
 	for _, u := range cf.Paging {
-		mustWrite(w, uint64(u), UserIDBits)
+		w.PutBits(uint64(u), UserIDBits)
 	}
-	return w.Bytes()
+	if err := w.Err(); err != nil {
+		return nil, fmt.Errorf("%w: control fields: %w", ErrBadPacket, err)
+	}
+	return w.Bytes(), nil
 }
 
 // UnmarshalControlFields parses the 96 information bytes of a
@@ -194,36 +199,23 @@ func UnmarshalControlFields(b []byte) (*ControlFields, error) {
 	r := bitio.NewReader(b)
 	cf := &ControlFields{}
 	for i := range cf.GPSSchedule {
-		cf.GPSSchedule[i] = UserID(mustRead(r, UserIDBits))
+		cf.GPSSchedule[i] = UserID(r.TakeBits(UserIDBits))
 	}
 	for i := range cf.ReverseSchedule {
-		cf.ReverseSchedule[i] = UserID(mustRead(r, UserIDBits))
+		cf.ReverseSchedule[i] = UserID(r.TakeBits(UserIDBits))
 	}
 	for i := range cf.ForwardSchedule {
-		cf.ForwardSchedule[i] = UserID(mustRead(r, UserIDBits))
+		cf.ForwardSchedule[i] = UserID(r.TakeBits(UserIDBits))
 	}
 	for i := range cf.ReverseACKs {
-		cf.ReverseACKs[i].User = UserID(mustRead(r, UserIDBits))
-		cf.ReverseACKs[i].EIN = EIN(mustRead(r, EINBits))
+		cf.ReverseACKs[i].User = UserID(r.TakeBits(UserIDBits))
+		cf.ReverseACKs[i].EIN = EIN(r.TakeBits(EINBits))
 	}
 	for i := range cf.Paging {
-		cf.Paging[i] = UserID(mustRead(r, UserIDBits))
+		cf.Paging[i] = UserID(r.TakeBits(UserIDBits))
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: control fields: %w", ErrBadPacket, err)
 	}
 	return cf, nil
-}
-
-// mustWrite panics on overflow, which cannot happen for the fixed
-// control-field layout (the writer is sized from the same constants).
-func mustWrite(w *bitio.Writer, v uint64, width int) {
-	if err := w.WriteBits(v, width); err != nil {
-		panic(err)
-	}
-}
-
-func mustRead(r *bitio.Reader, width int) uint64 {
-	v, err := r.ReadBits(width)
-	if err != nil {
-		panic(err)
-	}
-	return v
 }

@@ -1,6 +1,7 @@
 package frame
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -53,12 +54,24 @@ func TestControlFieldsRoundTrip(t *testing.T) {
 	cf.ReverseACKs[2] = ReverseACK{User: 9, EIN: 0xBEEF}
 	cf.Paging[17] = 21
 
-	got, err := UnmarshalControlFields(cf.Marshal())
+	b, err := cf.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalControlFields(b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if *got != *cf {
 		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, cf)
+	}
+}
+
+func TestMarshalControlFieldsRejectsOversizedID(t *testing.T) {
+	cf := NewControlFields()
+	cf.GPSSchedule[0] = 64 // does not fit 6 bits
+	if _, err := cf.Marshal(); !errors.Is(err, ErrBadPacket) {
+		t.Fatalf("err = %v, want ErrBadPacket", err)
 	}
 }
 
@@ -142,7 +155,11 @@ func TestPropertyControlFieldsRoundTrip(t *testing.T) {
 		for i, v := range page {
 			cf.Paging[i] = UserID(v % 64)
 		}
-		got, err := UnmarshalControlFields(cf.Marshal())
+		b, err := cf.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalControlFields(b)
 		return err == nil && *got == *cf
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -152,7 +169,10 @@ func TestPropertyControlFieldsRoundTrip(t *testing.T) {
 
 func TestMarshalSizeMatchesCodewords(t *testing.T) {
 	cf := NewControlFields()
-	b := cf.Marshal()
+	b, err := cf.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(b) != phy.ControlFieldCodewords*phy.CodewordInfoBytes {
 		t.Fatalf("marshal size %d, want %d", len(b), phy.ControlFieldCodewords*phy.CodewordInfoBytes)
 	}

@@ -38,7 +38,11 @@ func TestUnmarshalControlFieldsNeverPanics(t *testing.T) {
 		}
 		// Whatever parsed must re-marshal to the same bits (the layout
 		// is total over 6-bit fields).
-		if got, err := UnmarshalControlFields(cf.Marshal()); err != nil || *got != *cf {
+		back, err := cf.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, err := UnmarshalControlFields(back); err != nil || *got != *cf {
 			t.Fatal("re-marshal mismatch on random control fields")
 		}
 	}
@@ -60,6 +64,108 @@ func TestUnmarshalGPSReportNeverPanics(t *testing.T) {
 	if valid > 100 {
 		t.Fatalf("%d/5000 random GPS bodies validated; checksum too weak", valid)
 	}
+}
+
+// FuzzUnmarshalPacket feeds arbitrary bytes to the reverse-packet
+// parser. Parsing must never panic, and a successful parse must survive
+// a marshal/unmarshal round trip. Seed corpus: testdata/fuzz.
+func FuzzUnmarshalPacket(f *testing.F) {
+	d := &DataPacket{
+		Header:  DataHeader{User: 5, MoreSlots: 2, MsgID: 777, Frag: 1, FragTotal: 3},
+		Payload: []byte("osu-mac"),
+	}
+	if b, err := d.Marshal(); err == nil {
+		f.Add(b)
+	}
+	reg := &RegistrationRequest{EIN: 0xBEEF, WantGPS: true}
+	if b, err := reg.Marshal(); err == nil {
+		f.Add(b)
+	}
+	rsv := &ReservationRequest{User: 3, Slots: 4}
+	if b, err := rsv.Marshal(); err == nil {
+		f.Add(b)
+	}
+	f.Add(make([]byte, phy.CodewordInfoBytes))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		pkt, err := UnmarshalPacket(b)
+		if err != nil {
+			return
+		}
+		if pkt == nil {
+			t.Fatal("nil packet without error")
+		}
+		var back []byte
+		switch pkt.Type {
+		case TypeData:
+			back, err = pkt.Data.Marshal()
+		case TypeRegistration:
+			back, err = pkt.Register.Marshal()
+		case TypeReservation:
+			back, err = pkt.Reservation.Marshal()
+		default:
+			t.Fatalf("parser accepted unknown packet type %v", pkt.Type)
+		}
+		if err != nil {
+			t.Fatalf("re-marshal of parsed packet failed: %v", err)
+		}
+		if _, err := UnmarshalPacket(back); err != nil {
+			t.Fatalf("round-tripped packet failed to parse: %v", err)
+		}
+	})
+}
+
+// FuzzUnmarshalControlFields checks the 630-bit control-field layout is
+// total: anything that parses must re-marshal to an equal value.
+func FuzzUnmarshalControlFields(f *testing.F) {
+	if b, err := NewControlFields().Marshal(); err == nil {
+		f.Add(b)
+	}
+	cf := NewControlFields()
+	cf.GPSSchedule[0] = 1
+	cf.ReverseSchedule[2] = 7
+	cf.ReverseACKs[0] = ReverseACK{User: 7, EIN: 0xBEEF}
+	if b, err := cf.Marshal(); err == nil {
+		f.Add(b)
+	}
+	f.Add(make([]byte, phy.ControlFieldCodewords*phy.CodewordInfoBytes))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		got, err := UnmarshalControlFields(b)
+		if err != nil {
+			return
+		}
+		back, err := got.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal of parsed control fields failed: %v", err)
+		}
+		again, err := UnmarshalControlFields(back)
+		if err != nil || *again != *got {
+			t.Fatalf("control fields round trip diverged: %v", err)
+		}
+	})
+}
+
+// FuzzUnmarshalGPSReport checks the checksum-guarded GPS body parser:
+// no panics, and accepted reports re-marshal to the same fields.
+func FuzzUnmarshalGPSReport(f *testing.F) {
+	g := &GPSReport{User: 2, Sequence: 513, Latitude: 0x123456, Longitude: 0x654321}
+	if b, err := g.Marshal(); err == nil {
+		f.Add(b)
+	}
+	f.Add(make([]byte, GPSReportBytes))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		got, err := UnmarshalGPSReport(b)
+		if err != nil {
+			return
+		}
+		back, err := got.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted GPS report failed: %v", err)
+		}
+		again, err := UnmarshalGPSReport(back)
+		if err != nil || *again != *got {
+			t.Fatalf("GPS report round trip diverged: %v", err)
+		}
+	})
 }
 
 // Property: parsing arbitrary length-correct bytes either fails or

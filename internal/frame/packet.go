@@ -88,16 +88,17 @@ func (p *DataPacket) Marshal() ([]byte, error) {
 		return nil, fmt.Errorf("%w: user ID %d exceeds 6 bits", ErrBadPacket, p.Header.User)
 	}
 	w := bitio.NewWriter(phy.CodewordInfoBits)
-	mustWrite(w, uint64(TypeData), typeBits)
-	mustWrite(w, uint64(p.Header.User), UserIDBits)
-	mustWrite(w, uint64(p.Header.MoreSlots), moreSlotsBits)
-	mustWrite(w, uint64(p.Header.MsgID), msgIDBits)
-	mustWrite(w, uint64(p.Header.Frag), fragBits)
-	mustWrite(w, uint64(p.Header.FragTotal), fragBits)
-	mustWrite(w, uint64(len(p.Payload)), payloadLenBits)
-	mustWrite(w, 0, headerBits-52) // pad header to a whole byte count
-	if err := w.WriteBytes(p.Payload); err != nil {
-		return nil, err
+	w.PutBits(uint64(TypeData), typeBits)
+	w.PutBits(uint64(p.Header.User), UserIDBits)
+	w.PutBits(uint64(p.Header.MoreSlots), moreSlotsBits)
+	w.PutBits(uint64(p.Header.MsgID), msgIDBits)
+	w.PutBits(uint64(p.Header.Frag), fragBits)
+	w.PutBits(uint64(p.Header.FragTotal), fragBits)
+	w.PutBits(uint64(len(p.Payload)), payloadLenBits)
+	w.PutBits(0, headerBits-52) // pad header to a whole byte count
+	w.PutBytes(p.Payload)
+	if err := w.Err(); err != nil {
+		return nil, fmt.Errorf("%w: data packet: %w", ErrBadPacket, err)
 	}
 	return w.Bytes(), nil
 }
@@ -112,10 +113,11 @@ type RegistrationRequest struct {
 // Marshal packs the request into 48 information bytes.
 func (p *RegistrationRequest) Marshal() ([]byte, error) {
 	w := bitio.NewWriter(phy.CodewordInfoBits)
-	mustWrite(w, uint64(TypeRegistration), typeBits)
-	mustWrite(w, uint64(p.EIN), EINBits)
-	if err := w.WriteBool(p.WantGPS); err != nil {
-		return nil, err
+	w.PutBits(uint64(TypeRegistration), typeBits)
+	w.PutBits(uint64(p.EIN), EINBits)
+	w.PutBool(p.WantGPS)
+	if err := w.Err(); err != nil {
+		return nil, fmt.Errorf("%w: registration request: %w", ErrBadPacket, err)
 	}
 	return w.Bytes(), nil
 }
@@ -136,9 +138,12 @@ func (p *ReservationRequest) Marshal() ([]byte, error) {
 		return nil, fmt.Errorf("%w: invalid user ID %d", ErrBadPacket, p.User)
 	}
 	w := bitio.NewWriter(phy.CodewordInfoBits)
-	mustWrite(w, uint64(TypeReservation), typeBits)
-	mustWrite(w, uint64(p.User), UserIDBits)
-	mustWrite(w, uint64(p.Slots), moreSlotsBits)
+	w.PutBits(uint64(TypeReservation), typeBits)
+	w.PutBits(uint64(p.User), UserIDBits)
+	w.PutBits(uint64(p.Slots), moreSlotsBits)
+	if err := w.Err(); err != nil {
+		return nil, fmt.Errorf("%w: reservation request: %w", ErrBadPacket, err)
+	}
 	return w.Bytes(), nil
 }
 
@@ -157,38 +162,44 @@ func UnmarshalPacket(b []byte) (*Packet, error) {
 		return nil, fmt.Errorf("%w: packet %d bytes, want %d", ErrBadLength, len(b), phy.CodewordInfoBytes)
 	}
 	r := bitio.NewReader(b)
-	t := PacketType(mustRead(r, typeBits))
+	t := PacketType(r.TakeBits(typeBits))
 	switch t {
 	case TypeData:
 		h := DataHeader{
-			User:      UserID(mustRead(r, UserIDBits)),
-			MoreSlots: uint8(mustRead(r, moreSlotsBits)),
-			MsgID:     uint16(mustRead(r, msgIDBits)),
-			Frag:      uint8(mustRead(r, fragBits)),
-			FragTotal: uint8(mustRead(r, fragBits)),
+			User:      UserID(r.TakeBits(UserIDBits)),
+			MoreSlots: uint8(r.TakeBits(moreSlotsBits)),
+			MsgID:     uint16(r.TakeBits(msgIDBits)),
+			Frag:      uint8(r.TakeBits(fragBits)),
+			FragTotal: uint8(r.TakeBits(fragBits)),
 		}
-		n := int(mustRead(r, payloadLenBits))
+		n := int(r.TakeBits(payloadLenBits))
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("%w: data header: %w", ErrBadPacket, err)
+		}
 		if n > MaxPayload {
 			return nil, fmt.Errorf("%w: payload length %d exceeds max %d", ErrBadPacket, n, MaxPayload)
 		}
 		if err := r.Skip(headerBits - 52); err != nil {
 			return nil, err
 		}
-		payload, err := r.ReadBytes(n)
-		if err != nil {
-			return nil, err
+		payload := r.TakeBytes(n)
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("%w: data payload: %w", ErrBadPacket, err)
 		}
 		return &Packet{Type: TypeData, Data: &DataPacket{Header: h, Payload: payload}}, nil
 	case TypeRegistration:
-		ein := EIN(mustRead(r, EINBits))
-		wantGPS, err := r.ReadBool()
-		if err != nil {
-			return nil, err
+		ein := EIN(r.TakeBits(EINBits))
+		wantGPS := r.TakeBool()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("%w: registration request: %w", ErrBadPacket, err)
 		}
 		return &Packet{Type: TypeRegistration, Register: &RegistrationRequest{EIN: ein, WantGPS: wantGPS}}, nil
 	case TypeReservation:
-		user := UserID(mustRead(r, UserIDBits))
-		slots := uint8(mustRead(r, moreSlotsBits))
+		user := UserID(r.TakeBits(UserIDBits))
+		slots := uint8(r.TakeBits(moreSlotsBits))
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("%w: reservation request: %w", ErrBadPacket, err)
+		}
 		if !user.Valid() {
 			return nil, fmt.Errorf("%w: reservation from invalid user %d", ErrBadPacket, user)
 		}
@@ -221,11 +232,14 @@ func (g *GPSReport) Marshal() ([]byte, error) {
 		return nil, fmt.Errorf("%w: coordinates exceed 24 bits", ErrBadPacket)
 	}
 	w := bitio.NewWriter(GPSReportBytes * 8)
-	mustWrite(w, uint64(g.User), UserIDBits)
-	mustWrite(w, uint64(g.Sequence), 16)
-	mustWrite(w, uint64(g.Latitude), 24)
-	mustWrite(w, uint64(g.Longitude), 24)
-	mustWrite(w, 0, 2) // pad to the 72-bit report boundary
+	w.PutBits(uint64(g.User), UserIDBits)
+	w.PutBits(uint64(g.Sequence), 16)
+	w.PutBits(uint64(g.Latitude), 24)
+	w.PutBits(uint64(g.Longitude), 24)
+	w.PutBits(0, 2) // pad to the 72-bit report boundary
+	if err := w.Err(); err != nil {
+		return nil, fmt.Errorf("%w: GPS report: %w", ErrBadPacket, err)
+	}
 	body := w.Bytes()
 	body[9] = xorChecksum(body[:9])
 	return body, nil
@@ -242,10 +256,13 @@ func UnmarshalGPSReport(b []byte) (*GPSReport, error) {
 	}
 	r := bitio.NewReader(b)
 	g := &GPSReport{}
-	g.User = UserID(mustRead(r, UserIDBits))
-	g.Sequence = uint16(mustRead(r, 16))
-	g.Latitude = uint32(mustRead(r, 24))
-	g.Longitude = uint32(mustRead(r, 24))
+	g.User = UserID(r.TakeBits(UserIDBits))
+	g.Sequence = uint16(r.TakeBits(16))
+	g.Latitude = uint32(r.TakeBits(24))
+	g.Longitude = uint32(r.TakeBits(24))
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: GPS report: %w", ErrBadPacket, err)
+	}
 	return g, nil
 }
 

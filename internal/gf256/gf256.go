@@ -61,6 +61,7 @@ func Mul(a, b byte) byte {
 // logic error in the caller (RS decoders check denominators first).
 func Div(a, b byte) byte {
 	if b == 0 {
+		//lint:ignore panicfree documented precondition: division by zero is a caller logic error, checked by RS decoders
 		panic("gf256: division by zero")
 	}
 	if a == 0 {
@@ -76,6 +77,7 @@ func Div(a, b byte) byte {
 // Inv returns the multiplicative inverse of a. It panics on zero.
 func Inv(a byte) byte {
 	if a == 0 {
+		//lint:ignore panicfree documented precondition: zero has no inverse in GF(256)
 		panic("gf256: inverse of zero")
 	}
 	return expTable[255-int(logTable[a])]
@@ -94,6 +96,7 @@ func Exp(n int) byte {
 // logarithm.
 func Log(a byte) int {
 	if a == 0 {
+		//lint:ignore panicfree documented precondition: zero has no logarithm
 		panic("gf256: log of zero")
 	}
 	return int(logTable[a])

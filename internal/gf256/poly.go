@@ -74,6 +74,7 @@ func PolyEval(p []byte, x byte) byte {
 func PolyDivMod(a, b []byte) (quo, rem []byte) {
 	db := PolyDegree(b)
 	if db < 0 {
+		//lint:ignore panicfree documented precondition: zero-polynomial divisor is a caller logic error
 		panic("gf256: polynomial division by zero")
 	}
 	rem = make([]byte, len(a))

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CodecPair verifies the wire-format packages keep their codecs
+// symmetric: every Encode*/Marshal* has a matching Decode*/Unmarshal*
+// in the same package, and some test exercises both directions. An
+// encoder without a decoder (or an untested pair) is how silent wire
+// format drift starts.
+var CodecPair = &Analyzer{
+	Name: "codecpair",
+	Doc:  "require a Decode*/Unmarshal* counterpart with round-trip test coverage for every Encode*/Marshal* in internal/frame and internal/bitio",
+	Run:  runCodecPair,
+}
+
+// codecPairPackages are the wire-format packages held to the pairing
+// rule.
+var codecPairPackages = []string{
+	"internal/frame",
+	"internal/bitio",
+}
+
+func runCodecPair(pass *Pass) {
+	scoped := false
+	for _, suffix := range codecPairPackages {
+		if pathHasSuffix(pass.Pkg.Path, suffix) {
+			scoped = true
+			break
+		}
+	}
+	if !scoped || pass.Pkg.Info == nil {
+		return
+	}
+
+	decoders := make(map[string]*ast.FuncDecl)
+	var encoders []*ast.FuncDecl
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			name := fd.Name.Name
+			switch {
+			case strings.HasPrefix(name, "Decode"), strings.HasPrefix(name, "Unmarshal"):
+				decoders[name] = fd
+			case strings.HasPrefix(name, "Encode"), strings.HasPrefix(name, "Marshal"):
+				encoders = append(encoders, fd)
+			}
+		}
+	}
+
+	testRefs := testIdentifiers(pass.Pkg.TestFiles)
+	for _, enc := range encoders {
+		decName := findCounterpart(pass, enc, decoders)
+		if decName == "" {
+			pass.Reportf(enc.Pos(), "%s has no matching %s counterpart in the package",
+				describeFunc(enc), counterpartPrefix(enc.Name.Name))
+			continue
+		}
+		if !testRefs[enc.Name.Name] || !testRefs[decName] {
+			pass.Reportf(enc.Pos(), "codec pair %s/%s has no round-trip test coverage (tests must reference both)",
+				enc.Name.Name, decName)
+		}
+	}
+}
+
+// counterpartPrefix maps an encoder name to its decoder prefix.
+func counterpartPrefix(name string) string {
+	if strings.HasPrefix(name, "Encode") {
+		return "Decode"
+	}
+	return "Unmarshal"
+}
+
+// findCounterpart resolves the decoder that balances enc, or "".
+//
+// Matching rules, in order:
+//  1. Encode<X> pairs with Decode<X>, Marshal<X> with Unmarshal<X>.
+//  2. A bare Marshal/Encode method on T pairs with Unmarshal<T>/Decode<T>.
+//  3. Failing that, a bare method on T pairs with any Decode*/Unmarshal*
+//     function whose results cover T — directly, behind a pointer, or as
+//     a field of a returned struct (frame.UnmarshalPacket returning a
+//     *Packet that carries a *DataPacket covers DataPacket.Marshal).
+func findCounterpart(pass *Pass, enc *ast.FuncDecl, decoders map[string]*ast.FuncDecl) string {
+	name := enc.Name.Name
+	prefix := counterpartPrefix(name)
+	base := strings.TrimPrefix(strings.TrimPrefix(name, "Encode"), "Marshal")
+	if base != "" {
+		if _, ok := decoders[prefix+base]; ok {
+			return prefix + base
+		}
+		return ""
+	}
+	recv := receiverTypeName(enc)
+	if recv == "" {
+		return ""
+	}
+	if _, ok := decoders[prefix+recv]; ok {
+		return prefix + recv
+	}
+	for decName, dec := range decoders {
+		if decoderCovers(pass, dec, recv) {
+			return decName
+		}
+	}
+	return ""
+}
+
+// receiverTypeName extracts the receiver's type name, or "".
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// decoderCovers reports whether dec's results include typeName directly
+// or as a struct field.
+func decoderCovers(pass *Pass, dec *ast.FuncDecl, typeName string) bool {
+	obj, ok := pass.Pkg.Info.Defs[dec.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := derefType(sig.Results().At(i).Type())
+		if namedTypeName(t) == typeName {
+			return true
+		}
+		if st, ok := t.Underlying().(*types.Struct); ok {
+			for j := 0; j < st.NumFields(); j++ {
+				if namedTypeName(derefType(st.Field(j).Type())) == typeName {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// derefType strips one level of pointer.
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedTypeName returns the name of a named type, or "".
+func namedTypeName(t types.Type) string {
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// describeFunc renders a func decl for messages.
+func describeFunc(fd *ast.FuncDecl) string {
+	if recv := receiverTypeName(fd); recv != "" {
+		return "(" + recv + ")." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// testIdentifiers collects every identifier name referenced in the
+// package's test files, used as the syntactic round-trip coverage
+// signal.
+func testIdentifiers(files []*ast.File) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				out[id.Name] = true
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ConstDrift cross-checks the paper's protocol constants against their
+// canonical declarations and flags re-declared magic numbers. The
+// canonical table below is the single source of truth for the values in
+// paper Table 1 and §3.3–3.4; every other package must reference the
+// named constants instead of repeating the numbers.
+var ConstDrift = &Analyzer{
+	Name: "constdrift",
+	Doc:  "cross-check protocol constants against the canonical table and flag re-declared magic numbers",
+	Run:  runConstDrift,
+}
+
+// canonicalConst pins one declared protocol constant to its paper value.
+type canonicalConst struct {
+	pkg   string // path suffix of the owning package
+	name  string
+	value int64
+	cite  string // where the paper states it
+}
+
+// canonicalTable is the authoritative protocol constant set: the
+// 8-slot/8-slot format 1 and 3+9 format 2 reverse cycles, the RS(64,48)
+// code, the 72-bit GPS packet, and the slot/cycle symbol budgets that
+// yield δ = 0.30125 s and the 3.984375 s cycle.
+var canonicalTable = []canonicalConst{
+	{"internal/phy", "ForwardSymbolRate", 3200, "Table 1"},
+	{"internal/phy", "ReverseSymbolRate", 2400, "Table 1"},
+	{"internal/phy", "Format1GPSSlots", 8, "§3.3 format 1"},
+	{"internal/phy", "Format1DataSlots", 8, "§3.3 format 1"},
+	{"internal/phy", "Format2GPSSlots", 3, "§3.3 format 2"},
+	{"internal/phy", "Format2DataSlots", 9, "§3.3 format 2"},
+	{"internal/phy", "MaxGPSUsers", 8, "§2.1"},
+	{"internal/phy", "MaxDataUsers", 64, "§3.1"},
+	{"internal/phy", "GPSPacketInfoBits", 72, "§2.1 (72-bit GPS packet)"},
+	{"internal/phy", "ForwardDataSlots", 37, "§3.4 (N=37)"},
+	{"internal/phy", "RegularSlotSymbols", 969, "Table 1 (600+300+51+18)"},
+	{"internal/phy", "GPSSlotSymbols", 210, "Table 1 (64+128+18)"},
+	{"internal/phy", "ForwardCycleSymbols", 12750, "§3.4 (3.984375 s at 3200 sym/s)"},
+	{"internal/phy", "CodewordInfoBits", 384, "Table 1, RS(64,48) payload"},
+	{"internal/phy", "CodewordBits", 512, "Table 1, RS(64,48) codeword"},
+	{"internal/rs", "PaperN", 64, "Table 1, RS(64,48)"},
+	{"internal/rs", "PaperK", 48, "Table 1, RS(64,48)"},
+	{"internal/frame", "GPSScheduleEntries", 8, "Fig. 2 (8 GPS slots)"},
+	{"internal/frame", "ReverseScheduleEntries", 9, "Fig. 2 (M=9)"},
+	{"internal/frame", "ForwardScheduleEntries", 37, "Fig. 2 (N=37)"},
+	{"internal/frame", "ControlFieldBits", 630, "§3.4 (630-bit control fields)"},
+	{"internal/frame", "ControlFieldReservedBits", 138, "§3.4 (138 reserved bits)"},
+	{"internal/frame", "UserIDBits", 6, "§3.1 (6-bit user ID)"},
+	{"internal/frame", "EINBits", 16, "§3.1 (16-bit EIN)"},
+}
+
+// magicInts maps protocol-distinctive integer values to the canonical
+// constant that must be referenced instead. Only values unlikely to
+// occur innocently are listed; ubiquitous small numbers (8, 9, 48, 64)
+// are enforced through the declaration checks above instead.
+var magicInts = map[int64]string{
+	969:       "phy.RegularSlotSymbols",
+	12750:     "phy.ForwardCycleSymbols",
+	630:       "frame.ControlFieldBits",
+	138:       "frame.ControlFieldReservedBits",
+	301250000: "phy.ReverseShift (δ in nanoseconds)",
+}
+
+// magicFloats maps distinctive float values to canonical derivations.
+var magicFloats = map[float64]string{
+	0.30125:  "phy.ReverseShift (δ = 0.30125 s)",
+	3.984375: "phy.CycleLength (3.984375 s)",
+}
+
+func runConstDrift(pass *Pass) {
+	checkCanonicalDecls(pass)
+	checkMagicLiterals(pass)
+}
+
+// checkCanonicalDecls verifies that a package owning canonical constants
+// still declares every one of them with the paper's value.
+func checkCanonicalDecls(pass *Pass) {
+	if pass.Pkg.Types == nil {
+		return
+	}
+	for _, c := range canonicalTable {
+		if !pathHasSuffix(pass.Pkg.Path, c.pkg) {
+			continue
+		}
+		obj := pass.Pkg.Types.Scope().Lookup(c.name)
+		if obj == nil {
+			pos := pass.Pkg.Types.Scope().Pos()
+			if len(pass.Pkg.Files) > 0 {
+				pos = pass.Pkg.Files[0].Pos()
+			}
+			pass.Reportf(pos, "canonical constant %s (paper %s) is not declared in %s", c.name, c.cite, c.pkg)
+			continue
+		}
+		konst, ok := obj.(*types.Const)
+		if !ok {
+			pass.Reportf(obj.Pos(), "canonical name %s must be a constant (paper %s)", c.name, c.cite)
+			continue
+		}
+		got, exact := constant.Int64Val(constant.ToInt(konst.Val()))
+		if !exact || got != c.value {
+			pass.Reportf(obj.Pos(), "canonical constant %s = %v drifted from the paper's %d (%s)", c.name, konst.Val(), c.value, c.cite)
+		}
+	}
+}
+
+// checkMagicLiterals flags protocol-distinctive numeric literals outside
+// the package that canonically defines them.
+func checkMagicLiterals(pass *Pass) {
+	for _, c := range canonicalTable {
+		if pathHasSuffix(pass.Pkg.Path, c.pkg) {
+			return // the defining packages may spell their own values
+		}
+	}
+	if pathHasSuffix(pass.Pkg.Path, "internal/lint") {
+		return // this table
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			v := constant.MakeFromLiteral(lit.Value, lit.Kind, 0)
+			switch v.Kind() {
+			case constant.Int:
+				if i, exact := constant.Int64Val(v); exact {
+					if want, hit := magicInts[i]; hit {
+						pass.Reportf(lit.Pos(), "magic protocol constant %s; reference %s instead", lit.Value, want)
+					}
+				}
+			case constant.Float:
+				if fv, _ := constant.Float64Val(v); fv != 0 {
+					if want, hit := magicFloats[fv]; hit {
+						pass.Reportf(lit.Pos(), "magic protocol constant %s; reference %s instead", lit.Value, want)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden expected.txt files")
+
+// goldenLoader is shared across the golden cases so the standard-library
+// packages the fixtures import are type-checked once.
+var goldenLoader = NewLoader()
+
+// TestGolden runs one analyzer over a known-bad fixture tree and its
+// clean twin, comparing the rendered diagnostics (paths relative to the
+// fixture root) against testdata/src/<fixture>/expected.txt. Run with
+// -update to rewrite the goldens.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		fixture  string
+		analyzer string
+	}{
+		{"determinism", "determinism"},
+		{"determinism_clean", "determinism"},
+		{"uncheckederr", "uncheckederr"},
+		{"uncheckederr_clean", "uncheckederr"},
+		{"constdrift", "constdrift"},
+		{"constdrift_clean", "constdrift"},
+		{"codecpair", "codecpair"},
+		{"codecpair_clean", "codecpair"},
+		{"panicfree", "panicfree"},
+		{"panicfree_clean", "panicfree"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			root := filepath.Join("testdata", "src", tc.fixture)
+			got := runFixture(t, root, tc.analyzer)
+			goldenPath := filepath.Join(root, "expected.txt")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// runFixture loads a fixture tree, runs one analyzer, and renders the
+// diagnostics with fixture-relative slash paths, one per line.
+func runFixture(t *testing.T, root, analyzer string) string {
+	t.Helper()
+	analyzers, err := ByName([]string{analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := goldenLoader.Load(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s loaded no packages", root)
+	}
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, d := range Run(goldenLoader.Fset, pkgs, analyzers) {
+		if rel, err := filepath.Rel(absRoot, d.File); err == nil {
+			d.File = filepath.ToSlash(rel)
+		}
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestGoldenSuppressionsHaveFindings guards the golden fixtures against
+// rotting: each bad fixture must contain a suppressed site, proving the
+// suppression path is exercised and not just trivially empty.
+func TestGoldenSuppressionsHaveFindings(t *testing.T) {
+	for _, fixture := range []string{"determinism", "uncheckederr", "constdrift", "panicfree"} {
+		root := filepath.Join("testdata", "src", fixture)
+		found := false
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return err
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			if strings.Contains(string(data), "//lint:ignore "+fixture+" ") {
+				found = true
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Errorf("fixture %s has no //lint:ignore %s suppression to exercise", fixture, fixture)
+		}
+	}
+}

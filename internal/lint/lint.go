@@ -1,0 +1,263 @@
+// Package lint implements osumaclint, the project-specific static
+// analysis suite. OSU-MAC's correctness rests on invariants the compiler
+// cannot see — deterministic scheduling, canonical protocol constants,
+// symmetric encode/decode pairs, and panic-free exported APIs — so this
+// package encodes them as checkable analyzers built only on the standard
+// library (go/ast, go/parser, go/types).
+//
+// Findings can be suppressed with a directive on the offending line or
+// the line above it:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: a suppression without a justification is
+// itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and ignore directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+
+	analyzer *Analyzer
+	out      *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.out = append(*p.out, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the finding in the canonical
+// "file:line:col: [analyzer] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		UncheckedErr,
+		ConstDrift,
+		CodecPair,
+		PanicFree,
+	}
+}
+
+// ByName resolves a subset of analyzers by name.
+func ByName(names []string) ([]*Analyzer, error) {
+	all := All()
+	if len(names) == 0 {
+		return all, nil
+	}
+	var out []*Analyzer
+	for _, name := range names {
+		found := false
+		for _, a := range all {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over every package and returns the
+// surviving (non-suppressed) diagnostics sorted by position.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.Types == nil && len(pkg.Files) > 0 {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Fset: fset, Pkg: pkg, analyzer: a, out: &diags}
+			a.Run(pass)
+		}
+		diags = append(diags, checkDirectives(fset, pkg)...)
+	}
+	diags = applySuppressions(fset, pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzers []string // names, or ["*"] for all
+	reason    string
+}
+
+const directivePrefix = "//lint:ignore"
+
+// parseDirective parses a //lint:ignore comment, reporting whether the
+// comment is a directive at all and whether it is well-formed.
+func parseDirective(text string) (d ignoreDirective, isDirective, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return d, false, false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return d, true, false // missing analyzer or reason
+	}
+	d.analyzers = strings.Split(fields[0], ",")
+	d.reason = strings.Join(fields[1:], " ")
+	return d, true, true
+}
+
+// directivesByLine indexes every well-formed ignore directive in the
+// package by file and line.
+func directivesByLine(fset *token.FileSet, pkg *Package) map[string]map[int]ignoreDirective {
+	out := make(map[string]map[int]ignoreDirective)
+	files := append([]*ast.File{}, pkg.Files...)
+	files = append(files, pkg.TestFiles...)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, isDirective, ok := parseDirective(c.Text)
+				if !isDirective || !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = make(map[int]ignoreDirective)
+				}
+				out[pos.Filename][pos.Line] = d
+			}
+		}
+	}
+	return out
+}
+
+// checkDirectives reports malformed ignore directives (missing analyzer
+// name or reason) as findings of the pseudo-analyzer "lintdirective".
+func checkDirectives(fset *token.FileSet, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	files := append([]*ast.File{}, pkg.Files...)
+	files = append(files, pkg.TestFiles...)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				_, isDirective, ok := parseDirective(c.Text)
+				if isDirective && !ok {
+					pos := fset.Position(c.Pos())
+					out = append(out, Diagnostic{
+						Analyzer: "lintdirective",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer> <reason>",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions drops diagnostics covered by an ignore directive on
+// the same line or the immediately preceding line.
+func applySuppressions(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	index := make(map[string]map[int]ignoreDirective)
+	for _, pkg := range pkgs {
+		for file, lines := range directivesByLine(fset, pkg) {
+			if index[file] == nil {
+				index[file] = make(map[int]ignoreDirective)
+			}
+			for line, d := range lines {
+				index[file][line] = d
+			}
+		}
+	}
+	matches := func(d ignoreDirective, analyzer string) bool {
+		for _, name := range d.analyzers {
+			if name == analyzer || name == "*" {
+				return true
+			}
+		}
+		return false
+	}
+	out := diags[:0]
+	for _, diag := range diags {
+		lines := index[diag.File]
+		suppressed := false
+		if lines != nil && diag.Analyzer != "lintdirective" {
+			if d, ok := lines[diag.Line]; ok && matches(d, diag.Analyzer) {
+				suppressed = true
+			}
+			if d, ok := lines[diag.Line-1]; ok && matches(d, diag.Analyzer) {
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	return out
+}
+
+// pathHasSuffix reports whether an import path equals suffix or ends
+// with "/"+suffix — the way analyzers scope themselves to packages so
+// that both the real module tree and relative-path test fixtures match.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// pathContains reports whether the import path contains the given
+// element sequence (e.g. "internal").
+func pathContains(path, element string) bool {
+	return path == element || strings.HasPrefix(path, element+"/") ||
+		strings.Contains(path, "/"+element+"/") || strings.HasSuffix(path, "/"+element)
+}

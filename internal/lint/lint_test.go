@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text        string
+		isDirective bool
+		ok          bool
+		analyzers   []string
+		reason      string
+	}{
+		{"// ordinary comment", false, false, nil, ""},
+		{"//lint:ignore panicfree documented precondition", true, true, []string{"panicfree"}, "documented precondition"},
+		{"//lint:ignore determinism,constdrift shared reason here", true, true, []string{"determinism", "constdrift"}, "shared reason here"},
+		{"//lint:ignore * everything justified", true, true, []string{"*"}, "everything justified"},
+		{"//lint:ignore panicfree", true, false, nil, ""},
+		{"//lint:ignore", true, false, nil, ""},
+	}
+	for _, tc := range cases {
+		d, isDirective, ok := parseDirective(tc.text)
+		if isDirective != tc.isDirective || ok != tc.ok {
+			t.Errorf("parseDirective(%q) = (directive=%v, ok=%v), want (%v, %v)",
+				tc.text, isDirective, ok, tc.isDirective, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if len(d.analyzers) != len(tc.analyzers) {
+			t.Errorf("parseDirective(%q) analyzers = %v, want %v", tc.text, d.analyzers, tc.analyzers)
+			continue
+		}
+		for i := range d.analyzers {
+			if d.analyzers[i] != tc.analyzers[i] {
+				t.Errorf("parseDirective(%q) analyzers = %v, want %v", tc.text, d.analyzers, tc.analyzers)
+			}
+		}
+		if d.reason != tc.reason {
+			t.Errorf("parseDirective(%q) reason = %q, want %q", tc.text, d.reason, tc.reason)
+		}
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	if !pathHasSuffix("github.com/osu-netlab/osumac/internal/phy", "internal/phy") {
+		t.Error("module path should match internal/phy suffix")
+	}
+	if !pathHasSuffix("internal/phy", "internal/phy") {
+		t.Error("fixture-relative path should match itself")
+	}
+	if pathHasSuffix("internal/physics", "internal/phy") {
+		t.Error("internal/physics must not match internal/phy")
+	}
+	if !pathContains("github.com/osu-netlab/osumac/internal/core", "internal") {
+		t.Error("module path should contain internal element")
+	}
+	if pathContains("myinternal/core", "internal") {
+		t.Error("myinternal must not match the internal element")
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName(nil)
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(nil) = %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	subset, err := ByName([]string{"panicfree"})
+	if err != nil || len(subset) != 1 || subset[0].Name != "panicfree" {
+		t.Fatalf("ByName(panicfree) = %v, err %v", subset, err)
+	}
+	if _, err := ByName([]string{"nosuch"}); err == nil {
+		t.Fatal("ByName should reject unknown analyzer names")
+	}
+}
+
+func TestLoadPatterns(t *testing.T) {
+	root := filepath.Join("testdata", "src", "constdrift")
+	loader := NewLoader()
+
+	all, err := loader.Load(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("default pattern loaded %d packages, want 2", len(all))
+	}
+
+	one, err := loader.Load(root, []string{"./internal/phy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Path != "internal/phy" {
+		t.Fatalf("single-package pattern selected %v", pkgPaths(one))
+	}
+
+	tree, err := loader.Load(root, []string{"./internal/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree) != 2 {
+		t.Fatalf("subtree pattern selected %v", pkgPaths(tree))
+	}
+}
+
+func pkgPaths(pkgs []*Package) []string {
+	out := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		out[i] = p.Path
+	}
+	return out
+}

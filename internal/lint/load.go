@@ -1,0 +1,321 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked package of the tree under analysis.
+type Package struct {
+	// Path is the import path: the module path joined with the directory
+	// relative to the module root (or just the relative directory when no
+	// go.mod is present, as in test fixtures).
+	Path string
+	// Dir is the absolute directory of the package sources.
+	Dir string
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// TestFiles are the parsed *_test.go sources (both in-package and
+	// external). They are parsed but not type-checked: analyzers use them
+	// only syntactically (e.g. round-trip coverage checks).
+	TestFiles []*ast.File
+	// Types and Info hold the full go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader discovers, parses, and type-checks every package under a module
+// root using only the standard library. One Loader may load several
+// roots; the file set and the source importer for out-of-module
+// dependencies are shared across loads.
+type Loader struct {
+	Fset *token.FileSet
+	std  types.Importer
+}
+
+// NewLoader returns a loader with a fresh file set.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Load parses and type-checks the packages under root selected by
+// patterns. Patterns follow go-command conventions relative to root:
+// "./..." selects everything, "./x/..." a subtree, "./x" one package.
+// An empty pattern list means "./...".
+func (l *Loader) Load(root string, patterns []string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath := readModulePath(filepath.Join(root, "go.mod"))
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	pkgs := make(map[string]*Package)
+	order := make([]string, 0, len(dirs))
+	for _, dir := range dirs {
+		p, err := l.parseDir(root, modPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			continue
+		}
+		pkgs[p.Path] = p
+		order = append(order, p.Path)
+	}
+
+	sorted, err := topoSort(pkgs, order)
+	if err != nil {
+		return nil, err
+	}
+	imp := &moduleImporter{loaded: make(map[string]*types.Package), std: l.std}
+	for _, path := range sorted {
+		p := pkgs[path]
+		if err := l.typecheck(p, imp); err != nil {
+			return nil, err
+		}
+		imp.loaded[p.Path] = p.Types
+	}
+
+	selected := selectPackages(pkgs, sorted, patterns)
+	return selected, nil
+}
+
+// parseDir parses one directory into a Package, or nil if it holds no Go
+// sources.
+func (l *Loader) parseDir(root, modPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.ToSlash(rel)
+	if path == "." {
+		path = ""
+	}
+	if modPath != "" {
+		if path == "" {
+			path = modPath
+		} else {
+			path = modPath + "/" + path
+		}
+	}
+	p := &Package{Path: path, Dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", filepath.Join(dir, name), err)
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			p.TestFiles = append(p.TestFiles, f)
+		} else {
+			p.Files = append(p.Files, f)
+		}
+	}
+	if len(p.Files) == 0 && len(p.TestFiles) == 0 {
+		return nil, nil
+	}
+	return p, nil
+}
+
+// typecheck runs go/types over the package's non-test files.
+func (l *Loader) typecheck(p *Package, imp types.Importer) error {
+	if len(p.Files) == 0 {
+		// Test-only package: nothing to type-check.
+		p.Types = types.NewPackage(p.Path, "main")
+		p.Info = &types.Info{}
+		return nil
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tpkg, err := conf.Check(p.Path, l.Fset, p.Files, info)
+	if len(typeErrs) > 0 {
+		return fmt.Errorf("lint: type-check %s: %v", p.Path, typeErrs[0])
+	}
+	if err != nil {
+		return fmt.Errorf("lint: type-check %s: %w", p.Path, err)
+	}
+	p.Types = tpkg
+	p.Info = info
+	return nil
+}
+
+// moduleImporter resolves intra-module imports from the loaded set and
+// everything else (the standard library) from source.
+type moduleImporter struct {
+	loaded map[string]*types.Package
+	std    types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.loaded[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// packageDirs walks root collecting directories that may hold Go
+// packages, skipping testdata, vendor, hidden, and underscore dirs.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// readModulePath extracts the module path from a go.mod file, or ""
+// when the file is absent or malformed.
+func readModulePath(gomod string) string {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			rest = strings.TrimSpace(rest)
+			if unq, err := strconv.Unquote(rest); err == nil {
+				return unq
+			}
+			return rest
+		}
+	}
+	return ""
+}
+
+// topoSort orders package paths so every intra-module dependency
+// precedes its importers.
+func topoSort(pkgs map[string]*Package, order []string) ([]string, error) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(order))
+	var out []string
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = visiting
+		p := pkgs[path]
+		for _, imp := range packageImports(p) {
+			if _, ok := pkgs[imp]; ok {
+				if err := visit(imp); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = done
+		out = append(out, path)
+		return nil
+	}
+	sort.Strings(order)
+	for _, path := range order {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// packageImports lists the import paths of the package's non-test files.
+func packageImports(p *Package) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// selectPackages filters the loaded set by the driver's path patterns.
+func selectPackages(pkgs map[string]*Package, sorted []string, patterns []string) []*Package {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	match := func(p *Package) bool {
+		for _, pat := range patterns {
+			pat = filepath.ToSlash(strings.TrimPrefix(pat, "./"))
+			switch {
+			case pat == "..." || pat == "":
+				return true
+			case strings.HasSuffix(pat, "/..."):
+				prefix := strings.TrimSuffix(pat, "/...")
+				if p.Path == prefix || strings.HasSuffix(p.Path, "/"+prefix) ||
+					strings.Contains(p.Path, "/"+prefix+"/") || strings.HasPrefix(p.Path, prefix+"/") {
+					return true
+				}
+			default:
+				if p.Path == pat || strings.HasSuffix(p.Path, "/"+pat) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	var out []*Package
+	for _, path := range sorted {
+		if p := pkgs[path]; match(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PanicFree flags panic calls reachable from a package's exported API.
+// A reservation-TDMA cell must degrade, not crash: exported entry points
+// return typed errors, and panics survive only on provably-unreachable
+// branches carrying an explicit //lint:ignore panicfree justification.
+var PanicFree = &Analyzer{
+	Name: "panicfree",
+	Doc:  "flag panic calls reachable from exported API paths in internal/ packages",
+	Run:  runPanicFree,
+}
+
+func runPanicFree(pass *Pass) {
+	if !pathContains(pass.Pkg.Path, "internal") || pass.Pkg.Info == nil {
+		return
+	}
+
+	// One node per declared function; FuncLit bodies belong to their
+	// enclosing declaration.
+	type node struct {
+		decl     *ast.FuncDecl
+		callees  map[*types.Func]bool
+		panics   []token.Pos
+		exported bool
+	}
+	nodes := make(map[*types.Func]*node)
+	var roots []*types.Func
+
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &node{decl: fd, callees: make(map[*types.Func]bool)}
+			recv := receiverTypeName(fd)
+			n.exported = fd.Name.IsExported() && (recv == "" || ast.IsExported(recv))
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					if isBuiltinPanic(pass, fun) {
+						n.panics = append(n.panics, call.Pos())
+					} else if callee := localFunc(pass, fun); callee != nil {
+						n.callees[callee] = true
+					}
+				case *ast.SelectorExpr:
+					if callee := localFunc(pass, fun.Sel); callee != nil {
+						n.callees[callee] = true
+					}
+				}
+				return true
+			})
+			nodes[obj] = n
+			if n.exported {
+				roots = append(roots, obj)
+			}
+		}
+	}
+
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Name() < roots[j].Name() })
+
+	// For every exported root, walk the package-local call graph and
+	// attribute each reachable panic site to the first root that reaches
+	// it (deterministic by the sort above).
+	reported := make(map[token.Pos]bool)
+	type finding struct {
+		pos  token.Pos
+		root *types.Func
+	}
+	var findings []finding
+	for _, root := range roots {
+		seen := make(map[*types.Func]bool)
+		stack := []*types.Func{root}
+		for len(stack) > 0 {
+			fn := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[fn] {
+				continue
+			}
+			seen[fn] = true
+			n := nodes[fn]
+			if n == nil {
+				continue
+			}
+			for _, pos := range n.panics {
+				if !reported[pos] {
+					reported[pos] = true
+					findings = append(findings, finding{pos: pos, root: root})
+				}
+			}
+			callees := make([]*types.Func, 0, len(n.callees))
+			for c := range n.callees {
+				callees = append(callees, c)
+			}
+			sort.Slice(callees, func(i, j int) bool { return callees[i].Name() < callees[j].Name() })
+			stack = append(stack, callees...)
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		pass.Reportf(f.pos, "panic reachable from exported %s; return a typed error or justify with //lint:ignore panicfree <reason>", f.root.Name())
+	}
+}
+
+// isBuiltinPanic reports whether id resolves to the builtin panic.
+func isBuiltinPanic(pass *Pass, id *ast.Ident) bool {
+	if id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// localFunc resolves id to a function declared in the package under
+// analysis, or nil.
+func localFunc(pass *Pass, id *ast.Ident) *types.Func {
+	fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() != pass.Pkg.Types {
+		return nil
+	}
+	return fn
+}

@@ -1,0 +1,25 @@
+// Package frame is a known-bad codecpair fixture: one encoder has no
+// decoder and one pair lacks round-trip test coverage.
+package frame
+
+// Thing is a one-byte wire value.
+type Thing struct{ V byte }
+
+// EncodeThing has no DecodeThing counterpart.
+func EncodeThing(t Thing) []byte { return []byte{t.V} }
+
+// MarshalWord pairs with UnmarshalWord, but no test references them.
+func MarshalWord(v uint16) []byte { return []byte{byte(v >> 8), byte(v)} }
+
+// UnmarshalWord decodes MarshalWord's output.
+func UnmarshalWord(b []byte) uint16 { return uint16(b[0])<<8 | uint16(b[1]) }
+
+// Header is a framed header.
+type Header struct{ Len byte }
+
+// Marshal emits the header; UnmarshalHeader balances it and the test
+// file references both, so this pair must stay silent.
+func (h *Header) Marshal() []byte { return []byte{h.Len} }
+
+// UnmarshalHeader parses a header.
+func UnmarshalHeader(b []byte) (*Header, error) { return &Header{Len: b[0]}, nil }

@@ -1,0 +1,13 @@
+package frame
+
+import "testing"
+
+// TestHeaderRoundTrip references Marshal and UnmarshalHeader, giving the
+// Header pair its round-trip coverage.
+func TestHeaderRoundTrip(t *testing.T) {
+	h := &Header{Len: 7}
+	got, err := UnmarshalHeader(h.Marshal())
+	if err != nil || got.Len != 7 {
+		t.Fatalf("round trip: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,29 @@
+// Package frame is a known-clean codecpair fixture: every encoder has a
+// decoder and the test file exercises both directions.
+package frame
+
+// EncodeFlag packs a boolean into one byte.
+func EncodeFlag(b bool) []byte {
+	if b {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+// DecodeFlag unpacks EncodeFlag's output.
+func DecodeFlag(p []byte) bool { return len(p) > 0 && p[0] != 0 }
+
+// Pair is a decoded container covering the Body type.
+type Pair struct{ Body *Body }
+
+// Body is a payload reached only through Pair.
+type Body struct{ N byte }
+
+// Marshal emits the body; UnmarshalPair covers Body through a struct
+// field, exercising the field-coverage matching rule.
+func (b *Body) Marshal() []byte { return []byte{b.N} }
+
+// UnmarshalPair decodes a container holding a Body.
+func UnmarshalPair(p []byte) (*Pair, error) {
+	return &Pair{Body: &Body{N: p[0]}}, nil
+}

@@ -1,0 +1,19 @@
+package frame
+
+import "testing"
+
+// TestFlagRoundTrip covers the EncodeFlag/DecodeFlag pair.
+func TestFlagRoundTrip(t *testing.T) {
+	if !DecodeFlag(EncodeFlag(true)) {
+		t.Fatal("flag round trip lost the value")
+	}
+}
+
+// TestPairRoundTrip covers (*Body).Marshal through UnmarshalPair.
+func TestPairRoundTrip(t *testing.T) {
+	b := &Body{N: 9}
+	got, err := UnmarshalPair(b.Marshal())
+	if err != nil || got.Body.N != 9 {
+		t.Fatalf("pair round trip: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,21 @@
+// Package phy is a known-bad constdrift fixture: one canonical constant
+// has drifted from the paper's value and one is missing entirely.
+package phy
+
+const (
+	ForwardSymbolRate   = 3200
+	ReverseSymbolRate   = 2400
+	Format1GPSSlots     = 8
+	Format1DataSlots    = 8
+	Format2GPSSlots     = 4 // drifted from the paper's 3
+	Format2DataSlots    = 9
+	MaxGPSUsers         = 8
+	MaxDataUsers        = 64
+	GPSPacketInfoBits   = 72
+	ForwardDataSlots    = 37
+	RegularSlotSymbols  = 969
+	GPSSlotSymbols      = 210
+	ForwardCycleSymbols = 12750
+	CodewordInfoBits    = 384
+	// CodewordBits is deliberately missing.
+)

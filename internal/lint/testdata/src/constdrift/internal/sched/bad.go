@@ -1,0 +1,15 @@
+// Package sched is a known-bad constdrift fixture: it re-spells
+// protocol-distinctive values instead of referencing the canonical
+// constants.
+package sched
+
+// slotBudget re-declares the regular slot symbol count.
+const slotBudget = 969
+
+// delta re-spells the reverse shift in seconds.
+var delta = 0.30125
+
+// cycleSymbols carries a justified suppression and must stay silent.
+//
+//lint:ignore constdrift fixture: documenting the raw value on purpose
+const cycleSymbols = 12750

@@ -1,0 +1,21 @@
+// Package phy is a known-clean constdrift fixture: every canonical
+// constant is declared with the paper's value.
+package phy
+
+const (
+	ForwardSymbolRate   = 3200
+	ReverseSymbolRate   = 2400
+	Format1GPSSlots     = 8
+	Format1DataSlots    = 8
+	Format2GPSSlots     = 3
+	Format2DataSlots    = 9
+	MaxGPSUsers         = 8
+	MaxDataUsers        = 64
+	GPSPacketInfoBits   = 72
+	ForwardDataSlots    = 37
+	RegularSlotSymbols  = 969
+	GPSSlotSymbols      = 210
+	ForwardCycleSymbols = 12750
+	CodewordInfoBits    = 384
+	CodewordBits        = 512
+)

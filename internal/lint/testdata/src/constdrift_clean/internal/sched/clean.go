@@ -1,0 +1,6 @@
+// Package sched is a known-clean constdrift fixture: no protocol values
+// are re-spelled.
+package sched
+
+// SlotsPerCycle is an innocuous small number, not a protocol constant.
+const SlotsPerCycle = 16

@@ -1,0 +1,40 @@
+// Package core is a known-bad determinism fixture: it leaks wall-clock
+// time, consumes ambient randomness, and races on channel selection.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp leaks wall-clock time into the schedule.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Jitter consumes the ambient global randomness source.
+func Jitter() int { return rand.Intn(8) }
+
+// Seeded builds an explicit generator, which is allowed.
+func Seeded() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+// Race selects between two channels nondeterministically.
+func Race(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Allowed carries a justified suppression and must stay silent.
+func Allowed() time.Time {
+	//lint:ignore determinism fixture: wall clock allowed to test suppressions
+	return time.Now()
+}
+
+// Malformed carries an ignore directive with no reason, which is itself
+// a finding of the lintdirective pseudo-analyzer.
+func Malformed() int {
+	//lint:ignore determinism
+	return 0
+}

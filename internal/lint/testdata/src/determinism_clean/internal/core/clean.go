@@ -1,0 +1,14 @@
+// Package core is a known-clean determinism fixture: all time is
+// logical and all dispatch is deterministic.
+package core
+
+// Tick advances logical time deterministically.
+func Tick(now int64) int64 { return now + 1 }
+
+// Drain reads one channel with a single-case select, which is allowed.
+func Drain(c chan int) int {
+	select {
+	case v := <-c:
+		return v
+	}
+}

@@ -1,0 +1,31 @@
+// Package engine is a known-bad panicfree fixture: a panic is reachable
+// from an exported entry point through two levels of helpers.
+package engine
+
+// Start is an exported entry point whose helpers can panic.
+func Start() { step() }
+
+func step() { mustAlign(3) }
+
+func mustAlign(n int) {
+	if n%2 != 0 {
+		panic("engine: odd alignment")
+	}
+}
+
+// probe panics but is unreachable from any exported function, so it
+// must stay silent.
+func probe() { panic("engine: probe") }
+
+// guard has an exported method on an unexported type, which is not an
+// exported root.
+type guard struct{}
+
+// Check panics but cannot be reached through the exported API.
+func (guard) Check() { panic("engine: guard") }
+
+// Reset panics on a documented impossible state and is justified.
+func Reset() {
+	//lint:ignore panicfree fixture: impossible state, justified suppression
+	panic("engine: reset")
+}

@@ -1,0 +1,18 @@
+// Package engine is a known-clean panicfree fixture: exported entry
+// points return typed errors instead of panicking.
+package engine
+
+import "errors"
+
+// ErrOddAlignment reports a misaligned request.
+var ErrOddAlignment = errors.New("engine: odd alignment")
+
+// Start validates and reports failures as errors.
+func Start() error { return align(3) }
+
+func align(n int) error {
+	if n%2 != 0 {
+		return ErrOddAlignment
+	}
+	return nil
+}

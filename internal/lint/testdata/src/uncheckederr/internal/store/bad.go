@@ -1,0 +1,48 @@
+// Package store is a known-bad uncheckederr fixture: several calls drop
+// their error results on the floor.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrFull reports an exhausted store.
+var ErrFull = errors.New("store: full")
+
+func put(b byte) error {
+	if b == 0 {
+		return ErrFull
+	}
+	return nil
+}
+
+// Fill drops put's error result.
+func Fill() {
+	put(1)
+}
+
+// Remove drops os.Remove's error.
+func Remove(path string) {
+	os.Remove(path)
+}
+
+// Report uses an exempt terminal-print callee and must stay silent.
+func Report() {
+	fmt.Println("ok")
+}
+
+// Checked handles its error and must stay silent.
+func Checked() error {
+	if err := put(2); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Quiet suppresses the drop with a justification.
+func Quiet() {
+	//lint:ignore uncheckederr fixture: best-effort cleanup
+	put(3)
+}

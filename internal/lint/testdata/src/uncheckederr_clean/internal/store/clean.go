@@ -1,0 +1,16 @@
+// Package store is a known-clean uncheckederr fixture: every error
+// result is consumed.
+package store
+
+import "errors"
+
+// ErrEmpty reports a drained store.
+var ErrEmpty = errors.New("store: empty")
+
+func take() (byte, error) { return 0, ErrEmpty }
+
+// Drain consumes take's error.
+func Drain() error {
+	_, err := take()
+	return err
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// UncheckedErr flags calls in non-test internal/ code whose error result
+// is silently dropped. Dropped errors hide protocol bookkeeping failures
+// (a lost reservation, a failed encode) that the simulator would
+// otherwise surface.
+var UncheckedErr = &Analyzer{
+	Name: "uncheckederr",
+	Doc:  "flag ignored error returns in non-test internal/ code",
+	Run:  runUncheckedErr,
+}
+
+// uncheckedErrExempt lists callees whose error results are conventionally
+// ignorable: terminal writes cannot be meaningfully handled here.
+var uncheckedErrExempt = map[string]bool{
+	"fmt.Print":                      true,
+	"fmt.Printf":                     true,
+	"fmt.Println":                    true,
+	"fmt.Fprint":                     true,
+	"fmt.Fprintf":                    true,
+	"fmt.Fprintln":                   true,
+	"(*strings.Builder).WriteString": true,
+	"(*strings.Builder).WriteByte":   true,
+	"(*strings.Builder).WriteRune":   true,
+	"(*strings.Builder).Write":       true,
+	"(*bytes.Buffer).WriteString":    true,
+	"(*bytes.Buffer).WriteByte":      true,
+	"(*bytes.Buffer).WriteRune":      true,
+	"(*bytes.Buffer).Write":          true,
+}
+
+func runUncheckedErr(pass *Pass) {
+	if !pathContains(pass.Pkg.Path, "internal") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !callReturnsError(pass, call) {
+				return true
+			}
+			if name := calleeFullName(pass, call); name != "" && uncheckedErrExempt[name] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error result of %s is ignored", renderExpr(pass.Fset, call.Fun))
+			return true
+		})
+	}
+}
+
+// callReturnsError reports whether any result of the call is an error.
+func callReturnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(tv.Type)
+	}
+}
+
+// isErrorType reports whether t is exactly the built-in error type.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// calleeFullName returns the types.Func full name of the call target,
+// e.g. "fmt.Println" or "(*strings.Builder).WriteString", or "".
+func calleeFullName(pass *Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if fn, ok := pass.Pkg.Info.Uses[id].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}
+
+// renderExpr prints an expression compactly for messages.
+func renderExpr(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "call"
+	}
+	return buf.String()
+}

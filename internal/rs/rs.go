@@ -60,6 +60,7 @@ func New(n, k int) (*Code, error) {
 func MustNew(n, k int) *Code {
 	c, err := New(n, k)
 	if err != nil {
+		//lint:ignore panicfree Must-style API contract: invalid static parameters are a programming error
 		panic(err)
 	}
 	return c

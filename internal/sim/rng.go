@@ -53,6 +53,7 @@ func (r *RNG) Uint64() uint64 { return r.next() }
 // math/rand semantics.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
+		//lint:ignore panicfree documented API contract matching math/rand.Intn
 		panic("sim: Intn with non-positive n")
 	}
 	// Lemire's multiply-shift rejection method for unbiased bounded ints.
@@ -100,6 +101,7 @@ func (r *RNG) Exp(mean float64) float64 {
 // hi < lo.
 func (r *RNG) UniformInt(lo, hi int) int {
 	if hi < lo {
+		//lint:ignore panicfree documented API contract: inverted bounds are a caller logic error
 		panic("sim: UniformInt with hi < lo")
 	}
 	return lo + r.Intn(hi-lo+1)

@@ -140,7 +140,7 @@ func (s *Simulator) After(delay time.Duration, fn func()) *Event {
 	}
 	ev, err := s.At(s.now+delay, PriorityNormal, fn)
 	if err != nil {
-		// Unreachable: now+delay >= now for delay >= 0.
+		//lint:ignore panicfree provably unreachable: now+delay >= now after clamping delay to zero
 		panic(err)
 	}
 	return ev
@@ -154,6 +154,7 @@ func (s *Simulator) AfterPriority(delay time.Duration, p Priority, fn func()) *E
 	}
 	ev, err := s.At(s.now+delay, p, fn)
 	if err != nil {
+		//lint:ignore panicfree provably unreachable: now+delay >= now after clamping delay to zero
 		panic(err)
 	}
 	return ev
