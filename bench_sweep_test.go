@@ -1,0 +1,58 @@
+package osumac_test
+
+// ReplicatedSweep benchmarks live in an external test package because
+// internal/experiments imports the root package (in-package tests would
+// create an import cycle). They size the experiment engine itself:
+// serial vs parallel at 2 replications over 2 load points.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"github.com/osu-netlab/osumac/internal/experiments"
+)
+
+func sweepBenchOptions(workers int) experiments.SweepOptions {
+	return experiments.SweepOptions{
+		Seed:      42,
+		GPSUsers:  4,
+		DataUsers: 10,
+		Cycles:    60,
+		Warmup:    5,
+		Variable:  true,
+		Loads:     []float64{0.5, 0.9},
+		Workers:   workers,
+	}
+}
+
+// BenchmarkReplicatedSweep measures the full replicated load sweep (2
+// replications × 2 loads) through the parallel experiment engine.
+func BenchmarkReplicatedSweep(b *testing.B) {
+	variants := []struct {
+		name    string
+		workers int
+	}{{"serial", 1}}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		// On a single-CPU machine the parallel variant is the serial one
+		// with scheduling overhead; benchmark it only when it can win.
+		variants = append(variants, struct {
+			name    string
+			workers int
+		}{fmt.Sprintf("parallel-%d", n), n})
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			var util float64
+			for i := 0; i < b.N; i++ {
+				pts, err := experiments.ReplicatedSweep(sweepBenchOptions(v.workers), 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				util = pts[len(pts)-1].UtilizationMean
+			}
+			b.ReportMetric(util, "util-mean")
+		})
+	}
+}

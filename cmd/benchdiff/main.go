@@ -1,0 +1,231 @@
+// Command benchdiff turns `go test -bench` output into a committed
+// JSON snapshot (BENCH_<n>.json) and compares fresh runs against such a
+// snapshot, failing when a tracked benchmark regresses beyond a
+// tolerance. CI runs it as a smoke gate; see the README's Performance
+// section for the workflow.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | benchdiff -out BENCH_1.json
+//	go test -bench . -benchmem | benchdiff -baseline BENCH_0.json -tolerance 0.4
+//
+// Time-based metrics (ns/op) are compared with the multiplicative
+// tolerance, because wall-clock numbers move with the hardware and CI
+// noise. Allocation counts (allocs/op) are compared nearly exactly —
+// 1% plus half an alloc of slack, so a zero-alloc path gaining a single
+// allocation always fails (that is precisely what the gate exists to
+// catch) while whole-simulation benches tolerate rounding jitter from
+// GC-driven sync.Pool refills. Only benchmarks present in both the
+// baseline and the fresh run are compared, so adding or removing
+// benchmarks does not break the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result. Metrics maps unit → value
+// ("ns/op", "B/op", "allocs/op", plus any custom ReportMetric units).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the committed JSON form.
+type Snapshot struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+var errRegression = errors.New("benchmark regression")
+
+func main() {
+	err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		if errors.Is(err, errRegression) {
+			os.Exit(1)
+		}
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		out       = fs.String("out", "", "write parsed benchmarks as JSON to this file")
+		baseline  = fs.String("baseline", "", "compare against this JSON snapshot")
+		tolerance = fs.Float64("tolerance", 0.40, "allowed fractional ns/op increase before failing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" && *baseline == "" {
+		return errors.New("need -out and/or -baseline")
+	}
+	in := stdin
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	} else if fs.NArg() > 1 {
+		return fmt.Errorf("at most one input file, got %d", fs.NArg())
+	}
+
+	current, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(current.Benchmarks) == 0 {
+		return errors.New("no benchmark lines in input")
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(current, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d benchmarks to %s\n", len(current.Benchmarks), *out)
+	}
+
+	if *baseline != "" {
+		base, err := readSnapshot(*baseline)
+		if err != nil {
+			return err
+		}
+		return compare(stdout, base, current, *tolerance)
+	}
+	return nil
+}
+
+// parseBench extracts benchmark lines from `go test -bench` output.
+// A line looks like:
+//
+//	BenchmarkRSEncode-8   750000   1580 ns/op   80 B/op   2 allocs/op
+//
+// i.e. name, iteration count, then (value, unit) pairs. Anything else
+// (PASS, ok, logs) is skipped.
+func parseBench(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       normalizeName(fields[0]),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(snap.Benchmarks, func(i, j int) bool {
+		return snap.Benchmarks[i].Name < snap.Benchmarks[j].Name
+	})
+	return snap, nil
+}
+
+// normalizeName strips the trailing -N GOMAXPROCS suffix so snapshots
+// taken on machines with different core counts stay comparable.
+func normalizeName(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{}
+	if err := json.Unmarshal(buf, snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// compare reports every shared benchmark and returns errRegression if
+// any ns/op grew beyond the tolerance or any allocs/op grew beyond the
+// near-exact slack (1% + 0.5: strict at zero, jitter-proof at scale).
+func compare(w io.Writer, base, cur *Snapshot, tolerance float64) error {
+	baseByName := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseByName[b.Name] = b
+	}
+	regressions := 0
+	shared := 0
+	for _, c := range cur.Benchmarks {
+		b, ok := baseByName[c.Name]
+		if !ok {
+			fmt.Fprintf(w, "new       %-40s (not in baseline, skipped)\n", c.Name)
+			continue
+		}
+		shared++
+		status := "ok"
+		detail := ""
+		if bNs, cNs := b.Metrics["ns/op"], c.Metrics["ns/op"]; bNs > 0 && cNs > bNs*(1+tolerance) {
+			status = "REGRESSION"
+			detail = fmt.Sprintf("ns/op %.4g → %.4g (+%.1f%% > %.0f%% tolerance)",
+				bNs, cNs, 100*(cNs/bNs-1), 100*tolerance)
+			regressions++
+		}
+		bAllocs, bHas := b.Metrics["allocs/op"]
+		cAllocs, cHas := c.Metrics["allocs/op"]
+		if bHas && cHas && cAllocs > bAllocs*1.01+0.5 {
+			status = "REGRESSION"
+			if detail != "" {
+				detail += "; "
+			}
+			detail += fmt.Sprintf("allocs/op %.0f → %.0f", bAllocs, cAllocs)
+			regressions++
+		}
+		if detail == "" {
+			detail = fmt.Sprintf("ns/op %.4g → %.4g", b.Metrics["ns/op"], c.Metrics["ns/op"])
+		}
+		fmt.Fprintf(w, "%-10s %-40s %s\n", status, c.Name, detail)
+	}
+	if shared == 0 {
+		return errors.New("no benchmarks shared with the baseline")
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%w: %d metric(s) regressed", errRegression, regressions)
+	}
+	fmt.Fprintf(w, "all %d shared benchmarks within tolerance\n", shared)
+	return nil
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/osu-netlab/osumac
+BenchmarkRSEncode-8          	 7000000	       158.0 ns/op	      64 B/op	       1 allocs/op
+BenchmarkRSDecodeClean-8     	 9000000	       114.0 ns/op	      48 B/op	       1 allocs/op
+BenchmarkSimulationCycle-8   	    6000	     97000 ns/op	         0.5820 util	   13000 B/op	     238 allocs/op
+PASS
+ok  	github.com/osu-netlab/osumac	4.2s
+`
+
+func TestParseBench(t *testing.T) {
+	snap, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range snap.Benchmarks {
+		byName[b.Name] = b
+	}
+	enc, ok := byName["BenchmarkRSEncode"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", snap.Benchmarks)
+	}
+	if enc.Iterations != 7000000 || enc.Metrics["ns/op"] != 158.0 || enc.Metrics["allocs/op"] != 1 {
+		t.Fatalf("bad parse: %+v", enc)
+	}
+	// Custom testing.ReportMetric units ride along.
+	if byName["BenchmarkSimulationCycle"].Metrics["util"] != 0.582 {
+		t.Fatalf("custom metric lost: %+v", byName["BenchmarkSimulationCycle"])
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkRSEncode-8":   "BenchmarkRSEncode",
+		"BenchmarkRSEncode":     "BenchmarkRSEncode",
+		"BenchmarkSweep/par-16": "BenchmarkSweep/par",
+		"BenchmarkX-y":          "BenchmarkX-y", // non-numeric suffix kept
+	}
+	for in, want := range cases {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestOutThenCompareClean(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_T.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-out", path}, strings.NewReader(sampleOutput), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-baseline", path}, strings.NewReader(sampleOutput), &buf); err != nil {
+		t.Fatalf("self-comparison failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "within tolerance") {
+		t.Fatalf("missing summary:\n%s", buf.String())
+	}
+}
+
+func TestCompareCatchesTimeRegression(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_T.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-out", path}, strings.NewReader(sampleOutput), &buf); err != nil {
+		t.Fatal(err)
+	}
+	slower := strings.Replace(sampleOutput, "158.0 ns/op", "999.0 ns/op", 1)
+	err := run([]string{"-baseline", path, "-tolerance", "0.4"}, strings.NewReader(slower), &buf)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("err = %v, want regression", err)
+	}
+}
+
+func TestCompareCatchesAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_T.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-out", path}, strings.NewReader(sampleOutput), &buf); err != nil {
+		t.Fatal(err)
+	}
+	// One extra allocation, zero time change: still a failure.
+	worse := strings.Replace(sampleOutput, "       1 allocs/op", "       2 allocs/op", 1)
+	err := run([]string{"-baseline", path}, strings.NewReader(worse), &buf)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("err = %v, want regression", err)
+	}
+}
+
+func TestCompareToleratesNoise(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_T.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-out", path}, strings.NewReader(sampleOutput), &buf); err != nil {
+		t.Fatal(err)
+	}
+	// +20% is inside the default 40% tolerance.
+	noisy := strings.Replace(sampleOutput, "158.0 ns/op", "190.0 ns/op", 1)
+	if err := run([]string{"-baseline", path}, strings.NewReader(noisy), &buf); err != nil {
+		t.Fatalf("noise rejected: %v", err)
+	}
+}
+
+func TestCompareSkipsNonShared(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_T.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-out", path}, strings.NewReader(sampleOutput), &buf); err != nil {
+		t.Fatal(err)
+	}
+	extra := sampleOutput + "BenchmarkBrandNew-8 100 5.0 ns/op\n"
+	buf.Reset()
+	if err := run([]string{"-baseline", path}, strings.NewReader(extra), &buf); err != nil {
+		t.Fatalf("new benchmark broke the gate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "BenchmarkBrandNew") {
+		t.Fatalf("new benchmark not reported:\n%s", buf.String())
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, strings.NewReader(sampleOutput), &buf); err == nil {
+		t.Fatal("no mode flags accepted")
+	}
+	if err := run([]string{"-out", "x.json"}, strings.NewReader("PASS\n"), &buf); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -7,7 +7,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 
@@ -15,25 +17,27 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		seed   = fs.Uint64("seed", 42, "random seed")
-		cycles = fs.Int("cycles", 800, "measured cycles per point")
-		warmup = fs.Int("warmup", 40, "warm-up cycles per point")
-		gps    = fs.Int("gps", 4, "GPS users in the load sweep")
-		data   = fs.Int("data", 10, "data users in the load sweep")
-		fixed  = fs.Bool("fixed", false, "use fixed 120 B messages instead of uniform 40-500 B")
-		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		reps   = fs.Int("reps", 1, "independent seeds per point (mean ± std when > 1)")
-		only   = fs.String("only", "", "comma-separated subset: table1,table2,fig8,fig9,fig10,fig11,fig12a,fig12b,registration,gps,comparison,ablation,robustness")
+		seed     = fs.Uint64("seed", 42, "random seed")
+		cycles   = fs.Int("cycles", 800, "measured cycles per point")
+		warmup   = fs.Int("warmup", 40, "warm-up cycles per point")
+		gps      = fs.Int("gps", 4, "GPS users in the load sweep")
+		data     = fs.Int("data", 10, "data users in the load sweep")
+		fixed    = fs.Bool("fixed", false, "use fixed 120 B messages instead of uniform 40-500 B")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		reps     = fs.Int("reps", 1, "independent seeds per point (mean ± std when > 1)")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation runs (results are identical at any setting)")
+		only     = fs.String("only", "", "comma-separated subset: table1,table2,fig8,fig9,fig10,fig11,fig12a,fig12b,registration,gps,comparison,ablation,robustness")
 	)
+	fs.IntVar(reps, "replications", 1, "alias for -reps")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,7 +49,7 @@ func run(args []string) error {
 	}
 	sel := func(k string) bool { return len(want) == 0 || want[k] }
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	defer w.Flush()
 	sepOrComma := func() string {
 		if *csv {
@@ -56,7 +60,7 @@ func run(args []string) error {
 	sep := sepOrComma()
 	row := func(cols ...string) {
 		if *csv {
-			fmt.Println(strings.Join(cols, sep))
+			fmt.Fprintln(out, strings.Join(cols, sep))
 		} else {
 			fmt.Fprintln(w, strings.Join(cols, sep))
 		}
@@ -64,9 +68,9 @@ func run(args []string) error {
 	header := func(title string) {
 		w.Flush()
 		if !*csv {
-			fmt.Printf("\n== %s ==\n", title)
+			fmt.Fprintf(out, "\n== %s ==\n", title)
 		} else {
-			fmt.Printf("# %s\n", title)
+			fmt.Fprintf(out, "# %s\n", title)
 		}
 	}
 
@@ -91,6 +95,7 @@ func run(args []string) error {
 		opts := experiments.SweepOptions{
 			Seed: *seed, GPSUsers: *gps, DataUsers: *data,
 			Cycles: *cycles, Warmup: *warmup, Variable: !*fixed,
+			Workers: *parallel,
 		}
 		pts, err := experiments.ReplicatedSweep(opts, *reps)
 		if err != nil {
@@ -114,6 +119,7 @@ func run(args []string) error {
 		opts := experiments.SweepOptions{
 			Seed: *seed, GPSUsers: *gps, DataUsers: *data,
 			Cycles: *cycles, Warmup: *warmup, Variable: !*fixed,
+			Workers: *parallel,
 		}
 		pts, err := experiments.LoadSweep(opts)
 		if err != nil {
@@ -190,7 +196,7 @@ func run(args []string) error {
 
 	if sel("comparison") {
 		header("Extension X1: OSU-MAC vs surveyed baselines (PRMA, D-TDMA, RAMA, DRMA)")
-		pts, err := experiments.Comparison(*seed, *data, *cycles, nil)
+		pts, err := experiments.ComparisonWithWorkers(*seed, *data, *cycles, nil, *parallel)
 		if err != nil {
 			return err
 		}

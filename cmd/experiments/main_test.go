@@ -1,40 +1,80 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"testing"
+)
 
 func TestRunTablesOnly(t *testing.T) {
-	if err := run([]string{"-only", "table1,table2"}); err != nil {
+	if err := run([]string{"-only", "table1,table2"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSmallSweep(t *testing.T) {
-	if err := run([]string{"-cycles", "40", "-warmup", "5", "-only", "fig8,fig11"}); err != nil {
+	if err := run([]string{"-cycles", "40", "-warmup", "5", "-only", "fig8,fig11"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCSV(t *testing.T) {
-	if err := run([]string{"-csv", "-only", "table2"}); err != nil {
+	if err := run([]string{"-csv", "-only", "table2"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunGPSAndRegistration(t *testing.T) {
-	if err := run([]string{"-cycles", "40", "-only", "gps,registration"}); err != nil {
+	if err := run([]string{"-cycles", "40", "-only", "gps,registration"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-nope"}); err == nil {
+	if err := run([]string{"-nope"}, io.Discard); err == nil {
 		t.Fatal("bad flag accepted")
 	}
 }
 
 func TestRunReplicated(t *testing.T) {
-	if err := run([]string{"-cycles", "30", "-warmup", "3", "-reps", "2", "-only", "fig8"}); err != nil {
+	if err := run([]string{"-cycles", "30", "-warmup", "3", "-reps", "2", "-only", "fig8"}, io.Discard); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunReplicationsAlias(t *testing.T) {
+	var viaReps, viaAlias bytes.Buffer
+	if err := run([]string{"-cycles", "30", "-warmup", "3", "-reps", "2", "-only", "fig8"}, &viaReps); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-cycles", "30", "-warmup", "3", "-replications", "2", "-only", "fig8"}, &viaAlias); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaReps.Bytes(), viaAlias.Bytes()) {
+		t.Fatal("-replications output differs from -reps output")
+	}
+}
+
+// The -parallel flag must not change a single byte of output: every
+// cell is seeded independently and aggregation runs in serial order.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	args := []string{
+		"-cycles", "30", "-warmup", "3", "-reps", "2",
+		"-only", "fig8,fig11,comparison",
+	}
+	var serial, parallel bytes.Buffer
+	if err := run(append([]string{"-parallel", "1"}, args...), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-parallel", "4"}, args...), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.Len() == 0 {
+		t.Fatal("serial run produced no output")
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("parallel output differs from serial output\nserial:\n%s\nparallel:\n%s",
+			serial.String(), parallel.String())
 	}
 }
 
@@ -45,13 +85,13 @@ func TestRunAllFigures(t *testing.T) {
 	if err := run([]string{
 		"-cycles", "30", "-warmup", "3",
 		"-only", "fig9,fig10,fig12a,fig12b,comparison,ablation",
-	}); err != nil {
+	}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRobustness(t *testing.T) {
-	if err := run([]string{"-cycles", "30", "-warmup", "3", "-only", "robustness"}); err != nil {
+	if err := run([]string{"-cycles", "30", "-warmup", "3", "-only", "robustness"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }

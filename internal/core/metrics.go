@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"time"
 
 	"github.com/osu-netlab/osumac/internal/frame"
@@ -144,7 +145,8 @@ func (m *Metrics) MeanDataSlotsUsed() float64 {
 // are excluded.
 func (m *Metrics) Fairness() float64 {
 	xs := make([]float64, 0, len(m.PerUserGenerated))
-	for u, gen := range m.PerUserGenerated {
+	for _, u := range sortedUsers(m.PerUserGenerated) {
+		gen := m.PerUserGenerated[u]
 		if gen == 0 {
 			continue
 		}
@@ -157,10 +159,23 @@ func (m *Metrics) Fairness() float64 {
 // an alternative reading of Fig. 11 that also reflects demand imbalance.
 func (m *Metrics) FairnessBytes() float64 {
 	xs := make([]float64, 0, len(m.PerUserBytes))
-	for _, b := range m.PerUserBytes {
-		xs = append(xs, float64(b))
+	for _, u := range sortedUsers(m.PerUserBytes) {
+		xs = append(xs, float64(m.PerUserBytes[u]))
 	}
 	return stats.JainFairness(xs)
+}
+
+// sortedUsers returns the map's keys in ascending order. Jain's index
+// is a float sum, so the iteration order must not depend on Go's
+// randomized map order or two runs of the same seed could differ in the
+// low bits.
+func sortedUsers(m map[frame.UserID]uint64) []frame.UserID {
+	users := make([]frame.UserID, 0, len(m))
+	for u := range m {
+		users = append(users, u)
+	}
+	slices.Sort(users)
+	return users
 }
 
 // MeanDelayCycles returns the mean message delay expressed in

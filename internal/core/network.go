@@ -52,6 +52,16 @@ type Network struct {
 	msgMeta          map[uint32]msgMeta
 	fwdMeta          map[uint32]msgMeta
 	nextFwdID        map[frame.UserID]uint16
+
+	// Reused codec/channel scratch. The kernel is single-threaded and
+	// every consumer finishes with its buffer before handing control
+	// back, so one buffer per role removes the per-slot allocations.
+	// cf1Buf/cf2Buf live until their delivery events fire later in the
+	// same cycle; encBuf/rxBuf are consumed within one handler.
+	cf1Buf []byte
+	cf2Buf []byte
+	encBuf []byte
+	rxBuf  []byte
 }
 
 type subEntry struct {
@@ -281,12 +291,14 @@ func (n *Network) beginCycle(k int) {
 		e.listensCF2 = e.sub.ListensCF2()
 	}
 
-	// CF1 delivery.
-	cf1Air, err := n.codec.EncodeControlFields(cf1)
+	// CF1 delivery. The buffer is reused next cycle; the delivery event
+	// below fires at CF1.End, well before then.
+	cf1Air, err := n.codec.EncodeControlFieldsTo(n.cf1Buf[:0], cf1)
 	if err != nil {
 		n.fail("control field encode", err)
 		return
 	}
+	n.cf1Buf = cf1Air
 	n.sim.AfterPriority(layout.CF1.End, sim.PriorityDeliver, func() {
 		for _, e := range n.subs {
 			if e.sub.State() == StateIdle || e.listensCF2 {
@@ -299,11 +311,12 @@ func (n *Network) beginCycle(k int) {
 	// CF2 delivery.
 	n.sim.AfterPriority(layout.CF2.End, sim.PriorityDeliver, func() {
 		cf2 := n.base.BuildCF2()
-		cf2Air, err := n.codec.EncodeControlFields(cf2)
+		cf2Air, err := n.codec.EncodeControlFieldsTo(n.cf2Buf[:0], cf2)
 		if err != nil {
 			n.fail("control field encode", err)
 			return
 		}
+		n.cf2Buf = cf2Air
 		for _, e := range n.subs {
 			if e.sub.State() == StateIdle || !e.listensCF2 {
 				continue
@@ -374,8 +387,8 @@ func (n *Network) recordSeriesPoint(cycle int) {
 // deliverCF passes a control-field transmission through one subscriber's
 // forward link and hands the result to its state machine.
 func (n *Network) deliverCF(e *subEntry, air []byte, layout Layout) {
-	rx := frame.Transmit(air, e.fwdModel, e.chanRNG)
-	cf, err := n.codec.DecodeControlFields(rx)
+	n.rxBuf = frame.TransmitTo(n.rxBuf[:0], air, e.fwdModel, e.chanRNG)
+	cf, err := n.codec.DecodeControlFields(n.rxBuf)
 	if err != nil {
 		n.metrics.CFDecodeFailures.Inc()
 		n.trace(EventCFDecodeFailed, e.sub.ID(), -1, "")
@@ -530,12 +543,14 @@ func (n *Network) dataSlotEnd(cycle, slot int, isLast, contention bool) {
 
 	payloads := make([][]byte, 0, len(txs))
 	for _, t := range txs {
-		cw, err := n.codec.EncodePayload(t.info)
+		cw, err := n.codec.EncodePayloadTo(n.encBuf[:0], t.info)
 		if err != nil {
 			continue
 		}
-		rx := frame.Transmit(cw, t.e.revModel, t.e.chanRNG)
-		decoded, err := n.codec.DecodePayload(rx)
+		n.encBuf = cw
+		n.rxBuf = frame.TransmitTo(n.rxBuf[:0], cw, t.e.revModel, t.e.chanRNG)
+		// decoded escapes into payloads, so it keeps its own allocation.
+		decoded, err := n.codec.DecodePayload(n.rxBuf)
 		if err != nil {
 			payloads = append(payloads, nil) // loss
 			continue
@@ -627,12 +642,14 @@ func (n *Network) forwardSlotEnd(user frame.UserID) {
 	if err != nil {
 		return
 	}
-	cw, err := n.codec.EncodePayload(info)
+	cw, err := n.codec.EncodePayloadTo(n.encBuf[:0], info)
 	if err != nil {
 		return
 	}
-	rx := frame.Transmit(cw, e.fwdModel, e.chanRNG)
-	decoded, err := n.codec.DecodePayload(rx)
+	n.encBuf = cw
+	n.rxBuf = frame.TransmitTo(n.rxBuf[:0], cw, e.fwdModel, e.chanRNG)
+	// decoded may be aliased by the parsed packet below: keep it owned.
+	decoded, err := n.codec.DecodePayload(n.rxBuf)
 	if err != nil {
 		return
 	}

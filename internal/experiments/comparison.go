@@ -28,58 +28,71 @@ type ComparisonPoint struct {
 // OSU-MAC; the paper itself declines a quantitative comparison, so this
 // is an extension, not a paper figure.
 func Comparison(seed uint64, users, frames int, loads []float64) ([]ComparisonPoint, error) {
+	return ComparisonWithWorkers(seed, users, frames, loads, 1)
+}
+
+// ComparisonWithWorkers is Comparison with the (protocol, load) grid
+// fanned over up to `workers` concurrent runs (0 = GOMAXPROCS). Each
+// cell constructs its own protocol instance and RNG, and rows are
+// assembled in the serial order (protocol-outer, load-inner), so the
+// result is identical at every worker count.
+func ComparisonWithWorkers(seed uint64, users, frames int, loads []float64, workers int) ([]ComparisonPoint, error) {
 	if loads == nil {
 		loads = osumac.PaperLoads
 	}
-	var out []ComparisonPoint
-
-	for _, load := range loads {
-		scn := osumac.Scenario{
-			Seed: seed, GPSUsers: 0, DataUsers: users, Load: load,
-			VariableSizes: true, Cycles: frames, WarmupCycles: frames / 20,
-		}
-		res, err := osumac.Run(scn)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, ComparisonPoint{
-			Protocol:        "osu-mac",
-			Load:            load,
-			Throughput:      res.Utilization,
-			MeanDelayCycles: res.MeanDelayCycles,
-			CollisionRate:   float64(res.Metrics.ContentionCollisions.Value()) / float64(res.Metrics.Cycles),
-			Fairness:        res.Fairness,
-		})
-	}
-
-	for _, mk := range []func() baseline.Protocol{
+	protocols := []func() baseline.Protocol{
+		nil, // full OSU-MAC stack
 		func() baseline.Protocol { return baseline.NewPRMA() },
 		func() baseline.Protocol { return baseline.NewDTDMA() },
 		func() baseline.Protocol { return baseline.NewRAMA() },
 		func() baseline.Protocol { return baseline.NewDRMA() },
 		func() baseline.Protocol { return baseline.NewFAMA() },
-	} {
-		for _, load := range loads {
-			res, err := baseline.Run(baseline.Config{
-				Protocol: mk(),
-				Users:    users,
-				Frames:   frames,
-				Slots:    phy.Format1DataSlots,
-				Load:     load,
-				Seed:     seed,
-			})
-			if err != nil {
-				return nil, err
+	}
+	out := make([]ComparisonPoint, len(protocols)*len(loads))
+	err := forEachIndexed(len(out), workers, func(idx int) error {
+		mk, load := protocols[idx/len(loads)], loads[idx%len(loads)]
+		if mk == nil {
+			scn := osumac.Scenario{
+				Seed: seed, GPSUsers: 0, DataUsers: users, Load: load,
+				VariableSizes: true, Cycles: frames, WarmupCycles: frames / 20,
 			}
-			out = append(out, ComparisonPoint{
-				Protocol:        res.Protocol,
+			res, err := osumac.Run(scn)
+			if err != nil {
+				return err
+			}
+			out[idx] = ComparisonPoint{
+				Protocol:        "osu-mac",
 				Load:            load,
-				Throughput:      res.Throughput,
-				MeanDelayCycles: res.MeanDelayFrames,
-				CollisionRate:   res.CollisionRate,
+				Throughput:      res.Utilization,
+				MeanDelayCycles: res.MeanDelayCycles,
+				CollisionRate:   float64(res.Metrics.ContentionCollisions.Value()) / float64(res.Metrics.Cycles),
 				Fairness:        res.Fairness,
-			})
+			}
+			return nil
 		}
+		res, err := baseline.Run(baseline.Config{
+			Protocol: mk(),
+			Users:    users,
+			Frames:   frames,
+			Slots:    phy.Format1DataSlots,
+			Load:     load,
+			Seed:     seed,
+		})
+		if err != nil {
+			return err
+		}
+		out[idx] = ComparisonPoint{
+			Protocol:        res.Protocol,
+			Load:            load,
+			Throughput:      res.Throughput,
+			MeanDelayCycles: res.MeanDelayFrames,
+			CollisionRate:   res.CollisionRate,
+			Fairness:        res.Fairness,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This package fans independent scenario runs across a bounded worker
+// pool. Every cell of a sweep is pure — osumac.Run builds a fresh
+// network and RNG from the cell's own seed — so the only shared state
+// between workers is the immutable RS code and its scratch pool, both
+// concurrency-safe. Results land in an index-addressed slice and all
+// aggregation happens afterwards in the exact order the serial loops
+// used, which keeps parallel output byte-identical to serial output
+// (float accumulation order included). The determinism analyzer bans
+// goroutines from the simulation kernel (internal/core, internal/sched,
+// internal/sim) but deliberately not from here: parallelism across
+// whole simulations cannot reorder events inside one.
+
+// forEachIndexed runs fn(i) for every i in [0, n) using up to `workers`
+// concurrent goroutines (0 means GOMAXPROCS). It returns the
+// lowest-index error regardless of worker count, so error reporting is
+// deterministic too.
+func forEachIndexed(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

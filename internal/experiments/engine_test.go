@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func smallSweep(workers int) SweepOptions {
+	return SweepOptions{
+		Seed:      7,
+		GPSUsers:  2,
+		DataUsers: 6,
+		Cycles:    60,
+		Warmup:    10,
+		Variable:  true,
+		Loads:     []float64{0.5, 0.9},
+		Workers:   workers,
+	}
+}
+
+func TestLoadSweepParallelMatchesSerial(t *testing.T) {
+	serial, err := LoadSweep(smallSweep(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := LoadSweep(smallSweep(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel LoadSweep differs from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+func TestReplicatedSweepParallelMatchesSerial(t *testing.T) {
+	serial, err := ReplicatedSweep(smallSweep(1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ReplicatedSweep(smallSweep(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel ReplicatedSweep differs from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+func TestComparisonParallelMatchesSerial(t *testing.T) {
+	loads := []float64{0.5, 0.9}
+	serial, err := Comparison(7, 6, 60, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ComparisonWithWorkers(7, 6, 60, loads, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel Comparison differs from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+func TestForEachIndexedCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 37
+		var hits [n]atomic.Int32
+		if err := forEachIndexed(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachIndexedReturnsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := forEachIndexed(8, workers, func(i int) error {
+			switch i {
+			case 2:
+				return errLow
+			case 6:
+				return errHigh
+			default:
+				return nil
+			}
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error", workers, err)
+		}
+	}
+}

@@ -32,6 +32,10 @@ type SweepOptions struct {
 	Variable bool
 	// Loads are the ρ sweep points; nil means the paper's set.
 	Loads []float64
+	// Workers bounds how many scenario runs execute concurrently.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces the serial path. Results
+	// are byte-identical at every setting (see engine.go).
+	Workers int
 }
 
 // DefaultSweep matches the paper's simulation scenario: 4 GPS buses and
@@ -66,44 +70,60 @@ type LoadPoint struct {
 }
 
 // LoadSweep runs the paper's scenario across the load points and
-// collects every figure's metric in one pass.
+// collects every figure's metric in one pass. Load points are
+// independent simulations, so they fan out over opts.Workers.
 func LoadSweep(opts SweepOptions) ([]LoadPoint, error) {
 	loads := opts.Loads
 	if loads == nil {
 		loads = osumac.PaperLoads
 	}
-	out := make([]LoadPoint, 0, len(loads))
-	for _, load := range loads {
-		scn := osumac.Scenario{
-			Seed:          opts.Seed,
-			GPSUsers:      opts.GPSUsers,
-			DataUsers:     opts.DataUsers,
-			Load:          load,
-			VariableSizes: opts.Variable,
-			Cycles:        opts.Cycles,
-			WarmupCycles:  opts.Warmup,
-		}
-		res, err := osumac.Run(scn)
+	out := make([]LoadPoint, len(loads))
+	err := forEachIndexed(len(loads), opts.Workers, func(i int) error {
+		pt, err := runLoadPoint(opts, loads[i])
 		if err != nil {
-			return nil, fmt.Errorf("load %.2f: %w", load, err)
+			return err
 		}
-		out = append(out, LoadPoint{
-			Load:                 load,
-			Utilization:          res.Utilization,
-			MeanDelayCycles:      res.MeanDelayCycles,
-			P95DelayCycles:       res.Metrics.MessageDelay.Percentile(95) / phy.CycleLength.Seconds(),
-			CollisionProb:        res.CollisionProbability,
-			ReservationLatencyS:  res.ReservationLatency,
-			ControlOverhead:      res.ControlOverhead,
-			Fairness:             res.Fairness,
-			SecondCFGain:         res.SecondCFGain,
-			MessagesDelivered:    res.Metrics.MessagesDelivered.Value(),
-			MessagesDropped:      res.Metrics.MessagesDropped.Value(),
-			MeanDataSlotsUsed:    res.MeanDataSlotsUsed,
-			GPSDeadlineViolation: res.GPSDeadlineViolations,
-		})
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// runLoadPoint executes one (options, load) cell. It is pure: every
+// call builds its own network and RNG from the cell's seed, which is
+// what makes the fan-out above safe and deterministic.
+func runLoadPoint(opts SweepOptions, load float64) (LoadPoint, error) {
+	scn := osumac.Scenario{
+		Seed:          opts.Seed,
+		GPSUsers:      opts.GPSUsers,
+		DataUsers:     opts.DataUsers,
+		Load:          load,
+		VariableSizes: opts.Variable,
+		Cycles:        opts.Cycles,
+		WarmupCycles:  opts.Warmup,
+	}
+	res, err := osumac.Run(scn)
+	if err != nil {
+		return LoadPoint{}, fmt.Errorf("load %.2f: %w", load, err)
+	}
+	return LoadPoint{
+		Load:                 load,
+		Utilization:          res.Utilization,
+		MeanDelayCycles:      res.MeanDelayCycles,
+		P95DelayCycles:       res.Metrics.MessageDelay.Percentile(95) / phy.CycleLength.Seconds(),
+		CollisionProb:        res.CollisionProbability,
+		ReservationLatencyS:  res.ReservationLatency,
+		ControlOverhead:      res.ControlOverhead,
+		Fairness:             res.Fairness,
+		SecondCFGain:         res.SecondCFGain,
+		MessagesDelivered:    res.Metrics.MessagesDelivered.Value(),
+		MessagesDropped:      res.Metrics.MessagesDropped.Value(),
+		MeanDataSlotsUsed:    res.MeanDataSlotsUsed,
+		GPSDeadlineViolation: res.GPSDeadlineViolations,
+	}, nil
 }
 
 // Fig12bPoint is one row of the dynamic-slot-adjustment comparison.

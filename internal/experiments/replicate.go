@@ -25,6 +25,12 @@ type ReplicatedPoint struct {
 // (seed, seed+1, …) and aggregates each point. Use it when reporting
 // results: single-seed runs of a 200-800 cycle simulation carry visible
 // stochastic noise at light load.
+//
+// Every (replication, load) cell is an independent simulation, so the
+// full grid fans out over opts.Workers at once. Aggregation stays in
+// the serial order (replication-outer, load-inner) after all cells
+// finish, so the floating-point accumulation — and therefore the
+// printed tables — are byte-identical to a serial run.
 func ReplicatedSweep(opts SweepOptions, replications int) ([]ReplicatedPoint, error) {
 	if replications <= 0 {
 		return nil, fmt.Errorf("experiments: need ≥1 replication, got %d", replications)
@@ -33,6 +39,21 @@ func ReplicatedSweep(opts SweepOptions, replications int) ([]ReplicatedPoint, er
 	if loads == nil {
 		loads = defaultLoads()
 	}
+	cells := make([]LoadPoint, replications*len(loads))
+	err := forEachIndexed(len(cells), opts.Workers, func(idx int) error {
+		r, i := idx/len(loads), idx%len(loads)
+		o := opts
+		o.Seed = opts.Seed + uint64(r)
+		pt, err := runLoadPoint(o, loads[i])
+		if err != nil {
+			return err
+		}
+		cells[idx] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	acc := make([]map[string]*stats.Sample, len(loads))
 	for i := range acc {
 		acc[i] = map[string]*stats.Sample{
@@ -40,14 +61,8 @@ func ReplicatedSweep(opts SweepOptions, replications int) ([]ReplicatedPoint, er
 		}
 	}
 	for r := 0; r < replications; r++ {
-		o := opts
-		o.Seed = opts.Seed + uint64(r)
-		o.Loads = loads
-		pts, err := LoadSweep(o)
-		if err != nil {
-			return nil, err
-		}
-		for i, p := range pts {
+		for i := range loads {
+			p := cells[r*len(loads)+i]
 			acc[i]["util"].Add(p.Utilization)
 			acc[i]["delay"].Add(p.MeanDelayCycles)
 			acc[i]["coll"].Add(p.CollisionProb)

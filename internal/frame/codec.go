@@ -30,14 +30,34 @@ func (c *Codec) EncodePayload(info []byte) ([]byte, error) {
 	return c.code.Encode(info)
 }
 
+// EncodePayloadTo appends the codeword for a 48-byte information block
+// to dst. With a reused buffer the steady-state path is allocation-free.
+func (c *Codec) EncodePayloadTo(dst, info []byte) ([]byte, error) {
+	return c.code.EncodeTo(dst, info)
+}
+
 // DecodePayload RS-decodes one codeword back to 48 information bytes.
 func (c *Codec) DecodePayload(cw []byte) ([]byte, error) {
 	return c.code.Decode(cw)
 }
 
+// DecodePayloadTo appends the 48 decoded information bytes to dst. The
+// clean path (no channel errors) is allocation-free with a reused
+// buffer.
+func (c *Codec) DecodePayloadTo(dst, cw []byte) ([]byte, error) {
+	return c.code.DecodeTo(dst, cw)
+}
+
 // EncodeControlFields produces the on-air form of a control-field set:
 // two consecutive RS codewords (128 bytes).
 func (c *Codec) EncodeControlFields(cf *ControlFields) ([]byte, error) {
+	return c.EncodeControlFieldsTo(make([]byte, 0, phy.ControlFieldCodewords*phy.CodewordBytes), cf)
+}
+
+// EncodeControlFieldsTo appends the on-air control-field codewords to
+// dst. The RS encodes are allocation-free with a reused buffer; the
+// Marshal of the schedule itself still allocates its info block.
+func (c *Codec) EncodeControlFieldsTo(dst []byte, cf *ControlFields) ([]byte, error) {
 	info, err := cf.Marshal()
 	if err != nil {
 		return nil, err
@@ -45,34 +65,42 @@ func (c *Codec) EncodeControlFields(cf *ControlFields) ([]byte, error) {
 	if len(info) != phy.ControlFieldCodewords*phy.CodewordInfoBytes {
 		return nil, fmt.Errorf("frame: control fields marshal to %d bytes", len(info))
 	}
-	out := make([]byte, 0, phy.ControlFieldCodewords*phy.CodewordBytes)
 	for i := 0; i < phy.ControlFieldCodewords; i++ {
-		cw, err := c.code.Encode(info[i*phy.CodewordInfoBytes : (i+1)*phy.CodewordInfoBytes])
+		dst, err = c.code.EncodeTo(dst, info[i*phy.CodewordInfoBytes:(i+1)*phy.CodewordInfoBytes])
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, cw...)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // DecodeControlFields decodes two received codewords into control
 // fields. Any codeword failing RS decode fails the whole set: a mobile
 // that cannot read the control fields has no schedule for the cycle.
 func (c *Codec) DecodeControlFields(air []byte) (*ControlFields, error) {
+	var infoArr [phy.ControlFieldCodewords * phy.CodewordInfoBytes]byte
+	return c.DecodeControlFieldsTo(infoArr[:0], air)
+}
+
+// DecodeControlFieldsTo decodes like DecodeControlFields but uses dst
+// as scratch for the concatenated decoded info blocks (appending past
+// len(dst)). With capacity for ControlFieldCodewords·CodewordInfoBytes
+// extra bytes the only allocation left is the returned struct, which
+// never aliases dst.
+func (c *Codec) DecodeControlFieldsTo(dst, air []byte) (*ControlFields, error) {
 	want := phy.ControlFieldCodewords * phy.CodewordBytes
 	if len(air) != want {
 		return nil, fmt.Errorf("%w: control fields air size %d, want %d", ErrBadLength, len(air), want)
 	}
-	info := make([]byte, 0, phy.ControlFieldCodewords*phy.CodewordInfoBytes)
+	off := len(dst)
+	var err error
 	for i := 0; i < phy.ControlFieldCodewords; i++ {
-		block, err := c.code.Decode(air[i*phy.CodewordBytes : (i+1)*phy.CodewordBytes])
+		dst, err = c.code.DecodeTo(dst, air[i*phy.CodewordBytes:(i+1)*phy.CodewordBytes])
 		if err != nil {
 			return nil, fmt.Errorf("control field codeword %d: %w", i, err)
 		}
-		info = append(info, block...)
 	}
-	return UnmarshalControlFields(info)
+	return UnmarshalControlFields(dst[off:])
 }
 
 // Transmit models one coded transmission through a channel error model:
@@ -80,10 +108,17 @@ func (c *Codec) DecodeControlFields(air []byte) (*ControlFields, error) {
 // returned. The caller decodes the result; a decode error is a packet
 // loss.
 func Transmit(cw []byte, model phy.ErrorModel, rng *sim.RNG) []byte {
-	out := make([]byte, len(cw))
-	copy(out, cw)
+	return TransmitTo(make([]byte, 0, len(cw)), cw, model, rng)
+}
+
+// TransmitTo models one coded transmission like Transmit but appends
+// the (possibly corrupted) received bytes to dst, so a per-link reused
+// buffer makes the channel allocation-free. dst must not alias cw.
+func TransmitTo(dst, cw []byte, model phy.ErrorModel, rng *sim.RNG) []byte {
+	off := len(dst)
+	dst = append(dst, cw...)
 	if model != nil {
-		model.Corrupt(out, rng)
+		model.Corrupt(dst[off:], rng)
 	}
-	return out
+	return dst
 }

@@ -41,12 +41,7 @@ func PolyMul(a, b []byte) []byte {
 	}
 	out := make([]byte, len(a)+len(b)-1)
 	for i, ai := range a {
-		if ai == 0 {
-			continue
-		}
-		for j, bj := range b {
-			out[i+j] ^= Mul(ai, bj)
-		}
+		AddMulSlice(ai, out[i:i+len(b)], b)
 	}
 	return out
 }
@@ -54,9 +49,7 @@ func PolyMul(a, b []byte) []byte {
 // PolyScale returns c · p.
 func PolyScale(p []byte, c byte) []byte {
 	out := make([]byte, len(p))
-	for i, pi := range p {
-		out[i] = Mul(pi, c)
-	}
+	MulSlice(c, out, p)
 	return out
 }
 

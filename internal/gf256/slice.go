@@ -1,0 +1,55 @@
+package gf256
+
+// Slice kernels: bulk multiply/accumulate over byte slices driven by
+// per-coefficient 256-byte multiplication rows. A row is one line of the
+// full 256×256 product table, so c·x becomes a single indexed load with
+// no branches — the building block the RS hot paths (LFSR encode,
+// Horner syndromes, error-evaluator products) are written against.
+
+// mulTable[a][b] = a · b in GF(2⁸). 64 KiB, built once at package load.
+var mulTable [256][256]byte
+
+func init() {
+	// Deterministic precomputation from the log/antilog tables built by
+	// the package init in gf256.go (Go runs init functions of one file
+	// after the variable initializers of the whole package, in file
+	// order, so expTable/logTable are ready here).
+	for a := 1; a < 256; a++ {
+		row := &mulTable[a]
+		la := int(logTable[a])
+		for b := 1; b < 256; b++ {
+			row[b] = expTable[la+int(logTable[b])]
+		}
+	}
+}
+
+// MulTableRow returns the 256-entry multiplication row of c:
+// row[x] = c·x. The row aliases a package-level table and must not be
+// modified.
+func MulTableRow(c byte) *[256]byte { return &mulTable[c] }
+
+// MulSlice sets dst[i] = c · src[i]. dst and src must have the same
+// length; they may be the same slice.
+func MulSlice(c byte, dst, src []byte) {
+	if c == 0 {
+		clear(dst)
+		return
+	}
+	row := &mulTable[c]
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}
+
+// AddMulSlice sets dst[i] ^= c · src[i], the GF(2⁸) multiply-accumulate
+// at the core of LFSR feedback and polynomial products. dst and src must
+// have the same length and must not overlap unless identical.
+func AddMulSlice(c byte, dst, src []byte) {
+	if c == 0 {
+		return
+	}
+	row := &mulTable[c]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}

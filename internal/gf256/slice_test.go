@@ -1,0 +1,87 @@
+package gf256
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulTableRowMatchesMul(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		row := MulTableRow(byte(c))
+		for v := 0; v < 256; v++ {
+			if row[v] != Mul(byte(c), byte(v)) {
+				t.Fatalf("MulTableRow(%#x)[%#x] = %#x, want Mul = %#x",
+					c, v, row[v], Mul(byte(c), byte(v)))
+			}
+		}
+	}
+}
+
+func TestMulSliceMatchesScalar(t *testing.T) {
+	f := func(c byte, src []byte) bool {
+		dst := make([]byte, len(src))
+		MulSlice(c, dst, src)
+		for i, s := range src {
+			if dst[i] != Mul(c, s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulSliceZeroCoefficientClears(t *testing.T) {
+	dst := []byte{1, 2, 3, 4}
+	MulSlice(0, dst, []byte{9, 9, 9, 9})
+	if !bytes.Equal(dst, make([]byte, 4)) {
+		t.Fatalf("MulSlice(0, …) left %v, want zeros", dst)
+	}
+}
+
+func TestAddMulSliceMatchesScalar(t *testing.T) {
+	f := func(c byte, src []byte, init []byte) bool {
+		n := len(src)
+		if len(init) < n {
+			init = append(init, make([]byte, n-len(init))...)
+		}
+		dst := append([]byte(nil), init[:n]...)
+		AddMulSlice(c, dst, src)
+		for i, s := range src {
+			if dst[i] != init[i]^Mul(c, s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddMulSliceZeroCoefficientIsNoop(t *testing.T) {
+	dst := []byte{1, 2, 3}
+	AddMulSlice(0, dst, []byte{7, 7, 7})
+	if !bytes.Equal(dst, []byte{1, 2, 3}) {
+		t.Fatalf("AddMulSlice(0, …) changed dst to %v", dst)
+	}
+}
+
+// XOR-accumulating a·x and b·x must equal (a^b)·x: the linearity the
+// RS contribution tables rely on.
+func TestSliceKernelsAreLinear(t *testing.T) {
+	f := func(a, b byte, src []byte) bool {
+		sum := make([]byte, len(src))
+		MulSlice(a, sum, src)
+		AddMulSlice(b, sum, src)
+		direct := make([]byte, len(src))
+		MulSlice(a^b, direct, src)
+		return bytes.Equal(sum, direct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

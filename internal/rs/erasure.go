@@ -14,7 +14,10 @@ import (
 // pilot-symbol tracker knows which PS frames faded.
 //
 // The returned slice is the corrected codeword; the input is not
-// modified.
+// modified. Unlike the plain decode paths this one allocates for its
+// polynomial products (Γ, Ξ, Ψ are erasure-count-sized and off the
+// simulator's hot path); syndromes and the Berlekamp–Massey/Chien state
+// still come from the pooled scratch.
 func (c *Code) DecodeWithErasures(cw []byte, erasures []int) ([]byte, error) {
 	if len(cw) != c.n {
 		return nil, fmt.Errorf("%w: codeword %d bytes, want %d", ErrLength, len(cw), c.n)
@@ -40,10 +43,12 @@ func (c *Code) DecodeWithErasures(cw []byte, erasures []int) ([]byte, error) {
 	out := make([]byte, c.n)
 	copy(out, cw)
 
-	syn, clean := c.syndromes(out)
-	if clean {
+	s := c.getScratch()
+	defer c.scratch.Put(s)
+	if c.syndromesInto(s.syn, out) {
 		return out, nil
 	}
+	syn := s.syn
 
 	// Erasure locator Γ(x) = ∏ (1 − X_j x), X_j = α^(n−1−pos).
 	gamma := []byte{1}
@@ -67,35 +72,36 @@ func (c *Code) DecodeWithErasures(cw []byte, erasures []int) ([]byte, error) {
 	// ⌊(n−k−s)/2⌋ unknown errors.
 	forneySyn := mod[len(erasures):]
 	maxErrs := (c.n - c.k - len(erasures)) / 2
-	sigma, err := berlekampMassey(forneySyn, maxErrs)
+	sigma, err := c.berlekampMassey(s, forneySyn, maxErrs)
 	if err != nil {
 		return nil, err
 	}
 
 	var errPositions []int
 	if gf256.PolyDegree(sigma) > 0 {
-		errPositions, err = c.chienSearch(sigma)
+		found, err := c.chienSearch(s, sigma)
 		if err != nil {
 			return nil, err
 		}
-		for _, p := range errPositions {
+		for _, p := range found {
 			if seen[p] {
 				// An "error" landing on an erasure means the locator is
 				// bogus.
 				return nil, ErrTooManyErrors
 			}
 		}
+		errPositions = found
 	}
 
 	// Combined locator Ψ = σ·Γ covers both kinds; Forney with Ψ yields
-	// all magnitudes.
+	// all magnitudes. Ψ is copied out of scratch-backed σ before use.
 	psi := gf256.PolyMul(sigma, gamma)
 	positions := append(append([]int{}, erasures...), errPositions...)
-	if err := c.forney(out, syn, psi, positions); err != nil {
+	if err := c.forney(s, out, syn, psi, positions); err != nil {
 		return nil, err
 	}
 
-	if _, ok := c.syndromes(out); !ok {
+	if !c.syndromesInto(s.syn, out) {
 		return nil, ErrTooManyErrors
 	}
 	return out, nil

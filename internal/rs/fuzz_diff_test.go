@@ -1,0 +1,216 @@
+package rs
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/osu-netlab/osumac/internal/gf256"
+	"github.com/osu-netlab/osumac/internal/sim"
+)
+
+// This file fuzzes the optimized table-driven codec against an
+// independent reference implementation. The reference deliberately uses
+// different algorithms everywhere: polynomial long division instead of
+// the LFSR/contribution-table encoder, Peterson–Gorenstein–Zierler
+// Gaussian elimination instead of Berlekamp–Massey, exhaustive root
+// evaluation instead of the incremental Chien search, and a Vandermonde
+// linear solve instead of Forney's formula. Both are complete
+// bounded-distance decoders — they accept exactly the words within
+// Hamming distance t of a codeword and return that codeword — so their
+// observable behaviour must agree bit for bit on every input.
+
+// refEncode returns the systematic codeword for msg by polynomial long
+// division: parity = (msg·x^{n−k}) mod g, matching the convention that
+// cw[pos] is the coefficient of x^{n−1−pos}.
+func refEncode(c *Code, msg []byte) []byte {
+	p := c.n - c.k
+	gen := []byte{1}
+	for i := 0; i < p; i++ {
+		gen = gf256.PolyMul(gen, []byte{gf256.Exp(i), 1})
+	}
+	poly := make([]byte, c.n) // ascending powers
+	for pos, v := range msg {
+		poly[c.n-1-pos] = v
+	}
+	_, rem := gf256.PolyDivMod(poly, gen)
+	cw := make([]byte, c.n)
+	copy(cw, msg)
+	for j := 0; j < p; j++ {
+		d := p - 1 - j
+		if d < len(rem) {
+			cw[c.k+j] = rem[d]
+		}
+	}
+	return cw
+}
+
+// refSyndromes evaluates the received polynomial at α^0..α^{p−1}.
+func refSyndromes(c *Code, cw []byte) []byte {
+	p := c.n - c.k
+	poly := make([]byte, c.n)
+	for pos, v := range cw {
+		poly[c.n-1-pos] = v
+	}
+	syn := make([]byte, p)
+	for i := range syn {
+		syn[i] = gf256.PolyEval(poly, gf256.Exp(i))
+	}
+	return syn
+}
+
+// solveGF solves the ν×ν linear system a·x = rhs over GF(256) by
+// Gaussian elimination, returning nil when the matrix is singular. a
+// and rhs are clobbered.
+func solveGF(a [][]byte, rhs []byte) []byte {
+	nu := len(rhs)
+	for col := 0; col < nu; col++ {
+		pivot := -1
+		for r := col; r < nu; r++ {
+			if a[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+		inv := gf256.Inv(a[col][col])
+		for j := col; j < nu; j++ {
+			a[col][j] = gf256.Mul(a[col][j], inv)
+		}
+		rhs[col] = gf256.Mul(rhs[col], inv)
+		for r := 0; r < nu; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := col; j < nu; j++ {
+				a[r][j] ^= gf256.Mul(f, a[col][j])
+			}
+			rhs[r] ^= gf256.Mul(f, rhs[col])
+		}
+	}
+	return rhs
+}
+
+// refDecode is a Peterson–Gorenstein–Zierler bounded-distance decoder:
+// it returns the corrected codeword, or ok=false when no codeword lies
+// within distance t of cw.
+func refDecode(c *Code, cw []byte) (out []byte, ok bool) {
+	t := c.T()
+	syn := refSyndromes(c, cw)
+	allZero := true
+	for _, s := range syn {
+		if s != 0 {
+			allZero = false
+			break
+		}
+	}
+	out = append([]byte(nil), cw...)
+	if allZero {
+		return out, true
+	}
+	for nu := t; nu >= 1; nu-- {
+		a := make([][]byte, nu)
+		rhs := make([]byte, nu)
+		for i := 0; i < nu; i++ {
+			a[i] = make([]byte, nu)
+			for j := 0; j < nu; j++ {
+				a[i][j] = syn[i+j]
+			}
+			rhs[i] = syn[i+nu]
+		}
+		co := solveGF(a, rhs)
+		if co == nil {
+			continue // singular: fewer than nu errors
+		}
+		// co[j] = σ_{ν−j}; build σ(x) = 1 + σ_1 x + … + σ_ν x^ν.
+		sigma := make([]byte, nu+1)
+		sigma[0] = 1
+		for j := 0; j < nu; j++ {
+			sigma[nu-j] = co[j]
+		}
+		// Exhaustive root search: pos is in error iff σ(X_pos^{-1}) = 0
+		// with X_pos = α^{n−1−pos}.
+		var positions []int
+		for pos := 0; pos < c.n; pos++ {
+			x := gf256.Inv(gf256.Exp(c.n - 1 - pos))
+			if gf256.PolyEval(sigma, x) == 0 {
+				positions = append(positions, pos)
+			}
+		}
+		if len(positions) != nu {
+			return nil, false // σ does not split: decoder failure
+		}
+		// Magnitudes from the Vandermonde system Σ_j e_j·X_j^i = S_i.
+		v := make([][]byte, nu)
+		s := make([]byte, nu)
+		for i := 0; i < nu; i++ {
+			v[i] = make([]byte, nu)
+			for j, pos := range positions {
+				x := gf256.Exp(c.n - 1 - pos)
+				pw := byte(1)
+				for e := 0; e < i; e++ {
+					pw = gf256.Mul(pw, x)
+				}
+				v[i][j] = pw
+			}
+			s[i] = syn[i]
+		}
+		mags := solveGF(v, s)
+		if mags == nil {
+			return nil, false
+		}
+		for j, pos := range positions {
+			out[pos] ^= mags[j]
+		}
+		for _, rs := range refSyndromes(c, out) {
+			if rs != 0 {
+				return nil, false
+			}
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// FuzzRSDecodeDifferential cross-checks encode and decode against the
+// reference on arbitrary messages and error patterns, including
+// beyond-t corruption where both decoders must agree on failure or on
+// the miscorrected codeword.
+func FuzzRSDecodeDifferential(f *testing.F) {
+	f.Add([]byte("the quick brown fox"), uint64(1), byte(0))
+	f.Add([]byte{0xFF, 0x00, 0xAB}, uint64(2), byte(3))
+	f.Add(bytes.Repeat([]byte{0x55}, 48), uint64(3), byte(8))
+	f.Add([]byte{}, uint64(4), byte(11))
+	f.Fuzz(func(t *testing.T, raw []byte, errSeed uint64, nerrRaw byte) {
+		c := NewPaperCode()
+		msg := make([]byte, c.K())
+		copy(msg, raw) // zero-padded when raw is short
+		cw, err := c.Encode(msg)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if want := refEncode(c, msg); !bytes.Equal(cw, want) {
+			t.Fatalf("encode mismatch:\n got %x\nwant %x", cw, want)
+		}
+
+		corrupted := append([]byte(nil), cw...)
+		rng := sim.NewRNG(errSeed)
+		nerr := int(nerrRaw) % (c.T() + 4) // 0..11: past the t=8 bound
+		for _, p := range rng.Shuffled(len(cw))[:nerr] {
+			corrupted[p] ^= byte(rng.UniformInt(1, 255))
+		}
+
+		refOut, refOK := refDecode(c, corrupted)
+		gotOut, _, gotErr := c.DecodeCodeword(corrupted)
+		if refOK != (gotErr == nil) {
+			t.Fatalf("%d errors: optimized err=%v, reference ok=%v", nerr, gotErr, refOK)
+		}
+		if refOK && !bytes.Equal(gotOut, refOut) {
+			t.Fatalf("%d errors: decode mismatch:\n got %x\nwant %x", nerr, gotOut, refOut)
+		}
+	})
+}
