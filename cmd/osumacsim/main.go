@@ -2,27 +2,38 @@
 // configurable scenario and prints a full metric report — the
 // command-line face of the osumac library.
 //
-// Example:
+// With -http it also serves live telemetry while the run progresses:
+// Prometheus metrics at /metrics, the per-cycle series at /series, a
+// liveness probe at /healthz, and the Go profiler under /debug/pprof/.
+//
+// Examples:
 //
 //	osumacsim -gps 8 -data 10 -load 0.9 -cycles 500 -loss 0.05
+//	osumacsim -cycles 5000 -http :8080 -hold 1m
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
+	"time"
 
 	osumac "github.com/osu-netlab/osumac"
+	"github.com/osu-netlab/osumac/internal/obs"
+	"github.com/osu-netlab/osumac/internal/phy"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "osumacsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("osumacsim", flag.ContinueOnError)
 	var (
 		seed    = fs.Uint64("seed", 1, "random seed")
@@ -37,6 +48,10 @@ func run(args []string) error {
 		noCF2   = fs.Bool("no-cf2", false, "disable the second control-field set")
 		noDyn   = fs.Bool("no-dynamic", false, "disable dynamic GPS slot adjustment (pin format 1)")
 		asJSON  = fs.Bool("json", false, "emit the metric snapshot as JSON")
+
+		httpAddr = fs.String("http", "", "serve live telemetry on this address (/metrics, /series, /healthz, /debug/pprof/)")
+		pubEvery = fs.Int("publish-every", 10, "cycles between telemetry snapshots in -http mode")
+		hold     = fs.Duration("hold", 0, "keep the -http endpoint up this long after the run completes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,57 +70,136 @@ func run(args []string) error {
 		DisableSecondCF:     *noCF2,
 		DisableDynamicSlots: *noDyn,
 	}
-	res, err := osumac.Run(scn)
+
+	var res *osumac.Result
+	if *httpAddr != "" {
+		// The live endpoint serves /series, so always collect it.
+		scn.CollectSeries = true
+		n, err := osumac.Build(scn)
+		if err != nil {
+			return err
+		}
+		total := scn.WarmupCycles + scn.Cycles
+		if total <= 0 {
+			return fmt.Errorf("no cycles to run")
+		}
+		if err := serveLive(n, total, *httpAddr, *pubEvery, *hold, out); err != nil {
+			return err
+		}
+		res = osumac.Summarize(n)
+	} else {
+		var err error
+		res, err = osumac.Run(scn)
+		if err != nil {
+			return err
+		}
+	}
+	return report(out, scn, res, *asJSON)
+}
+
+// serveLive drives the already-built network in publish-sized chunks of
+// cycles, publishing an immutable telemetry snapshot between chunks.
+// The kernel schedule is identical to a one-shot Network.Run — only the
+// pauses to publish differ — so results are byte-for-byte the same.
+func serveLive(n *osumac.Network, total int, addr string, every int, hold time.Duration, out io.Writer) error {
+	if every <= 0 {
+		every = 1
+	}
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
+	srvErr := make(chan error, 1)
+	live := obs.NewLive()
+	srv := &http.Server{Handler: live.Handler()}
+	go func() { srvErr <- srv.Serve(ln) }()
+	defer func() { _ = srv.Close() }()
+	fmt.Fprintf(out, "telemetry: http://%s/metrics /series /healthz /debug/pprof/\n", ln.Addr())
+
+	reg := obs.NewRegistry(n.Metrics())
+	kernel := n.Sim()
+	start := kernel.Now()
+	if err := n.ScheduleCycles(total, start); err != nil {
+		return err
+	}
+	live.Publish(reg.Export(0, start, false))
+	for c := every; ; c += every {
+		if c > total {
+			c = total
+		}
+		horizon := start + time.Duration(c)*phy.CycleLength + phy.ReverseShift
+		if err := kernel.Run(horizon); err != nil {
+			return err
+		}
+		if err := n.Err(); err != nil {
+			return err
+		}
+		if c == total {
+			break
+		}
+		live.Publish(reg.Export(n.Cycle(), kernel.Now(), false))
+	}
+	n.FlushSeries()
+	live.Publish(reg.Export(n.Cycle(), kernel.Now(), true))
+	if hold > 0 {
+		fmt.Fprintf(out, "run complete; holding the endpoint for %v\n", hold)
+		select {
+		case <-time.After(hold):
+		case err := <-srvErr:
+			return fmt.Errorf("telemetry server: %w", err)
+		}
+	}
+	return nil
+}
+
+func report(out io.Writer, scn osumac.Scenario, res *osumac.Result, asJSON bool) error {
 	m := res.Metrics
 
-	if *asJSON {
+	if asJSON {
 		b, err := m.JSON()
 		if err != nil {
 			return err
 		}
-		fmt.Println(string(b))
+		fmt.Fprintln(out, string(b))
 		return nil
 	}
 
-	fmt.Printf("scenario: %d GPS + %d data users, load %.2f, %d cycles (%.1f min air time)\n",
-		*gps, *data, *load, m.Cycles, float64(m.Cycles)*osumac.CycleLength.Minutes())
-	fmt.Println()
-	fmt.Println("reverse channel")
-	fmt.Printf("  utilization (slots)     %.4f\n", res.Utilization)
-	fmt.Printf("  goodput (payload)       %.4f\n", m.PayloadUtilization())
-	fmt.Printf("  data packets received   %d (%d in the CF2-covered last slot)\n",
+	fmt.Fprintf(out, "scenario: %d GPS + %d data users, load %.2f, %d cycles (%.1f min air time)\n",
+		scn.GPSUsers, scn.DataUsers, scn.Load, m.Cycles, float64(m.Cycles)*osumac.CycleLength.Minutes())
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "reverse channel")
+	fmt.Fprintf(out, "  utilization (slots)     %.4f\n", res.Utilization)
+	fmt.Fprintf(out, "  goodput (payload)       %.4f\n", m.PayloadUtilization())
+	fmt.Fprintf(out, "  data packets received   %d (%d in the CF2-covered last slot)\n",
 		m.ReverseDataPkts.Value(), m.LastSlotDataPkts.Value())
-	fmt.Printf("  fragment losses (RS)    %d\n", m.FragmentsLost.Value())
-	fmt.Println("messages")
-	fmt.Printf("  generated / delivered / dropped   %d / %d / %d\n",
+	fmt.Fprintf(out, "  fragment losses (RS)    %d\n", m.FragmentsLost.Value())
+	fmt.Fprintln(out, "messages")
+	fmt.Fprintf(out, "  generated / delivered / dropped   %d / %d / %d\n",
 		m.MessagesGenerated.Value(), m.MessagesDelivered.Value(), m.MessagesDropped.Value())
-	fmt.Printf("  delay mean / p95 / max            %.2f / %.2f / %.2f cycles\n",
+	fmt.Fprintf(out, "  delay mean / p95 / max            %.2f / %.2f / %.2f cycles\n",
 		res.MeanDelayCycles,
 		m.MessageDelay.Percentile(95)/osumac.CycleLength.Seconds(),
 		m.MessageDelay.Max()/osumac.CycleLength.Seconds())
-	fmt.Println("contention")
-	fmt.Printf("  collision probability   %.4f\n", res.CollisionProbability)
-	fmt.Printf("  reservation latency     %.2f s mean\n", res.ReservationLatency)
-	fmt.Printf("  control overhead        %.4f signals/data packet\n", res.ControlOverhead)
-	fmt.Printf("  contention slots        %d offered, %d used, %d collisions\n",
+	fmt.Fprintln(out, "contention")
+	fmt.Fprintf(out, "  collision probability   %.4f\n", res.CollisionProbability)
+	fmt.Fprintf(out, "  reservation latency     %.2f s mean\n", res.ReservationLatency)
+	fmt.Fprintf(out, "  control overhead        %.4f signals/data packet\n", res.ControlOverhead)
+	fmt.Fprintf(out, "  contention slots        %d offered, %d used, %d collisions\n",
 		m.ContentionSlotsOpen.Value(), m.ContentionSlotsUsed.Value(), m.ContentionCollisions.Value())
-	fmt.Println("service quality")
-	fmt.Printf("  Jain fairness           %.4f\n", res.Fairness)
-	fmt.Printf("  registration ≤2 / ≤10   %.2f / %.2f (targets 0.80 / 0.99)\n",
+	fmt.Fprintln(out, "service quality")
+	fmt.Fprintf(out, "  Jain fairness           %.4f\n", res.Fairness)
+	fmt.Fprintf(out, "  registration ≤2 / ≤10   %.2f / %.2f (targets 0.80 / 0.99)\n",
 		res.RegistrationWithin2, res.RegistrationWithin10)
-	if *gps > 0 {
-		fmt.Println("GPS real-time service")
-		fmt.Printf("  reports gen/delivered   %d / %d\n", m.GPSGenerated.Value(), m.GPSDelivered.Value())
-		fmt.Printf("  access delay mean/max   %.2f / %.3f s (bound 4 s)\n",
+	if scn.GPSUsers > 0 {
+		fmt.Fprintln(out, "GPS real-time service")
+		fmt.Fprintf(out, "  reports gen/delivered   %d / %d\n", m.GPSGenerated.Value(), m.GPSDelivered.Value())
+		fmt.Fprintf(out, "  access delay mean/max   %.2f / %.3f s (bound 4 s)\n",
 			m.GPSAccessDelay.Mean(), res.GPSMaxAccessDelay)
-		fmt.Printf("  deadline violations     %d\n", res.GPSDeadlineViolations)
+		fmt.Fprintf(out, "  deadline violations     %d\n", res.GPSDeadlineViolations)
 	}
-	if *revLoss > 0 || *fwdLoss > 0 {
-		fmt.Println("channel")
-		fmt.Printf("  control-field decode failures  %d\n", m.CFDecodeFailures.Value())
+	if scn.ReverseLoss > 0 || scn.ForwardLoss > 0 {
+		fmt.Fprintln(out, "channel")
+		fmt.Fprintf(out, "  control-field decode failures  %d\n", m.CFDecodeFailures.Value())
 	}
 	return nil
 }

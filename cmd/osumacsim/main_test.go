@@ -1,10 +1,25 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
 
 func TestRunDefault(t *testing.T) {
-	if err := run([]string{"-cycles", "30", "-warmup", "5"}); err != nil {
+	var out bytes.Buffer
+	if err := run([]string{"-cycles", "30", "-warmup", "5"}, &out); err != nil {
 		t.Fatal(err)
+	}
+	for _, want := range []string{"scenario:", "utilization", "GPS real-time service"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
 	}
 }
 
@@ -12,28 +27,124 @@ func TestRunWithLossAndToggles(t *testing.T) {
 	if err := run([]string{
 		"-cycles", "30", "-warmup", "5", "-gps", "8",
 		"-loss", "0.1", "-fwdloss", "0.05", "-no-cf2", "-no-dynamic", "-fixed",
-	}); err != nil {
+	}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunNoGPS(t *testing.T) {
-	if err := run([]string{"-cycles", "20", "-warmup", "2", "-gps", "0"}); err != nil {
+	if err := run([]string{"-cycles", "20", "-warmup", "2", "-gps", "0"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadScenario(t *testing.T) {
-	if err := run([]string{"-gps", "9"}); err == nil {
+	if err := run([]string{"-gps", "9"}, io.Discard); err == nil {
 		t.Fatal("9 GPS users accepted")
 	}
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
 		t.Fatal("bad flag accepted")
 	}
 }
 
 func TestRunJSON(t *testing.T) {
-	if err := run([]string{"-cycles", "20", "-warmup", "2", "-json"}); err != nil {
+	if err := run([]string{"-cycles", "20", "-warmup", "2", "-json"}, io.Discard); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// lockedBuffer lets the test goroutine read command output while the
+// command goroutine is still writing it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunLiveEndpoint starts a run with -http on an ephemeral port and
+// scrapes the endpoint while it is held open after the run.
+func TestRunLiveEndpoint(t *testing.T) {
+	out := &lockedBuffer{}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{
+			"-cycles", "40", "-warmup", "5",
+			"-http", "127.0.0.1:0", "-publish-every", "7", "-hold", "2s",
+		}, out)
+	}()
+
+	addrRE := regexp.MustCompile(`telemetry: http://([^/\s]+)/metrics`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no telemetry line in output:\n%s", out.String())
+		}
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// The run is short; poll until the final done=true snapshot is up
+	// (it is then held for 2 s, plenty to finish the scrapes below).
+	var health string
+	for {
+		code, body := get("/healthz")
+		if code != http.StatusOK {
+			t.Fatalf("/healthz = %d", code)
+		}
+		health = body
+		if strings.Contains(body, `"done":true`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run never finished; healthz %s", health)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !strings.Contains(health, `"cycle":45`) {
+		t.Fatalf("healthz after run = %s", health)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "# TYPE osumac_cycles_total counter") ||
+		!strings.Contains(body, "osumac_cycles_total 45") {
+		t.Fatalf("/metrics = %d:\n%.400s", code, body)
+	}
+	if code, body := get("/series"); code != http.StatusOK || !strings.Contains(body, `"cycle":44`) {
+		t.Fatalf("/series = %d: %.200s", code, body)
+	}
+
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "scenario:") {
+		t.Fatalf("no final report after live run:\n%s", out.String())
 	}
 }

@@ -1,80 +1,132 @@
-// Command osumactrace runs a short OSU-MAC scenario with event tracing
+// Command osumactrace runs an OSU-MAC scenario with event tracing
 // enabled and prints the protocol timeline — registrations, schedule
 // announcements, collisions, reservations, data and GPS receptions —
 // for inspection and debugging.
 //
-// Example:
+// The trace can be dumped as human-readable text (default) or as JSONL
+// (-format jsonl, one event object per line, machine-readable and
+// round-trippable). -kinds, -user, and -cycles narrow the dump. With
+// -autopsy the command instead scans the trace for GPS deadline
+// violations and reconstructs the scheduling story behind each one.
+//
+// Examples:
 //
 //	osumactrace -cycles 6 -gps 2 -data 3 -load 0.7
+//	osumactrace -cycles 200 -format jsonl -kinds gps-rx,collision
+//	osumactrace -seed 8188083318138684029 -gps 7 -data 8 -load 1.0 -cycles 500 -autopsy
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"time"
 
 	osumac "github.com/osu-netlab/osumac"
+	"github.com/osu-netlab/osumac/internal/obs"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "osumactrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("osumactrace", flag.ContinueOnError)
 	var (
-		seed   = fs.Uint64("seed", 1, "random seed")
-		gps    = fs.Int("gps", 2, "GPS subscribers")
-		data   = fs.Int("data", 3, "data subscribers")
-		load   = fs.Float64("load", 0.7, "load index")
-		cycles = fs.Int("cycles", 6, "cycles to trace")
-		loss   = fs.Float64("loss", 0, "reverse codeword loss probability")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		gps       = fs.Int("gps", 2, "GPS subscribers")
+		data      = fs.Int("data", 3, "data subscribers")
+		load      = fs.Float64("load", 0.7, "load index")
+		cycles    = fs.Int("cycles", 6, "cycles to trace")
+		loss      = fs.Float64("loss", 0, "reverse codeword loss probability")
+		format    = fs.String("format", "text", "output format: text or jsonl")
+		kinds     = fs.String("kinds", "", "comma-separated event kinds to keep (empty = all; see -list-kinds)")
+		listKinds = fs.Bool("list-kinds", false, "print the known event kinds and exit")
+		user      = fs.Int("user", -1, "only events naming this user ID")
+		autopsy   = fs.Bool("autopsy", false, "reconstruct the story behind each GPS deadline violation")
+		window    = fs.Int("window", obs.DefaultAutopsyWindow, "autopsy context window, in cycles")
+		capEvents = fs.Int("cap", 1<<20, "in-memory trace capacity in events")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	cfg := osumac.NewConfig()
-	cfg.Seed = *seed
-	buf := &osumac.TraceBuffer{Cap: 1 << 16}
-	cfg.Tracer = buf
-	if *load > 0 && *data > 0 {
-		cfg.MeanInterarrival = osumac.InterarrivalForLoad(*load, *data, *gps, true)
-	}
-	if *loss > 0 {
-		l := *loss
-		cfg.NewReverseModel = func() osumac.ErrorModel {
-			return osumac.TwoRegime{PLoss: l, MaxCorrectable: 8}
+	if *listKinds {
+		for _, k := range osumac.AllEventKinds() {
+			fmt.Fprintln(out, k)
 		}
+		return nil
 	}
-
-	n, err := osumac.NewNetwork(cfg)
+	if *format != "text" && *format != "jsonl" {
+		return fmt.Errorf("unknown -format %q (want text or jsonl)", *format)
+	}
+	mask, err := obs.ParseKinds(*kinds)
 	if err != nil {
 		return err
 	}
-	for i := 0; i < *gps; i++ {
-		if _, err := n.AddSubscriber(osumac.EIN(1000+i), true, time.Duration(i)*time.Second); err != nil {
-			return err
+
+	// The buffer retains everything the autopsy and text paths need; in
+	// jsonl mode a streaming sink writes filtered events as they happen.
+	buf := &osumac.TraceBuffer{Cap: *capEvents}
+	var sink *obs.JSONLSink
+	tracer := osumac.Tracer(buf)
+	if *format == "jsonl" && !*autopsy {
+		sink = obs.NewJSONLSink(out).FilterKinds(mask)
+		if *user >= 0 {
+			sink.FilterUser(osumac.UserID(*user))
 		}
+		tracer = obs.Tee(buf, sink)
 	}
-	for i := 0; i < *data; i++ {
-		if _, err := n.AddSubscriber(osumac.EIN(2000+i), false, time.Duration(i)*500*time.Millisecond); err != nil {
-			return err
-		}
+
+	scn := osumac.Scenario{
+		Seed:          *seed,
+		GPSUsers:      *gps,
+		DataUsers:     *data,
+		Load:          *load,
+		VariableSizes: true,
+		Cycles:        *cycles,
+		ReverseLoss:   *loss,
+		Tracer:        tracer,
+	}
+	n, err := osumac.Build(scn)
+	if err != nil {
+		return err
 	}
 	if err := n.Run(*cycles); err != nil {
 		return err
 	}
 
-	for _, e := range buf.Events() {
-		fmt.Println(e)
+	switch {
+	case *autopsy:
+		rep := obs.RunAutopsy(buf.Events(), *window)
+		if *format == "jsonl" {
+			return json.NewEncoder(out).Encode(rep)
+		}
+		if d := buf.Dropped(); d > 0 {
+			fmt.Fprintf(out, "warning: %d oldest events evicted (raise -cap for full coverage)\n", d)
+		}
+		return rep.WriteText(out)
+	case sink != nil:
+		if err := sink.Flush(); err != nil {
+			return err
+		}
+		return sink.Err()
+	default:
+		for _, e := range buf.Events() {
+			if !mask.Has(e.Kind) {
+				continue
+			}
+			if *user >= 0 && int(e.User) != *user {
+				continue
+			}
+			fmt.Fprintln(out, e)
+		}
+		if d := buf.Dropped(); d > 0 {
+			fmt.Fprintf(out, "... (%d older events dropped)\n", d)
+		}
+		return nil
 	}
-	if d := buf.Dropped(); d > 0 {
-		fmt.Printf("... (%d older events dropped)\n", d)
-	}
-	return nil
 }

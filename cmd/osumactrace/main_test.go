@@ -1,21 +1,157 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+
+	osumac "github.com/osu-netlab/osumac"
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/obs"
+)
 
 func TestRunTrace(t *testing.T) {
-	if err := run([]string{"-cycles", "4"}); err != nil {
+	var out bytes.Buffer
+	if err := run([]string{"-cycles", "4"}, &out); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cycle-start") {
+		t.Fatalf("text dump has no cycle-start events:\n%.300s", out.String())
 	}
 }
 
 func TestRunTraceWithLoss(t *testing.T) {
-	if err := run([]string{"-cycles", "4", "-loss", "0.2"}); err != nil {
+	if err := run([]string{"-cycles", "4", "-loss", "0.2"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTraceBadFlag(t *testing.T) {
-	if err := run([]string{"-zzz"}); err == nil {
+	if err := run([]string{"-zzz"}, io.Discard); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-format", "xml"}, io.Discard); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if err := run([]string{"-kinds", "martian"}, io.Discard); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+}
+
+func TestRunTraceListKinds(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list-kinds"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range osumac.AllEventKinds() {
+		if !strings.Contains(out.String(), k.String()) {
+			t.Fatalf("-list-kinds misses %v", k)
+		}
+	}
+}
+
+// TestJSONLOutputRoundTrips is the acceptance check: the command's
+// jsonl output must decode back into the exact event stream.
+func TestJSONLOutputRoundTrips(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-cycles", "8", "-format", "jsonl"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.DecodeJSONL(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("jsonl dump is empty")
+	}
+	// Re-run the identical scenario into a buffer and compare.
+	buf := &osumac.TraceBuffer{Cap: 1 << 20}
+	n, err := osumac.Build(osumac.Scenario{
+		Seed: 1, GPSUsers: 2, DataUsers: 3, Load: 0.7,
+		VariableSizes: true, Cycles: 8, Tracer: buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	want := buf.Events()
+	if len(events) != len(want) {
+		t.Fatalf("jsonl has %d events, direct run %d", len(events), len(want))
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d mismatch:\n got %+v\nwant %+v", i, events[i], want[i])
+		}
+	}
+}
+
+func TestJSONLKindAndUserFilters(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-cycles", "10", "-format", "jsonl", "-kinds", "gps-rx"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.DecodeJSONL(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no gps-rx events in 10 cycles")
+	}
+	for _, e := range events {
+		if e.Kind != core.EventGPSRx {
+			t.Fatalf("foreign kind in filtered dump: %+v", e)
+		}
+	}
+	target := int(events[0].User)
+	out.Reset()
+	if err := run([]string{"-cycles", "10", "-format", "jsonl", "-user", strconv.Itoa(target)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := obs.DecodeJSONL(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range filtered {
+		if int(e.User) != target {
+			t.Fatalf("foreign user in filtered dump: %+v", e)
+		}
+	}
+}
+
+// TestAutopsyCommand exercises -autopsy on the ROADMAP's latent GPS
+// deadline scenario; the text report must name victims and cycles.
+func TestAutopsyCommand(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-seed", "8188083318138684029", "-gps", "7", "-data", "8",
+		"-load", "1.0", "-cycles", "500", "-autopsy",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if strings.Contains(text, "no violations") {
+		t.Fatalf("autopsy found nothing on the known-violation scenario:\n%.300s", text)
+	}
+	for _, want := range []string{"violation 1:", "schedule context:", "victim timeline:", "notes:"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("autopsy report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAutopsyJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-seed", "8188083318138684029", "-gps", "7", "-data", "8",
+		"-load", "1.0", "-cycles", "500", "-autopsy", "-format", "jsonl",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"violations":[{`) {
+		t.Fatalf("autopsy json has no violations array:\n%.300s", out.String())
 	}
 }

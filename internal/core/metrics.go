@@ -77,17 +77,17 @@ type Metrics struct {
 // when Config.CollectSeries is enabled.
 type CyclePoint struct {
 	// Cycle is the notification-cycle index.
-	Cycle int
+	Cycle int `json:"cycle"`
 	// SlotsOffered and SlotsUsed cover the reverse data slots.
-	SlotsOffered int
-	SlotsUsed    int
+	SlotsOffered int `json:"slotsOffered"`
+	SlotsUsed    int `json:"slotsUsed"`
 	// MessagesDelivered completed this cycle.
-	MessagesDelivered int
+	MessagesDelivered int `json:"messagesDelivered"`
 	// Collisions in contention slots this cycle.
-	Collisions int
+	Collisions int `json:"collisions"`
 	// QueueDepth is the total pending fragments across subscribers at
 	// the cycle boundary.
-	QueueDepth int
+	QueueDepth int `json:"queueDepth"`
 }
 
 // NewMetrics returns an empty metrics bundle.

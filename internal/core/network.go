@@ -40,10 +40,11 @@ type Network struct {
 	metrics *Metrics
 	runErr  error
 
-	subs     []*subEntry
-	byEIN    map[frame.EIN]*subEntry
-	cycle    int // cycles started so far
-	prevSnap seriesSnap
+	subs       []*subEntry
+	byEIN      map[frame.EIN]*subEntry
+	cycle      int // cycles started so far
+	prevSnap   seriesSnap
+	seriesNext int // first cycle index without a recorded series point
 
 	// OnUplinkComplete, when non-nil, fires for every uplink message
 	// fully reassembled at the base station — the hook a backbone uses
@@ -234,7 +235,22 @@ func (n *Network) Run(cycles int) error {
 	if n.runErr != nil {
 		return n.runErr
 	}
+	if kerr == nil {
+		n.FlushSeries()
+	}
 	return kerr
+}
+
+// FlushSeries records the series point of the most recent cycle, which
+// beginCycle alone would only record when a further cycle starts. Run
+// calls it automatically; callers that drive the kernel themselves
+// (backbones, live servers) should call it once the run is over. It is
+// idempotent and a no-op unless Config.CollectSeries is set.
+func (n *Network) FlushSeries() {
+	if !n.cfg.CollectSeries || n.cycle == 0 {
+		return
+	}
+	n.recordSeriesPoint(n.cycle - 1)
 }
 
 // ScheduleCycles queues the next `cycles` notification cycles starting
@@ -277,10 +293,25 @@ func (n *Network) beginCycle(k int) {
 	layout := n.base.Layout()
 	cf1 := n.base.ControlFields()
 	t0 := n.sim.Now()
-	n.trace(EventCycleStart, frame.NoUser, -1, layout.Format.String())
-	if prevFormat != 0 && prevFormat != layout.Format {
-		n.trace(EventFormatSwitch, frame.NoUser, -1,
-			fmt.Sprintf("%v→%v", prevFormat, layout.Format))
+	if n.tracing() {
+		n.trace(EventCycleStart, frame.NoUser, -1, layout.Format.String())
+		if prevFormat != 0 && prevFormat != layout.Format {
+			n.trace(EventFormatSwitch, frame.NoUser, -1,
+				fmt.Sprintf("%v→%v", prevFormat, layout.Format))
+		}
+		// Announce this cycle's slot schedule so offline tools (the
+		// deadline autopsy in particular) can reconstruct scheduling
+		// decisions without parsing control fields.
+		for i, u := range cf1.GPSSchedule {
+			if u != frame.NoUser {
+				n.trace(EventGPSSlotGrant, u, i, "")
+			}
+		}
+		for i, u := range cf1.ReverseSchedule {
+			if u != frame.NoUser {
+				n.trace(EventDataSlotGrant, u, i, "")
+			}
+		}
 	}
 
 	// Snapshot who listens to CF2 this cycle (decided last cycle).
@@ -360,8 +391,13 @@ func (n *Network) beginCycle(k int) {
 }
 
 // recordSeriesPoint appends the per-cycle delta for the cycle that just
-// finished.
+// finished. Recording is idempotent per cycle so FlushSeries and the
+// next beginCycle never double-count.
 func (n *Network) recordSeriesPoint(cycle int) {
+	if cycle < n.seriesNext {
+		return
+	}
+	n.seriesNext = cycle + 1
 	m := n.metrics
 	cur := seriesSnap{
 		offered:    m.DataSlotsOffered.Value(),
@@ -424,7 +460,10 @@ func (n *Network) maybeStartSources(e *subEntry) {
 				// The previous report was never sent: stale, dropped.
 				n.metrics.GPSLost.Inc()
 				n.metrics.GPSDeadlineViolations.Inc()
+				n.trace(EventGPSDeadlineViolation, e.sub.ID(), -1,
+					"stale: previous report replaced before it could be transmitted")
 			}
+			n.trace(EventGPSQueued, e.sub.ID(), -1, "")
 			n.sim.After(n.cfg.GPSPeriod, tick)
 		}
 		n.sim.After(phase, tick)
@@ -475,6 +514,10 @@ func (n *Network) gpsSlotStart(cf *frame.ControlFields, slot int, txStart time.D
 	n.metrics.GPSAccessDelay.AddDuration(delay)
 	if delay > phy.GPSAccessDeadline {
 		n.metrics.GPSDeadlineViolations.Inc()
+		if n.tracing() {
+			n.trace(EventGPSDeadlineViolation, holder, slot,
+				fmt.Sprintf("late: access delay %v exceeds the %v deadline", delay, phy.GPSAccessDeadline))
+		}
 	}
 	body, err := rep.Marshal()
 	if err != nil {
@@ -495,7 +538,7 @@ func (n *Network) gpsSlotStart(cf *frame.ControlFields, slot int, txStart time.D
 		n.trace(EventGPSLost, holder, slot, "channel burst")
 		return
 	}
-	if _, ok := n.base.RecordGPS(body); ok {
+	if _, ok := n.base.RecordGPS(body); ok && n.tracing() {
 		n.trace(EventGPSRx, holder, slot, fmt.Sprintf("delay=%v", delay))
 	}
 }
@@ -559,7 +602,7 @@ func (n *Network) dataSlotEnd(cycle, slot int, isLast, contention bool) {
 	}
 
 	out := n.base.RecordReverse(slot, intoPrev, isLast, payloads, contention)
-	if out.Collision {
+	if out.Collision && n.tracing() {
 		n.trace(EventCollision, frame.NoUser, slot, fmt.Sprintf("%d stations", len(payloads)))
 	}
 	if out.Received == nil && !out.Collision && len(payloads) == 1 && !contention {
@@ -577,9 +620,11 @@ func (n *Network) handleOutcome(out ReverseOutcome, cycle int) {
 	switch out.Received.Type {
 	case frame.TypeData:
 		h := out.Received.Data.Header
-		n.trace(EventDataRx, h.User, -1, fmt.Sprintf("msg=%d frag=%d/%d", h.MsgID, h.Frag+1, h.FragTotal))
-		if h.MoreSlots > 0 {
-			n.trace(EventPiggybackRx, h.User, -1, fmt.Sprintf("+%d slots", h.MoreSlots))
+		if n.tracing() {
+			n.trace(EventDataRx, h.User, -1, fmt.Sprintf("msg=%d frag=%d/%d", h.MsgID, h.Frag+1, h.FragTotal))
+			if h.MoreSlots > 0 {
+				n.trace(EventPiggybackRx, h.User, -1, fmt.Sprintf("+%d slots", h.MoreSlots))
+			}
 		}
 		n.noteDemandHeard(h.User, now)
 		if out.MessageComplete {
@@ -587,8 +632,10 @@ func (n *Network) handleOutcome(out ReverseOutcome, cycle int) {
 			if meta, ok := n.msgMeta[key]; ok {
 				n.metrics.MessagesDelivered.Inc()
 				n.metrics.MessageDelay.AddDuration(now - meta.createdAt)
-				n.trace(EventMessageComplete, out.User, -1,
-					fmt.Sprintf("msg=%d %dB in %v", out.MsgID, out.Bytes, now-meta.createdAt))
+				if n.tracing() {
+					n.trace(EventMessageComplete, out.User, -1,
+						fmt.Sprintf("msg=%d %dB in %v", out.MsgID, out.Bytes, now-meta.createdAt))
+				}
 				delete(n.msgMeta, key)
 			}
 			if n.OnUplinkComplete != nil {
@@ -597,16 +644,22 @@ func (n *Network) handleOutcome(out ReverseOutcome, cycle int) {
 		}
 	case frame.TypeReservation:
 		r := out.Received.Reservation
-		if r.Slots == 0 {
-			n.trace(EventPageResponse, r.User, -1, "")
-		} else {
-			n.trace(EventReservationRx, r.User, -1, fmt.Sprintf("%d slots", r.Slots))
+		if n.tracing() {
+			if r.Slots == 0 {
+				n.trace(EventPageResponse, r.User, -1, "")
+			} else {
+				n.trace(EventReservationRx, r.User, -1, fmt.Sprintf("%d slots", r.Slots))
+			}
 		}
 		n.noteDemandHeard(r.User, now)
 	case frame.TypeRegistration:
-		n.trace(EventRegistrationRx, frame.NoUser, -1, fmt.Sprintf("ein=%d", out.Received.Register.EIN))
+		if n.tracing() {
+			n.trace(EventRegistrationRx, frame.NoUser, -1, fmt.Sprintf("ein=%d", out.Received.Register.EIN))
+		}
 		if out.NewRegistration {
-			n.trace(EventRegistered, out.AssignedID, -1, fmt.Sprintf("ein=%d", out.Received.Register.EIN))
+			if n.tracing() {
+				n.trace(EventRegistered, out.AssignedID, -1, fmt.Sprintf("ein=%d", out.Received.Register.EIN))
+			}
 			if e, ok := n.byEIN[out.Received.Register.EIN]; ok {
 				n.metrics.RegistrationLatency.Add(float64(e.sub.RegistrationCycles(cycle)))
 			}
@@ -658,7 +711,9 @@ func (n *Network) forwardSlotEnd(user frame.UserID) {
 		return
 	}
 	n.metrics.ForwardPktsDelivered.Inc()
-	n.trace(EventForwardTx, user, -1, fmt.Sprintf("msg=%d frag=%d", parsed.Data.Header.MsgID, parsed.Data.Header.Frag))
+	if n.tracing() {
+		n.trace(EventForwardTx, user, -1, fmt.Sprintf("msg=%d frag=%d", parsed.Data.Header.MsgID, parsed.Data.Header.Frag))
+	}
 	if done, msgID, _ := e.sub.ReceiveForward(parsed.Data); done {
 		delete(n.fwdMeta, fwdKey(user, msgID))
 	}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/frame"
+)
+
+// TestSeriesReconcilesWithAggregates asserts that, with the end-of-run
+// flush, the per-cycle series deltas sum exactly to the aggregate
+// counters over a deterministic multi-cycle run.
+func TestSeriesReconcilesWithAggregates(t *testing.T) {
+	n := newTestNetwork(t, func(c *Config) {
+		c.CollectSeries = true
+		c.MeanInterarrival = 4 * time.Second
+	})
+	for i := 0; i < 6; i++ {
+		if _, err := n.AddSubscriber(frame.EIN(100+i), false, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.AddSubscriber(300, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 60
+	if err := n.Run(cycles); err != nil {
+		t.Fatal(err)
+	}
+	m := n.Metrics()
+	series := m.Series
+	if len(series) != cycles {
+		t.Fatalf("series has %d points, want %d (one per cycle incl. the flushed final)", len(series), cycles)
+	}
+	var used, offered, delivered, collisions int
+	for i, p := range series {
+		if p.Cycle != i {
+			t.Fatalf("series cycle %d at index %d", p.Cycle, i)
+		}
+		if p.SlotsUsed < 0 || p.Collisions < 0 || p.QueueDepth < 0 {
+			t.Fatalf("negative delta in point %+v", p)
+		}
+		used += p.SlotsUsed
+		offered += p.SlotsOffered
+		delivered += p.MessagesDelivered
+		collisions += p.Collisions
+	}
+	if uint64(used) != m.DataSlotsUsed.Value() {
+		t.Errorf("series slots used %d != aggregate %d", used, m.DataSlotsUsed.Value())
+	}
+	if uint64(offered) != m.DataSlotsOffered.Value() {
+		t.Errorf("series slots offered %d != aggregate %d", offered, m.DataSlotsOffered.Value())
+	}
+	if uint64(delivered) != m.MessagesDelivered.Value() {
+		t.Errorf("series deliveries %d != aggregate %d", delivered, m.MessagesDelivered.Value())
+	}
+	if uint64(collisions) != m.ContentionCollisions.Value() {
+		t.Errorf("series collisions %d != aggregate %d", collisions, m.ContentionCollisions.Value())
+	}
+	// The flushed final point's queue depth reflects the run-end state.
+	depth := 0
+	for _, s := range n.Subscribers() {
+		depth += s.QueueLen()
+	}
+	if got := series[len(series)-1].QueueDepth; got != depth {
+		t.Errorf("final series queue depth %d, run-end depth %d", got, depth)
+	}
+}
+
+// TestFlushSeriesIdempotent covers the guard that keeps FlushSeries and
+// the next beginCycle from double-recording one cycle.
+func TestFlushSeriesIdempotent(t *testing.T) {
+	n := newTestNetwork(t, func(c *Config) {
+		c.CollectSeries = true
+		c.MeanInterarrival = 4 * time.Second
+	})
+	if _, err := n.AddSubscriber(100, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	n.FlushSeries()
+	n.FlushSeries()
+	if got := len(n.Metrics().Series); got != 5 {
+		t.Fatalf("series has %d points after repeated flushes, want 5", got)
+	}
+	// A follow-up run continues the sequence without duplicates.
+	if err := n.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	series := n.Metrics().Series
+	for i, p := range series {
+		if p.Cycle != i {
+			t.Fatalf("series cycle %d at index %d after resumed run", p.Cycle, i)
+		}
+	}
+}

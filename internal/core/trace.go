@@ -27,7 +27,14 @@ const (
 	EventForwardTx
 	EventPageResponse
 	EventFormatSwitch
+	EventGPSQueued
+	EventGPSDeadlineViolation
+	EventGPSSlotGrant
+	EventDataSlotGrant
 )
+
+// eventKindCount is one past the highest defined EventKind.
+const eventKindCount = int(EventDataSlotGrant) + 1
 
 // String implements fmt.Stringer.
 func (k EventKind) String() string {
@@ -62,9 +69,37 @@ func (k EventKind) String() string {
 		return "page-response"
 	case EventFormatSwitch:
 		return "format-switch"
+	case EventGPSQueued:
+		return "gps-queued"
+	case EventGPSDeadlineViolation:
+		return "gps-deadline-violation"
+	case EventGPSSlotGrant:
+		return "gps-slot-grant"
+	case EventDataSlotGrant:
+		return "data-slot-grant"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
+}
+
+// AllEventKinds returns every defined event kind in declaration order.
+func AllEventKinds() []EventKind {
+	out := make([]EventKind, 0, eventKindCount-1)
+	for k := EventCycleStart; int(k) < eventKindCount; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ParseEventKind resolves the String() form of an event kind (e.g.
+// "gps-rx") back to its value; ok is false for unknown names.
+func ParseEventKind(s string) (k EventKind, ok bool) {
+	for k := EventCycleStart; int(k) < eventKindCount; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
 }
 
 // TraceEvent is one protocol occurrence.
@@ -161,14 +196,26 @@ var _ Tracer = FuncTracer(nil)
 // Trace implements Tracer.
 func (f FuncTracer) Trace(e TraceEvent) { f(e) }
 
+// tracing reports whether a tracer is attached. Call sites that build a
+// detail string (fmt.Sprintf allocates) must check it first so the
+// disabled path stays allocation-free.
+func (n *Network) tracing() bool { return n.cfg.Tracer != nil }
+
 // trace emits an event if tracing is enabled.
 func (n *Network) trace(kind EventKind, user frame.UserID, slot int, detail string) {
 	if n.cfg.Tracer == nil {
 		return
 	}
+	cycle := n.cycle - 1
+	if cycle < 0 {
+		// Events fired before the first notification cycle begins (e.g.
+		// traffic arriving during the join stagger) belong to cycle 0,
+		// not a nonsensical cycle -1.
+		cycle = 0
+	}
 	n.cfg.Tracer.Trace(TraceEvent{
 		At:     n.sim.Now(),
-		Cycle:  n.cycle - 1,
+		Cycle:  cycle,
 		Kind:   kind,
 		User:   user,
 		Slot:   slot,

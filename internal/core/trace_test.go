@@ -163,3 +163,89 @@ func TestNilTracerIsCheapNoop(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTraceNoNegativeCycle(t *testing.T) {
+	buf := &TraceBuffer{}
+	n := newTestNetwork(t, func(c *Config) {
+		c.Tracer = buf
+		c.MeanInterarrival = 10 * time.Second
+	})
+	if _, err := n.AddSubscriber(100, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	// An event fired before the first cycle begins must be clamped to
+	// cycle 0, not reported as cycle -1.
+	n.trace(EventGPSQueued, frame.NoUser, -1, "pre-cycle")
+	if err := n.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range buf.Events() {
+		if e.Cycle < 0 {
+			t.Fatalf("event %v carries negative cycle %d", e.Kind, e.Cycle)
+		}
+	}
+	if got := buf.Events()[0]; got.Cycle != 0 || got.Detail != "pre-cycle" {
+		t.Fatalf("pre-cycle event = %+v, want cycle 0", got)
+	}
+}
+
+func TestEventKindStringRoundTrip(t *testing.T) {
+	kinds := AllEventKinds()
+	if len(kinds) != eventKindCount-1 {
+		t.Fatalf("AllEventKinds returned %d kinds, want %d", len(kinds), eventKindCount-1)
+	}
+	for _, k := range kinds {
+		s := k.String()
+		if strings.HasPrefix(s, "EventKind(") {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+		got, ok := ParseEventKind(s)
+		if !ok || got != k {
+			t.Fatalf("ParseEventKind(%q) = %v, %v", s, got, ok)
+		}
+	}
+	if _, ok := ParseEventKind("no-such-kind"); ok {
+		t.Fatal("unknown kind parsed")
+	}
+}
+
+func TestTraceScheduleGrantEvents(t *testing.T) {
+	buf := &TraceBuffer{}
+	n := newTestNetwork(t, func(c *Config) {
+		c.Tracer = buf
+		c.MeanInterarrival = 5 * time.Second
+	})
+	if _, err := n.AddSubscriber(100, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddSubscriber(200, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.Filter(EventGPSSlotGrant)) == 0 {
+		t.Error("no GPS slot grants traced")
+	}
+	if len(buf.Filter(EventDataSlotGrant)) == 0 {
+		t.Error("no data slot grants traced")
+	}
+	if len(buf.Filter(EventGPSQueued)) == 0 {
+		t.Error("no GPS queue events traced")
+	}
+}
+
+// TestNilTracerTraceAllocsZero proves the zero-overhead invariant at
+// the source: with no tracer attached, the trace hook neither
+// allocates nor records anything.
+func TestNilTracerTraceAllocsZero(t *testing.T) {
+	n := newTestNetwork(t, nil)
+	if n.tracing() {
+		t.Fatal("network without tracer reports tracing enabled")
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		n.trace(EventGPSRx, 1, 0, "")
+	}); allocs != 0 {
+		t.Fatalf("nil-tracer trace allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+)
+
+// TestFilteredTraceAllocsZero proves the zero-overhead invariant for
+// the JSONL sink: an event rejected by any filter costs no allocation,
+// so narrow sinks are safe on the simulation hot path.
+func TestFilteredTraceAllocsZero(t *testing.T) {
+	sink := NewJSONLSink(io.Discard).
+		FilterKinds(MaskOf(core.EventCollision)).
+		FilterUser(5).
+		FilterCycles(10, 20)
+	ev := core.TraceEvent{At: time.Second, Cycle: 3, Kind: core.EventGPSRx, User: 1, Slot: 0}
+	if allocs := testing.AllocsPerRun(1000, func() { sink.Trace(ev) }); allocs != 0 {
+		t.Fatalf("filtered Trace allocates %.1f/op, want 0", allocs)
+	}
+	if sink.Count() != 0 {
+		t.Fatalf("filtered events were counted: %d", sink.Count())
+	}
+}
+
+// TestKindMaskAllocsZero: mask checks are pure bit math.
+func TestKindMaskAllocsZero(t *testing.T) {
+	m := MaskAll()
+	if allocs := testing.AllocsPerRun(1000, func() { _ = m.Has(core.EventGPSRx) }); allocs != 0 {
+		t.Fatalf("KindMask.Has allocates %.1f/op", allocs)
+	}
+}
+
+// TestGatherDoesNotDisturbMetrics: attaching a registry is pull-only —
+// gathering twice yields identical values and never mutates the live
+// counters (the nil-registry/disabled path is simply "never call
+// Gather", which by construction costs the simulation nothing).
+func TestGatherDoesNotDisturbMetrics(t *testing.T) {
+	n := runSmallCell(t, nil)
+	m := n.Metrics()
+	before := m.MessagesDelivered.Value()
+	a := NewRegistry(m).Gather()
+	b := NewRegistry(m).Gather()
+	if len(a) != len(b) {
+		t.Fatalf("gather lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Value != b[i].Value {
+			t.Fatalf("gather not stable at %s: %v vs %v", a[i].Name, a[i].Value, b[i].Value)
+		}
+	}
+	if m.MessagesDelivered.Value() != before {
+		t.Fatal("Gather mutated a live counter")
+	}
+}

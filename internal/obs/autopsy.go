@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+)
+
+// DefaultAutopsyWindow is how many cycles of context precede each
+// violation in the report.
+const DefaultAutopsyWindow = 3
+
+// SlotGrant is one schedule decision announced in a control field.
+type SlotGrant struct {
+	User frame.UserID `json:"user"`
+	Slot int          `json:"slot"`
+}
+
+// ScheduleCycle is one cycle's reconstructed schedule.
+type ScheduleCycle struct {
+	Cycle        int         `json:"cycle"`
+	Format       string      `json:"format"`
+	FormatSwitch string      `json:"formatSwitch,omitempty"`
+	GPSGrants    []SlotGrant `json:"gpsGrants"`
+	DataGrants   []SlotGrant `json:"dataGrants"`
+}
+
+// Violation is one GPS deadline violation plus the context an engineer
+// needs to understand it: the schedule decisions of the preceding
+// cycles and the victim's own event timeline (its queue history).
+type Violation struct {
+	// User is the victim.
+	User frame.UserID `json:"user"`
+	// Cycle and At locate the violation.
+	Cycle int           `json:"cycle"`
+	At    time.Duration `json:"at"`
+	// Slot is the GPS slot involved, or -1 when the report went stale
+	// before any slot (the source-side drop).
+	Slot int `json:"slot"`
+	// Stale distinguishes the source-side drop from a late transmission.
+	Stale bool `json:"stale"`
+	// Detail is the traced annotation.
+	Detail string `json:"detail"`
+	// Schedule covers the window of cycles up to and including the
+	// violation cycle.
+	Schedule []ScheduleCycle `json:"schedule"`
+	// Timeline is the victim's events (queueing, grants, receptions,
+	// losses) over the same window, in time order.
+	Timeline []core.TraceEvent `json:"timeline"`
+	// Notes are heuristic root-cause observations.
+	Notes []string `json:"notes"`
+}
+
+// AutopsyReport is the result of RunAutopsy.
+type AutopsyReport struct {
+	Violations []Violation `json:"violations"`
+	// Cycles is the highest cycle index observed, plus one.
+	Cycles int `json:"cycles"`
+	// Events is how many trace events were analyzed.
+	Events int `json:"events"`
+	// Window is the context width used, in cycles.
+	Window int `json:"window"`
+}
+
+// Empty reports whether no violation was found.
+func (r *AutopsyReport) Empty() bool { return len(r.Violations) == 0 }
+
+// cycleInfo aggregates one cycle's schedule-relevant events.
+type cycleInfo struct {
+	format       string
+	formatSwitch string
+	gps          []SlotGrant
+	data         []SlotGrant
+}
+
+// RunAutopsy scans a trace for GPS deadline violations and reconstructs
+// the scheduling story behind each one. The trace must carry the
+// schedule-grant events the core emits whenever a tracer is attached;
+// window <= 0 selects DefaultAutopsyWindow.
+func RunAutopsy(events []core.TraceEvent, window int) *AutopsyReport {
+	if window <= 0 {
+		window = DefaultAutopsyWindow
+	}
+	rep := &AutopsyReport{Events: len(events), Window: window}
+	cycles := make(map[int]*cycleInfo)
+	info := func(c int) *cycleInfo {
+		ci := cycles[c]
+		if ci == nil {
+			ci = &cycleInfo{}
+			cycles[c] = ci
+		}
+		return ci
+	}
+	for _, e := range events {
+		if e.Cycle+1 > rep.Cycles {
+			rep.Cycles = e.Cycle + 1
+		}
+		switch e.Kind {
+		case core.EventCycleStart:
+			info(e.Cycle).format = e.Detail
+		case core.EventFormatSwitch:
+			info(e.Cycle).formatSwitch = e.Detail
+		case core.EventGPSSlotGrant:
+			ci := info(e.Cycle)
+			ci.gps = append(ci.gps, SlotGrant{User: e.User, Slot: e.Slot})
+		case core.EventDataSlotGrant:
+			ci := info(e.Cycle)
+			ci.data = append(ci.data, SlotGrant{User: e.User, Slot: e.Slot})
+		}
+	}
+	for _, e := range events {
+		if e.Kind != core.EventGPSDeadlineViolation {
+			continue
+		}
+		v := Violation{
+			User:   e.User,
+			Cycle:  e.Cycle,
+			At:     e.At,
+			Slot:   e.Slot,
+			Stale:  strings.HasPrefix(e.Detail, "stale"),
+			Detail: e.Detail,
+		}
+		lo := e.Cycle - window
+		if lo < 0 {
+			lo = 0
+		}
+		for c := lo; c <= e.Cycle; c++ {
+			ci := cycles[c]
+			if ci == nil {
+				continue
+			}
+			sc := ScheduleCycle{Cycle: c, Format: ci.format, FormatSwitch: ci.formatSwitch}
+			sc.GPSGrants = append(sc.GPSGrants, ci.gps...)
+			sc.DataGrants = append(sc.DataGrants, ci.data...)
+			sort.Slice(sc.GPSGrants, func(i, j int) bool { return sc.GPSGrants[i].Slot < sc.GPSGrants[j].Slot })
+			sort.Slice(sc.DataGrants, func(i, j int) bool { return sc.DataGrants[i].Slot < sc.DataGrants[j].Slot })
+			v.Schedule = append(v.Schedule, sc)
+		}
+		for _, f := range events {
+			if f.Cycle < lo || f.Cycle > e.Cycle || f.User != v.User {
+				continue
+			}
+			switch f.Kind {
+			case core.EventGPSQueued, core.EventGPSRx, core.EventGPSLost,
+				core.EventGPSSlotGrant, core.EventGPSDeadlineViolation:
+				v.Timeline = append(v.Timeline, f)
+			}
+		}
+		v.Notes = diagnose(&v)
+		rep.Violations = append(rep.Violations, v)
+	}
+	return rep
+}
+
+// diagnose derives heuristic root-cause notes from a violation's
+// reconstructed context.
+func diagnose(v *Violation) []string {
+	var notes []string
+	grants := 0
+	for _, sc := range v.Schedule {
+		for _, g := range sc.GPSGrants {
+			if g.User == v.User {
+				grants++
+			}
+		}
+		if sc.FormatSwitch != "" {
+			notes = append(notes, fmt.Sprintf(
+				"format switch %s at cycle %d reshuffled the slot layout inside the window",
+				sc.FormatSwitch, sc.Cycle))
+		}
+	}
+	switch {
+	case grants == 0:
+		notes = append(notes, fmt.Sprintf(
+			"user %d held no GPS slot in the %d cycles before the violation — the schedule starved it",
+			v.User, len(v.Schedule)))
+	case v.Stale:
+		notes = append(notes, fmt.Sprintf(
+			"user %d held %d GPS slot grant(s) in the window yet its report still went stale — "+
+				"the granted slots preceded the report's arrival within their cycles",
+			v.User, grants))
+	default:
+		notes = append(notes, fmt.Sprintf(
+			"user %d transmitted late despite %d slot grant(s) in the window", v.User, grants))
+	}
+	return notes
+}
+
+// WriteText renders the report for humans.
+func (r *AutopsyReport) WriteText(w io.Writer) error {
+	if r.Empty() {
+		_, err := fmt.Fprintf(w, "GPS deadline autopsy: no violations in %d events over %d cycles\n",
+			r.Events, r.Cycles)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "GPS deadline autopsy: %d violation(s) in %d events over %d cycles (window %d)\n",
+		len(r.Violations), r.Events, r.Cycles, r.Window); err != nil {
+		return err
+	}
+	for i, v := range r.Violations {
+		kind := "late transmission"
+		if v.Stale {
+			kind = "stale report dropped at source"
+		}
+		if _, err := fmt.Fprintf(w, "\nviolation %d: user %d, cycle %d, t=%v — %s\n  %s\n",
+			i+1, v.User, v.Cycle, v.At, kind, v.Detail); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  schedule context:\n"); err != nil {
+			return err
+		}
+		for _, sc := range v.Schedule {
+			line := fmt.Sprintf("    cycle %d format=%s", sc.Cycle, sc.Format)
+			if sc.FormatSwitch != "" {
+				line += " (switch " + sc.FormatSwitch + ")"
+			}
+			line += " gps=" + formatGrants(sc.GPSGrants) + " data=" + formatGrants(sc.DataGrants)
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  victim timeline:\n"); err != nil {
+			return err
+		}
+		for _, e := range v.Timeline {
+			if _, err := fmt.Fprintf(w, "    %v\n", e); err != nil {
+				return err
+			}
+		}
+		if len(v.Notes) > 0 {
+			if _, err := fmt.Fprintf(w, "  notes:\n"); err != nil {
+				return err
+			}
+			for _, note := range v.Notes {
+				if _, err := fmt.Fprintf(w, "    - %s\n", note); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// formatGrants renders grants as "[slot:user ...]".
+func formatGrants(gs []SlotGrant) string {
+	if len(gs) == 0 {
+		return "[]"
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, g := range gs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:u%d", g.Slot, g.User)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+)
+
+// syntheticTrace builds a hand-crafted trace with one stale violation
+// at cycle 5 for user 3, who held a GPS slot in cycle 4.
+func syntheticTrace() []core.TraceEvent {
+	mk := func(at time.Duration, cycle int, kind core.EventKind, user int, slot int, detail string) core.TraceEvent {
+		return core.TraceEvent{At: at, Cycle: cycle, Kind: kind, User: frame.UserID(user), Slot: slot, Detail: detail}
+	}
+	var ev []core.TraceEvent
+	for c := 0; c <= 5; c++ {
+		at := time.Duration(c) * 4 * time.Second
+		ev = append(ev, mk(at, c, core.EventCycleStart, 63, -1, "first"))
+		if c == 4 {
+			ev = append(ev, mk(at, c, core.EventFormatSwitch, 63, -1, "first->second"))
+			ev = append(ev, mk(at, c, core.EventGPSSlotGrant, 3, 2, ""))
+		}
+		ev = append(ev, mk(at, c, core.EventGPSSlotGrant, 1, 0, ""))
+		ev = append(ev, mk(at, c, core.EventDataSlotGrant, 2, 0, ""))
+	}
+	ev = append(ev,
+		mk(18*time.Second, 4, core.EventGPSQueued, 3, -1, ""),
+		mk(21*time.Second, 5, core.EventGPSDeadlineViolation, 3, -1,
+			"stale: previous report replaced before it could be transmitted"),
+		mk(21*time.Second, 5, core.EventGPSQueued, 3, -1, ""),
+	)
+	return ev
+}
+
+func TestRunAutopsySynthetic(t *testing.T) {
+	rep := RunAutopsy(syntheticTrace(), 2)
+	if rep.Empty() || len(rep.Violations) != 1 {
+		t.Fatalf("violations = %d, want 1", len(rep.Violations))
+	}
+	if rep.Cycles != 6 || rep.Window != 2 {
+		t.Fatalf("report header %+v", rep)
+	}
+	v := rep.Violations[0]
+	if v.User != 3 || v.Cycle != 5 || !v.Stale || v.Slot != -1 {
+		t.Fatalf("violation %+v", v)
+	}
+	// Window 2 around cycle 5 → cycles 3, 4, 5.
+	if len(v.Schedule) != 3 || v.Schedule[0].Cycle != 3 || v.Schedule[2].Cycle != 5 {
+		t.Fatalf("schedule window %+v", v.Schedule)
+	}
+	c4 := v.Schedule[1]
+	if c4.FormatSwitch != "first->second" {
+		t.Fatalf("cycle 4 format switch %q", c4.FormatSwitch)
+	}
+	if len(c4.GPSGrants) != 2 || c4.GPSGrants[0].Slot > c4.GPSGrants[1].Slot {
+		t.Fatalf("cycle 4 gps grants not sorted by slot: %+v", c4.GPSGrants)
+	}
+	// Timeline holds only the victim's events, in order.
+	if len(v.Timeline) == 0 {
+		t.Fatal("empty victim timeline")
+	}
+	sawGrant, sawQueued := false, false
+	for _, e := range v.Timeline {
+		if e.User != v.User {
+			t.Fatalf("foreign event in timeline: %+v", e)
+		}
+		switch e.Kind {
+		case core.EventGPSSlotGrant:
+			sawGrant = true
+		case core.EventGPSQueued:
+			sawQueued = true
+		}
+	}
+	if !sawGrant || !sawQueued {
+		t.Fatalf("timeline missing grant/queued events: %+v", v.Timeline)
+	}
+	// The victim held a grant and the report still went stale; the notes
+	// must say so, and must flag the format switch.
+	notes := strings.Join(v.Notes, "\n")
+	if !strings.Contains(notes, "stale") || !strings.Contains(notes, "format switch") {
+		t.Fatalf("notes miss the diagnosis: %q", notes)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"1 violation(s)", "user 3, cycle 5", "stale report dropped at source",
+		"schedule context:", "victim timeline:", "notes:"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunAutopsyStarvation(t *testing.T) {
+	// A violation with no grant anywhere in the window must be reported
+	// as schedule starvation.
+	events := []core.TraceEvent{
+		{At: 0, Cycle: 0, Kind: core.EventCycleStart, User: 63, Slot: -1, Detail: "first"},
+		{At: time.Second, Cycle: 0, Kind: core.EventGPSQueued, User: 9, Slot: -1},
+		{At: 5 * time.Second, Cycle: 1, Kind: core.EventCycleStart, User: 63, Slot: -1, Detail: "first"},
+		{At: 6 * time.Second, Cycle: 1, Kind: core.EventGPSDeadlineViolation, User: 9, Slot: -1,
+			Detail: "stale: previous report replaced before it could be transmitted"},
+	}
+	rep := RunAutopsy(events, 0)
+	if rep.Window != DefaultAutopsyWindow {
+		t.Fatalf("window %d, want default %d", rep.Window, DefaultAutopsyWindow)
+	}
+	if len(rep.Violations) != 1 {
+		t.Fatalf("violations = %d", len(rep.Violations))
+	}
+	notes := strings.Join(rep.Violations[0].Notes, "\n")
+	if !strings.Contains(notes, "starved") {
+		t.Fatalf("starvation not diagnosed: %q", notes)
+	}
+}
+
+func TestRunAutopsyEmpty(t *testing.T) {
+	rep := RunAutopsy(nil, 0)
+	if !rep.Empty() {
+		t.Fatal("empty trace produced violations")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no violations") {
+		t.Fatalf("empty report text: %q", buf.String())
+	}
+}
+
+// TestAutopsyOnRealTrace drives a loaded cell until a violation occurs,
+// then checks the autopsy is built from real emitted events.
+func TestAutopsyOnRealTrace(t *testing.T) {
+	tb := &core.TraceBuffer{}
+	n := runSmallCell(t, func(c *core.Config) {
+		c.Tracer = tb
+		c.Seed = 8188083318138684029
+		c.MeanInterarrival = 2 * time.Second
+	})
+	_ = n
+	rep := RunAutopsy(tb.Events(), 0)
+	if rep.Events != len(tb.Events()) || rep.Cycles == 0 {
+		t.Fatalf("report header %+v", rep)
+	}
+	for _, v := range rep.Violations {
+		if v.Detail == "" || len(v.Schedule) == 0 || len(v.Timeline) == 0 || len(v.Notes) == 0 {
+			t.Fatalf("incomplete violation reconstruction: %+v", v)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+)
+
+// KindMask is a bitmask over core.EventKind, for cheap trace filtering.
+// The zero mask means "no filter" (all kinds pass).
+type KindMask uint64
+
+// MaskOf builds a mask matching exactly the given kinds.
+func MaskOf(kinds ...core.EventKind) KindMask {
+	var m KindMask
+	for _, k := range kinds {
+		m |= 1 << uint(k)
+	}
+	return m
+}
+
+// MaskAll returns a mask matching every defined kind.
+func MaskAll() KindMask { return MaskOf(core.AllEventKinds()...) }
+
+// Has reports whether the mask matches kind. The zero mask matches
+// everything.
+func (m KindMask) Has(k core.EventKind) bool {
+	return m == 0 || m&(1<<uint(k)) != 0
+}
+
+// ParseKinds builds a mask from a comma-separated list of event-kind
+// names (the EventKind.String forms, e.g. "gps-rx,collision"). An empty
+// string yields the zero (match-all) mask.
+func ParseKinds(csv string) (KindMask, error) {
+	if strings.TrimSpace(csv) == "" {
+		return 0, nil
+	}
+	var m KindMask
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		k, ok := core.ParseEventKind(name)
+		if !ok {
+			return 0, fmt.Errorf("obs: unknown event kind %q", name)
+		}
+		m |= 1 << uint(k)
+	}
+	return m, nil
+}
+
+// traceRecord is the JSONL wire form of one core.TraceEvent.
+type traceRecord struct {
+	AtNS   int64  `json:"atNs"`
+	Cycle  int    `json:"cycle"`
+	Kind   string `json:"kind"`
+	User   int    `json:"user"`
+	Slot   int    `json:"slot"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// JSONLSink streams trace events as one JSON object per line to any
+// io.Writer, optionally filtered by kind bitmask, user, and cycle
+// range. It implements core.Tracer; events that fail a filter cost no
+// allocation. Writer errors are sticky: the first one is retained (see
+// Err) and later events are dropped.
+type JSONLSink struct {
+	w        *bufio.Writer
+	enc      *json.Encoder
+	kinds    KindMask
+	user     frame.UserID
+	byUser   bool
+	minCycle int
+	maxCycle int // -1: unbounded
+	count    int
+	err      error
+}
+
+var _ core.Tracer = (*JSONLSink)(nil)
+
+// NewJSONLSink wraps w. Call Flush when the run is over.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw), maxCycle: -1}
+}
+
+// FilterKinds restricts the sink to kinds in mask (zero = all kinds).
+func (s *JSONLSink) FilterKinds(mask KindMask) *JSONLSink {
+	s.kinds = mask
+	return s
+}
+
+// FilterUser restricts the sink to events naming one user.
+func (s *JSONLSink) FilterUser(u frame.UserID) *JSONLSink {
+	s.user, s.byUser = u, true
+	return s
+}
+
+// FilterCycles restricts the sink to cycles in [lo, hi]; hi < 0 means
+// unbounded above.
+func (s *JSONLSink) FilterCycles(lo, hi int) *JSONLSink {
+	s.minCycle, s.maxCycle = lo, hi
+	return s
+}
+
+// Trace implements core.Tracer.
+func (s *JSONLSink) Trace(e core.TraceEvent) {
+	if s.err != nil || !s.kinds.Has(e.Kind) {
+		return
+	}
+	if s.byUser && e.User != s.user {
+		return
+	}
+	if e.Cycle < s.minCycle || (s.maxCycle >= 0 && e.Cycle > s.maxCycle) {
+		return
+	}
+	s.count++
+	if err := s.enc.Encode(traceRecord{
+		AtNS:   int64(e.At),
+		Cycle:  e.Cycle,
+		Kind:   e.Kind.String(),
+		User:   int(e.User),
+		Slot:   e.Slot,
+		Detail: e.Detail,
+	}); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// Count returns how many events passed the filters.
+func (s *JSONLSink) Count() int { return s.count }
+
+// Err returns the first writer error, if any.
+func (s *JSONLSink) Err() error { return s.err }
+
+// Flush drains the internal buffer to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// DecodeJSONL parses a stream produced by JSONLSink back into trace
+// events. Blank lines are skipped; an unknown kind or malformed line is
+// an error naming the line number.
+func DecodeJSONL(r io.Reader) ([]core.TraceEvent, error) {
+	var out []core.TraceEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec traceRecord
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+		}
+		kind, ok := core.ParseEventKind(rec.Kind)
+		if !ok {
+			return nil, fmt.Errorf("obs: jsonl line %d: unknown event kind %q", line, rec.Kind)
+		}
+		out = append(out, core.TraceEvent{
+			At:     time.Duration(rec.AtNS),
+			Cycle:  rec.Cycle,
+			Kind:   kind,
+			User:   frame.UserID(rec.User),
+			Slot:   rec.Slot,
+			Detail: rec.Detail,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// multiTracer fans one event out to several tracers.
+type multiTracer []core.Tracer
+
+// Trace implements core.Tracer.
+func (t multiTracer) Trace(e core.TraceEvent) {
+	for _, tr := range t {
+		tr.Trace(e)
+	}
+}
+
+// Tee composes tracers — e.g. a JSONL stream plus the in-memory
+// TraceBuffer an autopsy reads. Nil entries are skipped; Tee returns
+// nil when nothing remains (which disables tracing entirely).
+func Tee(tracers ...core.Tracer) core.Tracer {
+	live := make(multiTracer, 0, len(tracers))
+	for _, tr := range tracers {
+		if tr != nil {
+			live = append(live, tr)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return live
+	}
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	n := runSmallCell(t, func(c *core.Config) { c.Tracer = sink })
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Count() == 0 {
+		t.Fatal("sink saw no events")
+	}
+	decoded, err := DecodeJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != sink.Count() {
+		t.Fatalf("decoded %d events, sink wrote %d", len(decoded), sink.Count())
+	}
+	// Cross-check against an in-memory buffer capturing the same run.
+	tb := &core.TraceBuffer{}
+	n2 := runSmallCell(t, func(c *core.Config) { c.Tracer = tb })
+	want := tb.Events()
+	if len(decoded) != len(want) {
+		t.Fatalf("jsonl has %d events, trace buffer %d", len(decoded), len(want))
+	}
+	for i := range want {
+		if decoded[i] != want[i] {
+			t.Fatalf("event %d round-trip mismatch:\n got %+v\nwant %+v", i, decoded[i], want[i])
+		}
+	}
+	_ = n
+	_ = n2
+}
+
+func TestJSONLFilters(t *testing.T) {
+	full := &core.TraceBuffer{}
+	runSmallCell(t, func(c *core.Config) { c.Tracer = full })
+	events := full.Events()
+
+	var buf bytes.Buffer
+	mask := MaskOf(core.EventGPSRx, core.EventCollision)
+	sink := NewJSONLSink(&buf).FilterKinds(mask).FilterCycles(5, 20)
+	for _, e := range events {
+		sink.Trace(e)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, e := range events {
+		if (e.Kind == core.EventGPSRx || e.Kind == core.EventCollision) && e.Cycle >= 5 && e.Cycle <= 20 {
+			want++
+		}
+	}
+	if want == 0 {
+		t.Fatal("scenario produced no matching events; filter test is vacuous")
+	}
+	if len(decoded) != want {
+		t.Fatalf("filtered sink kept %d events, want %d", len(decoded), want)
+	}
+	for _, e := range decoded {
+		if !mask.Has(e.Kind) || e.Cycle < 5 || e.Cycle > 20 {
+			t.Fatalf("event escaped the filter: %+v", e)
+		}
+	}
+}
+
+func TestJSONLUserFilter(t *testing.T) {
+	full := &core.TraceBuffer{}
+	runSmallCell(t, func(c *core.Config) { c.Tracer = full })
+	var target frame.UserID
+	found := false
+	for _, e := range full.Events() {
+		if e.Kind == core.EventDataRx {
+			target, found = e.User, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no data reception in scenario")
+	}
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf).FilterUser(target)
+	for _, e := range full.Events() {
+		sink.Trace(e)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) == 0 {
+		t.Fatal("user filter dropped everything")
+	}
+	for _, e := range decoded {
+		if e.User != target {
+			t.Fatalf("event for user %d escaped FilterUser(%d)", e.User, target)
+		}
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	m, err := ParseKinds("gps-rx, collision")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has(core.EventGPSRx) || !m.Has(core.EventCollision) {
+		t.Fatalf("mask %b missing requested kinds", m)
+	}
+	if m.Has(core.EventDataRx) {
+		t.Fatal("mask matches unrequested kind")
+	}
+	if _, err := ParseKinds("no-such-kind"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	all, err := ParseKinds("")
+	if err != nil || all != 0 {
+		t.Fatalf("empty list should be zero (match-all) mask, got %b, %v", all, err)
+	}
+	for _, k := range core.AllEventKinds() {
+		if !all.Has(k) {
+			t.Fatalf("zero mask rejects %v", k)
+		}
+		if !MaskAll().Has(k) {
+			t.Fatalf("MaskAll rejects %v", k)
+		}
+	}
+}
+
+func TestDecodeJSONLErrors(t *testing.T) {
+	if _, err := DecodeJSONL(strings.NewReader("{not json\n")); err == nil ||
+		!strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("malformed line error = %v", err)
+	}
+	if _, err := DecodeJSONL(strings.NewReader("\n{\"kind\":\"martian\"}\n")); err == nil ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("unknown kind error = %v", err)
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee() != nil || Tee(nil, nil) != nil {
+		t.Fatal("empty Tee must be nil so tracing stays disabled")
+	}
+	tb := &core.TraceBuffer{}
+	if Tee(nil, tb) != core.Tracer(tb) {
+		t.Fatal("single-tracer Tee should unwrap")
+	}
+	a, b := &core.TraceBuffer{}, &core.TraceBuffer{}
+	tee := Tee(a, nil, b)
+	ev := core.TraceEvent{At: time.Second, Cycle: 3, Kind: core.EventGPSRx, User: 7}
+	tee.Trace(ev)
+	if len(a.Events()) != 1 || len(b.Events()) != 1 || a.Events()[0] != ev {
+		t.Fatalf("tee did not fan out: a=%d b=%d", len(a.Events()), len(b.Events()))
+	}
+}

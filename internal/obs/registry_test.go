@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+)
+
+// runSmallCell produces a populated metric bundle deterministically.
+func runSmallCell(t *testing.T, mutate func(*core.Config)) *core.Network {
+	t.Helper()
+	cfg := core.NewConfig()
+	cfg.Seed = 11
+	cfg.MeanInterarrival = 6 * time.Second
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	n, err := core.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := n.AddSubscriber(frame.EIN(100+i), false, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := n.AddSubscriber(frame.EIN(300+i), true, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRegistryGatherMatchesMetrics(t *testing.T) {
+	n := runSmallCell(t, nil)
+	m := n.Metrics()
+	ms := NewRegistry(m).Gather()
+
+	byName := make(map[string]Metric, len(ms))
+	for _, mm := range ms {
+		if mm.Name == "" || mm.Help == "" {
+			t.Fatalf("metric without name/help: %+v", mm)
+		}
+		if _, dup := byName[mm.Name]; dup {
+			t.Fatalf("duplicate metric name %s", mm.Name)
+		}
+		byName[mm.Name] = mm
+	}
+	checks := map[string]uint64{
+		"osumac_cycles_total":             uint64(m.Cycles),
+		"osumac_messages_generated_total": m.MessagesGenerated.Value(),
+		"osumac_messages_delivered_total": m.MessagesDelivered.Value(),
+		"osumac_gps_generated_total":      m.GPSGenerated.Value(),
+		"osumac_data_slots_used_total":    m.DataSlotsUsed.Value(),
+	}
+	for name, want := range checks {
+		got, ok := byName[name]
+		if !ok {
+			t.Fatalf("metric %s missing", name)
+		}
+		if got.Kind != KindCounter || uint64(got.Value) != want {
+			t.Errorf("%s = %v (%v), want %d", name, got.Value, got.Kind, want)
+		}
+	}
+	if g := byName["osumac_utilization"]; g.Kind != KindGauge || g.Value <= 0 || g.Value > 1 {
+		t.Errorf("utilization gauge = %+v", g)
+	}
+	h, ok := byName["osumac_message_delay_seconds"]
+	if !ok || h.Kind != KindHistogram || h.Hist == nil {
+		t.Fatalf("message delay histogram missing: %+v", h)
+	}
+	if h.Hist.Count != uint64(m.MessageDelay.Count()) {
+		t.Errorf("histogram count %d, sample count %d", h.Hist.Count, m.MessageDelay.Count())
+	}
+	if h.Hist.Count == 0 {
+		t.Fatal("no message delays recorded in this scenario")
+	}
+	// Cumulative buckets are monotone and end at the total count.
+	prev := uint64(0)
+	for i, c := range h.Hist.Counts {
+		if c < prev {
+			t.Fatalf("bucket %d count %d < previous %d", i, c, prev)
+		}
+		prev = c
+	}
+	if got := h.Hist.Counts[len(h.Hist.Counts)-1]; got != h.Hist.Count {
+		t.Fatalf("+Inf bucket %d != count %d", got, h.Hist.Count)
+	}
+}
+
+// promMetric is one parsed exposition family.
+type promMetric struct {
+	typ     string
+	samples map[string]float64 // "name{labels}" → value
+}
+
+// parsePrometheus is a strict-enough text-format (0.0.4) parser: every
+// sample must follow a TYPE line for its family, values must be valid
+// floats, and histogram families must expose _bucket/_sum/_count.
+func parsePrometheus(t *testing.T, text string) map[string]*promMetric {
+	t.Helper()
+	families := make(map[string]*promMetric)
+	var cur string
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, parts[1])
+			}
+			cur = parts[0]
+			families[cur] = &promMetric{typ: parts[1], samples: map[string]float64{}}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		}
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		key, valText := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valText, err)
+		}
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("line %d: unterminated labels %q", ln+1, line)
+			}
+			name = name[:i]
+		}
+		fam := families[cur]
+		if fam == nil {
+			t.Fatalf("line %d: sample %q before any TYPE", ln+1, line)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if name != cur && base != cur {
+			t.Fatalf("line %d: sample %q does not belong to family %q", ln+1, line, cur)
+		}
+		fam.samples[key] = val
+	}
+	return families
+}
+
+func TestWritePrometheusIsValidExposition(t *testing.T) {
+	n := runSmallCell(t, nil)
+	m := n.Metrics()
+	var buf bytes.Buffer
+	if err := NewRegistry(m).WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	families := parsePrometheus(t, buf.String())
+	if len(families) < 40 {
+		t.Fatalf("only %d families exported", len(families))
+	}
+	if got := families["osumac_messages_generated_total"]; got == nil || got.typ != "counter" {
+		t.Fatalf("messages_generated family = %+v", got)
+	} else if got.samples["osumac_messages_generated_total"] != float64(m.MessagesGenerated.Value()) {
+		t.Fatalf("exposition value %v != %d", got.samples["osumac_messages_generated_total"], m.MessagesGenerated.Value())
+	}
+	hist := families["osumac_gps_access_delay_seconds"]
+	if hist == nil || hist.typ != "histogram" {
+		t.Fatalf("gps access delay family = %+v", hist)
+	}
+	wantCount := float64(m.GPSAccessDelay.Count())
+	if got := hist.samples["osumac_gps_access_delay_seconds_count"]; got != wantCount {
+		t.Fatalf("histogram count %v, want %v", got, wantCount)
+	}
+	if got := hist.samples[`osumac_gps_access_delay_seconds_bucket{le="+Inf"}`]; got != wantCount {
+		t.Fatalf("+Inf bucket %v, want %v", got, wantCount)
+	}
+	// The deadline bound must be one of the bucket labels.
+	if _, ok := hist.samples[fmt.Sprintf(`osumac_gps_access_delay_seconds_bucket{le=%q}`, "4")]; !ok {
+		t.Fatal("no bucket at the 4 s GPS deadline")
+	}
+}
+
+func TestRegistryWriteJSON(t *testing.T) {
+	n := runSmallCell(t, nil)
+	var buf bytes.Buffer
+	if err := NewRegistry(n.Metrics()).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		Name  string  `json:"name"`
+		Help  string  `json:"help"`
+		Kind  string  `json:"kind"`
+		Value float64 `json:"value"`
+		Hist  *struct {
+			Count uint64 `json:"count"`
+		} `json:"histogram"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, d := range decoded {
+		if d.Name == "" || d.Help == "" {
+			t.Fatalf("metric missing name/help: %+v", d)
+		}
+		kinds[d.Kind]++
+	}
+	if kinds["counter"] == 0 || kinds["gauge"] == 0 || kinds["histogram"] != 4 {
+		t.Fatalf("kind distribution %v", kinds)
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+)
+
+// Export is one published, immutable telemetry snapshot: the gathered
+// metrics, the per-cycle series so far, and run progress. HTTP handlers
+// only ever read a complete Export, so the simulation goroutine can
+// keep mutating the live core.Metrics between publishes.
+type Export struct {
+	Metrics []Metric          `json:"metrics"`
+	Series  []core.CyclePoint `json:"series"`
+	Cycle   int               `json:"cycle"`
+	Done    bool              `json:"done"`
+	AtNS    int64             `json:"atNs"`
+}
+
+// Export builds a snapshot for publishing. It copies the series slice
+// so the caller may keep appending to the live one.
+func (r *Registry) Export(cycle int, at time.Duration, done bool) *Export {
+	series := make([]core.CyclePoint, len(r.m.Series))
+	copy(series, r.m.Series)
+	return &Export{
+		Metrics: r.Gather(),
+		Series:  series,
+		Cycle:   cycle,
+		Done:    done,
+		AtNS:    int64(at),
+	}
+}
+
+// Live publishes telemetry snapshots from the simulation goroutine and
+// serves them over HTTP. Publish and the handlers may race freely: the
+// handlers read whole snapshots through an atomic pointer.
+type Live struct {
+	cur atomic.Pointer[Export]
+}
+
+// NewLive returns an empty publisher; handlers answer 503 for metrics
+// and series until the first Publish.
+func NewLive() *Live { return &Live{} }
+
+// Publish makes exp the snapshot served from now on.
+func (l *Live) Publish(exp *Export) { l.cur.Store(exp) }
+
+// Current returns the latest published snapshot, or nil.
+func (l *Live) Current() *Export { return l.cur.Load() }
+
+// Handler serves the observability endpoint:
+//
+//	/metrics       Prometheus text exposition (version 0.0.4)
+//	/series        per-cycle CyclePoint array as JSON
+//	/healthz       liveness + run progress as JSON
+//	/debug/pprof/  the standard Go profiling handlers
+func (l *Live) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", l.serveMetrics)
+	mux.HandleFunc("/series", l.serveSeries)
+	mux.HandleFunc("/healthz", l.serveHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (l *Live) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	exp := l.cur.Load()
+	if exp == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// A broken scrape connection is the client's problem; nothing to
+	// recover here.
+	_ = WritePrometheus(w, exp.Metrics)
+}
+
+func (l *Live) serveSeries(w http.ResponseWriter, r *http.Request) {
+	exp := l.cur.Load()
+	if exp == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	series := exp.Series
+	if series == nil {
+		series = []core.CyclePoint{}
+	}
+	_ = json.NewEncoder(w).Encode(series)
+}
+
+func (l *Live) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	status := struct {
+		Status string `json:"status"`
+		Cycle  int    `json:"cycle"`
+		Done   bool   `json:"done"`
+	}{Status: "starting"}
+	if exp := l.cur.Load(); exp != nil {
+		status.Status = "ok"
+		status.Cycle = exp.Cycle
+		status.Done = exp.Done
+	}
+	_ = json.NewEncoder(w).Encode(status)
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+)
+
+func TestLiveEndpointLifecycle(t *testing.T) {
+	live := NewLive()
+	srv := httptest.NewServer(live.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	// Before any publish: metrics/series are unavailable, healthz still
+	// answers (that is what makes it a liveness probe).
+	if code, _, _ := get("/metrics"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/metrics before publish = %d, want 503", code)
+	}
+	if code, _, _ := get("/series"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/series before publish = %d, want 503", code)
+	}
+	code, body, _ := get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz before publish = %d, want 200", code)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Cycle  int    `json:"cycle"`
+		Done   bool   `json:"done"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "starting" {
+		t.Fatalf("pre-publish status %q", health.Status)
+	}
+
+	n := runSmallCell(t, func(c *core.Config) { c.CollectSeries = true })
+	n.FlushSeries()
+	reg := NewRegistry(n.Metrics())
+	live.Publish(reg.Export(40, n.Sim().Now(), true))
+
+	code, body, hdr := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	families := parsePrometheus(t, body)
+	if fam := families["osumac_cycles_total"]; fam == nil || fam.samples["osumac_cycles_total"] != 40 {
+		t.Fatalf("served cycles_total family %+v", fam)
+	}
+
+	code, body, hdr = get("/series")
+	if code != http.StatusOK {
+		t.Fatalf("/series = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("series content type %q", ct)
+	}
+	var series []core.CyclePoint
+	if err := json.Unmarshal([]byte(body), &series); err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 40 {
+		t.Fatalf("served %d series points, want 40", len(series))
+	}
+
+	code, body, _ = get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Cycle != 40 || !health.Done {
+		t.Fatalf("post-publish health %+v", health)
+	}
+
+	if code, _, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+	if code, _, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestExportCopiesSeries(t *testing.T) {
+	n := runSmallCell(t, func(c *core.Config) { c.CollectSeries = true })
+	n.FlushSeries()
+	reg := NewRegistry(n.Metrics())
+	exp := reg.Export(40, 10*time.Second, false)
+	if exp.Done || exp.Cycle != 40 || exp.AtNS != int64(10*time.Second) {
+		t.Fatalf("export header %+v", exp)
+	}
+	if len(exp.Series) != len(n.Metrics().Series) {
+		t.Fatalf("export series %d, live %d", len(exp.Series), len(n.Metrics().Series))
+	}
+	// Mutating the snapshot must not reach the live series.
+	if len(exp.Series) > 0 {
+		exp.Series[0].SlotsUsed = -999
+		if n.Metrics().Series[0].SlotsUsed == -999 {
+			t.Fatal("Export aliases the live series slice")
+		}
+	}
+}

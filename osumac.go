@@ -107,6 +107,10 @@ var (
 	NewAWGN = phy.NewAWGN
 	// NewInternet builds a multi-cell deployment on one virtual clock.
 	NewInternet = backbone.New
+	// AllEventKinds lists every defined trace-event kind.
+	AllEventKinds = core.AllEventKinds
+	// ParseEventKind resolves an event-kind name (its String form).
+	ParseEventKind = core.ParseEventKind
 )
 
 // Reverse cycle formats (paper §3.3).
@@ -160,6 +164,13 @@ type Scenario struct {
 	DisableSecondCF bool
 	// DisableDynamicSlots pins format 1 (for the Fig. 12b comparison).
 	DisableDynamicSlots bool
+	// Tracer, when non-nil, receives every protocol event (see
+	// internal/obs for JSONL sinks and autopsy tooling). Leaving it nil
+	// keeps the simulation hot path allocation-free.
+	Tracer Tracer
+	// CollectSeries records one CyclePoint per cycle in Metrics.Series,
+	// for live dashboards and post-run plots.
+	CollectSeries bool
 }
 
 // NewScenario returns a mid-load default scenario.
@@ -240,6 +251,8 @@ func Build(scn Scenario) (*Network, error) {
 	cfg.Seed = scn.Seed
 	cfg.SecondControlField = !scn.DisableSecondCF
 	cfg.DynamicSlotAdjustment = !scn.DisableDynamicSlots
+	cfg.Tracer = scn.Tracer
+	cfg.CollectSeries = scn.CollectSeries
 
 	var dist traffic.SizeDist = traffic.PaperFixed
 	if scn.VariableSizes {
