@@ -1,0 +1,344 @@
+// Command osumacdiff compares two telemetry snapshots written by
+// osumacsim -export and reports every difference: metric values and
+// histograms, the per-cycle series, and the span critical-path phase
+// distributions. Two replicated runs (same seed, same scenario) must
+// compare identical; anything else is a reproducibility bug or a real
+// behavioural change worth reading.
+//
+// The default output is a human-readable table; -json emits a machine
+// verdict object instead. The exit status is 0 when the snapshots are
+// identical, 1 when they differ, 2 on usage or I/O errors.
+//
+// Examples:
+//
+//	osumacsim -seed 7 -cycles 200 -spans -export a.json
+//	osumacsim -seed 7 -cycles 200 -spans -export b.json
+//	osumacdiff a.json b.json
+//	osumacdiff -json a.json b.json | jq .identical
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/obs"
+	"github.com/osu-netlab/osumac/internal/span"
+)
+
+func main() {
+	identical, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osumacdiff:", err)
+		os.Exit(2)
+	}
+	if !identical {
+		os.Exit(1)
+	}
+}
+
+// Diff is one observed difference between the two snapshots.
+type Diff struct {
+	// Section is metrics, series, spans or run.
+	Section string `json:"section"`
+	Name    string `json:"name"`
+	A       string `json:"a"`
+	B       string `json:"b"`
+}
+
+// Verdict is the machine-readable comparison result.
+type Verdict struct {
+	FileA     string `json:"fileA"`
+	FileB     string `json:"fileB"`
+	Identical bool   `json:"identical"`
+	// Compared counts what was actually checked, so "identical" can be
+	// told apart from "nothing to compare".
+	Compared struct {
+		Metrics      int `json:"metrics"`
+		SeriesPoints int `json:"seriesPoints"`
+		SpanPhases   int `json:"spanPhases"`
+	} `json:"compared"`
+	Diffs []Diff `json:"diffs"`
+}
+
+func run(args []string, out io.Writer) (bool, error) {
+	fs := flag.NewFlagSet("osumacdiff", flag.ContinueOnError)
+	var (
+		asJSON = fs.Bool("json", false, "emit the verdict as JSON")
+		tol    = fs.Float64("tol", 0, "relative tolerance for float comparisons (0 = exact)")
+		limit  = fs.Int("limit", 20, "max differences to print per section in text mode (0 = all)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: osumacdiff [flags] a.json b.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if fs.NArg() != 2 {
+		return false, fmt.Errorf("want exactly two snapshot files, got %d", fs.NArg())
+	}
+	pathA, pathB := fs.Arg(0), fs.Arg(1)
+	expA, err := loadExport(pathA)
+	if err != nil {
+		return false, err
+	}
+	expB, err := loadExport(pathB)
+	if err != nil {
+		return false, err
+	}
+
+	v := compare(expA, expB, *tol)
+	v.FileA, v.FileB = pathA, pathB
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return v.Identical, enc.Encode(v)
+	}
+	writeText(out, v, *limit)
+	return v.Identical, nil
+}
+
+func loadExport(path string) (*obs.Export, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var exp obs.Export
+	if err := json.Unmarshal(b, &exp); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &exp, nil
+}
+
+// compare walks both snapshots and records every difference.
+func compare(a, b *obs.Export, tol float64) *Verdict {
+	c := &comparer{tol: tol, v: &Verdict{Diffs: []Diff{}}}
+	c.run(a, b)
+	c.v.Identical = len(c.v.Diffs) == 0
+	return c.v
+}
+
+type comparer struct {
+	tol float64
+	v   *Verdict
+}
+
+func (c *comparer) diff(section, name string, a, b string) {
+	c.v.Diffs = append(c.v.Diffs, Diff{Section: section, Name: name, A: a, B: b})
+}
+
+func (c *comparer) run(a, b *obs.Export) {
+	if a.Cycle != b.Cycle {
+		c.diff("run", "cycles", strconv.Itoa(a.Cycle), strconv.Itoa(b.Cycle))
+	}
+	c.metrics(a.Metrics, b.Metrics)
+	c.series(a.Series, b.Series)
+	c.spans(a.Spans, b.Spans)
+}
+
+// eq compares floats under the relative tolerance (exact when 0).
+func (c *comparer) eq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	if c.tol <= 0 {
+		return false
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= c.tol*scale
+}
+
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func (c *comparer) metrics(ma, mb []obs.Metric) {
+	byName := make(map[string]*obs.Metric, len(mb))
+	for i := range mb {
+		byName[mb[i].Name] = &mb[i]
+	}
+	seen := make(map[string]bool, len(ma))
+	for i := range ma {
+		a := &ma[i]
+		seen[a.Name] = true
+		b, ok := byName[a.Name]
+		if !ok {
+			c.diff("metrics", a.Name, "present", "missing")
+			continue
+		}
+		c.v.Compared.Metrics++
+		if a.Kind != b.Kind {
+			c.diff("metrics", a.Name+" kind", fmt.Sprint(a.Kind), fmt.Sprint(b.Kind))
+			continue
+		}
+		if !c.eq(a.Value, b.Value) {
+			c.diff("metrics", a.Name, fnum(a.Value), fnum(b.Value))
+		}
+		c.histogram(a.Name, a.Hist, b.Hist)
+	}
+	for i := range mb {
+		if !seen[mb[i].Name] {
+			c.diff("metrics", mb[i].Name, "missing", "present")
+		}
+	}
+}
+
+func (c *comparer) histogram(name string, a, b *obs.HistogramSnapshot) {
+	switch {
+	case a == nil && b == nil:
+		return
+	case a == nil || b == nil:
+		c.diff("metrics", name+" histogram", present(a), present(b))
+		return
+	}
+	if a.Count != b.Count {
+		c.diff("metrics", name+" count", strconv.FormatUint(a.Count, 10), strconv.FormatUint(b.Count, 10))
+	}
+	if !c.eq(a.Sum, b.Sum) {
+		c.diff("metrics", name+" sum", fnum(a.Sum), fnum(b.Sum))
+	}
+	if !c.eq(a.P50, b.P50) {
+		c.diff("metrics", name+" p50", fnum(a.P50), fnum(b.P50))
+	}
+	if !c.eq(a.P99, b.P99) {
+		c.diff("metrics", name+" p99", fnum(a.P99), fnum(b.P99))
+	}
+	if len(a.Counts) != len(b.Counts) {
+		c.diff("metrics", name+" buckets", strconv.Itoa(len(a.Counts)), strconv.Itoa(len(b.Counts)))
+		return
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			c.diff("metrics", fmt.Sprintf("%s bucket[%d]", name, i),
+				strconv.FormatUint(a.Counts[i], 10), strconv.FormatUint(b.Counts[i], 10))
+		}
+	}
+}
+
+func (c *comparer) series(sa, sb []core.CyclePoint) {
+	if len(sa) != len(sb) {
+		c.diff("series", "length", strconv.Itoa(len(sa)), strconv.Itoa(len(sb)))
+	}
+	n := len(sa)
+	if len(sb) < n {
+		n = len(sb)
+	}
+	for i := 0; i < n; i++ {
+		c.v.Compared.SeriesPoints++
+		if sa[i] != sb[i] {
+			aj, _ := json.Marshal(sa[i])
+			bj, _ := json.Marshal(sb[i])
+			c.diff("series", fmt.Sprintf("cycle %d", sa[i].Cycle), string(aj), string(bj))
+		}
+	}
+}
+
+func (c *comparer) spans(a, b *span.Distribution) {
+	switch {
+	case a == nil && b == nil:
+		return
+	case a == nil || b == nil:
+		c.diff("spans", "capture", presentDist(a), presentDist(b))
+		return
+	}
+	ci := func(name string, av, bv int) {
+		if av != bv {
+			c.diff("spans", name, strconv.Itoa(av), strconv.Itoa(bv))
+		}
+	}
+	ci("traces", a.Traces, b.Traces)
+	ci("complete", a.Complete, b.Complete)
+	ci("violations", a.Violations, b.Violations)
+	ci("stale", a.Stale, b.Stale)
+	ci("retx", a.Retx, b.Retx)
+
+	byPhase := make(map[string]*span.PhaseStats, len(b.Phases))
+	for i := range b.Phases {
+		byPhase[b.Phases[i].Phase] = &b.Phases[i]
+	}
+	seen := make(map[string]bool, len(a.Phases))
+	for i := range a.Phases {
+		pa := &a.Phases[i]
+		seen[pa.Phase] = true
+		pb, ok := byPhase[pa.Phase]
+		if !ok {
+			c.diff("spans", "phase "+pa.Phase, "present", "missing")
+			continue
+		}
+		c.v.Compared.SpanPhases++
+		ci("phase "+pa.Phase+" count", pa.Count, pb.Count)
+		if !c.eq(pa.TotalSeconds, pb.TotalSeconds) {
+			c.diff("spans", "phase "+pa.Phase+" total", fnum(pa.TotalSeconds), fnum(pb.TotalSeconds))
+		}
+		if !c.eq(pa.MaxSeconds, pb.MaxSeconds) {
+			c.diff("spans", "phase "+pa.Phase+" max", fnum(pa.MaxSeconds), fnum(pb.MaxSeconds))
+		}
+		for j := range pa.Buckets {
+			if j < len(pb.Buckets) && pa.Buckets[j] != pb.Buckets[j] {
+				c.diff("spans", fmt.Sprintf("phase %s bucket[%d]", pa.Phase, j),
+					strconv.FormatUint(pa.Buckets[j], 10), strconv.FormatUint(pb.Buckets[j], 10))
+			}
+		}
+	}
+	for i := range b.Phases {
+		if !seen[b.Phases[i].Phase] {
+			c.diff("spans", "phase "+b.Phases[i].Phase, "missing", "present")
+		}
+	}
+}
+
+func present(h *obs.HistogramSnapshot) string {
+	if h == nil {
+		return "missing"
+	}
+	return "present"
+}
+
+func presentDist(d *span.Distribution) string {
+	if d == nil {
+		return "not captured"
+	}
+	return "captured"
+}
+
+func writeText(out io.Writer, v *Verdict, limit int) {
+	fmt.Fprintf(out, "comparing %s vs %s\n", v.FileA, v.FileB)
+	fmt.Fprintf(out, "compared: %d metrics, %d series points, %d span phases\n",
+		v.Compared.Metrics, v.Compared.SeriesPoints, v.Compared.SpanPhases)
+	if v.Identical {
+		fmt.Fprintln(out, "verdict: identical")
+		return
+	}
+	// Group by section so truncation is per-section, not global.
+	bySection := map[string][]Diff{}
+	var order []string
+	for _, d := range v.Diffs {
+		if _, ok := bySection[d.Section]; !ok {
+			order = append(order, d.Section)
+		}
+		bySection[d.Section] = append(bySection[d.Section], d)
+	}
+	for _, sec := range order {
+		ds := bySection[sec]
+		fmt.Fprintf(out, "%s: %d difference(s)\n", sec, len(ds))
+		shown := ds
+		if limit > 0 && len(shown) > limit {
+			shown = shown[:limit]
+		}
+		for _, d := range shown {
+			fmt.Fprintf(out, "  %-40s %s | %s\n", d.Name, d.A, d.B)
+		}
+		if len(ds) > len(shown) {
+			fmt.Fprintf(out, "  ... %d more (raise -limit)\n", len(ds)-len(shown))
+		}
+	}
+	fmt.Fprintf(out, "verdict: %d difference(s)\n", len(v.Diffs))
+}

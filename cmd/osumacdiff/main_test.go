@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	osumac "github.com/osu-netlab/osumac"
+	"github.com/osu-netlab/osumac/internal/obs"
+	"github.com/osu-netlab/osumac/internal/span"
+)
+
+// writeSnapshot runs a scenario and writes its telemetry snapshot the
+// same way osumacsim -spans -export does.
+func writeSnapshot(t *testing.T, path string, seed uint64) {
+	t.Helper()
+	buf := &osumac.TraceBuffer{Cap: 1 << 20}
+	res, err := osumac.Run(osumac.Scenario{
+		Seed: seed, GPSUsers: 2, DataUsers: 4, Load: 0.7,
+		VariableSizes: true, Cycles: 30, WarmupCycles: 5,
+		Tracer: buf, CollectSeries: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry(res.Metrics)
+	exp := reg.Export(res.Metrics.Cycles, time.Duration(res.Metrics.Cycles)*osumac.CycleLength, true)
+	exp.Spans = span.NewDistribution(span.Stitch(buf.Events()))
+	b, err := json.Marshal(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffIdenticalRuns(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	writeSnapshot(t, a, 7)
+	writeSnapshot(t, b, 7)
+
+	var out bytes.Buffer
+	identical, err := run([]string{a, b}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !identical {
+		t.Fatalf("replicated runs differ:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "verdict: identical") {
+		t.Fatalf("text verdict missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "span phases") {
+		t.Fatalf("span phases not compared:\n%s", out.String())
+	}
+}
+
+func TestDiffDifferentRuns(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	writeSnapshot(t, a, 7)
+	writeSnapshot(t, b, 8)
+
+	var out bytes.Buffer
+	identical, err := run([]string{a, b}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if identical {
+		t.Fatal("different seeds compared identical")
+	}
+	if !strings.Contains(out.String(), "metrics:") || !strings.Contains(out.String(), "difference(s)") {
+		t.Fatalf("differences not reported:\n%s", out.String())
+	}
+}
+
+func TestDiffJSONVerdict(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	writeSnapshot(t, a, 3)
+	writeSnapshot(t, b, 3)
+
+	var out bytes.Buffer
+	identical, err := run([]string{"-json", a, b}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !identical {
+		t.Fatalf("replicated runs differ:\n%s", out.String())
+	}
+	var v Verdict
+	if err := json.Unmarshal(out.Bytes(), &v); err != nil {
+		t.Fatalf("verdict not valid JSON: %v\n%s", err, out.String())
+	}
+	if !v.Identical || len(v.Diffs) != 0 {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if v.Compared.Metrics == 0 || v.Compared.SeriesPoints == 0 || v.Compared.SpanPhases == 0 {
+		t.Fatalf("nothing compared: %+v", v.Compared)
+	}
+}
+
+// TestDiffDetectsSingleMetricChange mutates one counter in an otherwise
+// identical snapshot and checks exactly that metric is flagged.
+func TestDiffDetectsSingleMetricChange(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	writeSnapshot(t, a, 5)
+
+	raw, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exp obs.Export
+	if err := json.Unmarshal(raw, &exp); err != nil {
+		t.Fatal(err)
+	}
+	for i := range exp.Metrics {
+		if exp.Metrics[i].Name == "osumac_cycles_total" {
+			exp.Metrics[i].Value++
+		}
+	}
+	mutated, err := json.Marshal(&exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	identical, err := run([]string{"-json", a, b}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if identical {
+		t.Fatal("mutation not detected")
+	}
+	var v Verdict
+	if err := json.Unmarshal(out.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Diffs) != 1 || v.Diffs[0].Name != "osumac_cycles_total" {
+		t.Fatalf("diffs = %+v, want exactly osumac_cycles_total", v.Diffs)
+	}
+}
+
+// TestDiffTolerance accepts a small float drift under -tol.
+func TestDiffTolerance(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	writeSnapshot(t, a, 5)
+
+	raw, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exp obs.Export
+	if err := json.Unmarshal(raw, &exp); err != nil {
+		t.Fatal(err)
+	}
+	for i := range exp.Metrics {
+		if exp.Metrics[i].Kind == obs.KindGauge && exp.Metrics[i].Value != 0 {
+			exp.Metrics[i].Value *= 1.0001
+		}
+	}
+	mutated, err := json.Marshal(&exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if identical, err := run([]string{a, b}, io.Discard); err != nil || identical {
+		t.Fatalf("exact mode should flag the drift (identical=%v, err=%v)", identical, err)
+	}
+	if identical, err := run([]string{"-tol", "0.01", a, b}, io.Discard); err != nil || !identical {
+		t.Fatalf("-tol 0.01 should absorb a 0.01%% drift (identical=%v, err=%v)", identical, err)
+	}
+}
+
+func TestDiffUsageErrors(t *testing.T) {
+	if _, err := run([]string{"only-one.json"}, io.Discard); err == nil {
+		t.Fatal("one file accepted")
+	}
+	if _, err := run([]string{"a.json", "b.json", "c.json"}, io.Discard); err == nil {
+		t.Fatal("three files accepted")
+	}
+	if _, err := run([]string{"/nonexistent/a.json", "/nonexistent/b.json"}, io.Discard); err == nil {
+		t.Fatal("missing files accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run([]string{bad, bad}, io.Discard); err == nil {
+		t.Fatal("malformed snapshot accepted")
+	}
+}

@@ -3,16 +3,25 @@
 // command-line face of the osumac library.
 //
 // With -http it also serves live telemetry while the run progresses:
-// Prometheus metrics at /metrics, the per-cycle series at /series, a
-// liveness probe at /healthz, and the Go profiler under /debug/pprof/.
+// Prometheus metrics at /metrics, the per-cycle series at /series, the
+// span phase distribution at /spans (with -spans), a liveness probe at
+// /healthz, and the Go profiler under /debug/pprof/.
+//
+// With -spans the run captures the protocol event stream, stitches it
+// into lifecycle traces and appends a critical-path phase summary to
+// the report. With -export FILE the full telemetry snapshot (metrics,
+// per-cycle series, span distribution when captured) is written as
+// JSON — the input format of cmd/osumacdiff.
 //
 // Examples:
 //
 //	osumacsim -gps 8 -data 10 -load 0.9 -cycles 500 -loss 0.05
 //	osumacsim -cycles 5000 -http :8080 -hold 1m
+//	osumacsim -cycles 300 -spans -export run-a.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +33,7 @@ import (
 	osumac "github.com/osu-netlab/osumac"
 	"github.com/osu-netlab/osumac/internal/obs"
 	"github.com/osu-netlab/osumac/internal/phy"
+	"github.com/osu-netlab/osumac/internal/span"
 )
 
 func main() {
@@ -49,9 +59,12 @@ func run(args []string, out io.Writer) error {
 		noDyn   = fs.Bool("no-dynamic", false, "disable dynamic GPS slot adjustment (pin format 1)")
 		asJSON  = fs.Bool("json", false, "emit the metric snapshot as JSON")
 
-		httpAddr = fs.String("http", "", "serve live telemetry on this address (/metrics, /series, /healthz, /debug/pprof/)")
+		httpAddr = fs.String("http", "", "serve live telemetry on this address (/metrics, /series, /spans, /healthz, /debug/pprof/)")
 		pubEvery = fs.Int("publish-every", 10, "cycles between telemetry snapshots in -http mode")
 		hold     = fs.Duration("hold", 0, "keep the -http endpoint up this long after the run completes")
+
+		spans      = fs.Bool("spans", false, "capture lifecycle spans and report the critical-path phase summary")
+		exportPath = fs.String("export", "", "write the telemetry snapshot (metrics, series, spans) as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +84,18 @@ func run(args []string, out io.Writer) error {
 		DisableDynamicSlots: *noDyn,
 	}
 
+	// Span capture rides the normal tracer hook; without -spans the
+	// tracer stays nil and the hot path stays allocation-free.
+	var buf *osumac.TraceBuffer
+	if *spans {
+		buf = &osumac.TraceBuffer{Cap: 1 << 22}
+		scn.Tracer = buf
+	}
+	if *exportPath != "" {
+		// Exports carry the per-cycle series for osumacdiff.
+		scn.CollectSeries = true
+	}
+
 	var res *osumac.Result
 	if *httpAddr != "" {
 		// The live endpoint serves /series, so always collect it.
@@ -83,7 +108,7 @@ func run(args []string, out io.Writer) error {
 		if total <= 0 {
 			return fmt.Errorf("no cycles to run")
 		}
-		if err := serveLive(n, total, *httpAddr, *pubEvery, *hold, out); err != nil {
+		if err := serveLive(n, total, *httpAddr, *pubEvery, *hold, out, buf); err != nil {
 			return err
 		}
 		res = osumac.Summarize(n)
@@ -94,14 +119,66 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	return report(out, scn, res, *asJSON)
+
+	var dist *span.Distribution
+	if buf != nil {
+		dist = span.NewDistribution(span.Stitch(buf.Events()))
+	}
+	if *exportPath != "" {
+		if err := writeExport(*exportPath, res.Metrics, dist); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "telemetry snapshot written to %s\n", *exportPath)
+	}
+	if err := report(out, scn, res, *asJSON); err != nil {
+		return err
+	}
+	if dist != nil && !*asJSON {
+		reportSpans(out, dist)
+	}
+	return nil
+}
+
+// writeExport snapshots the registry (plus the span distribution, when
+// captured) into the JSON file osumacdiff consumes.
+func writeExport(path string, m *osumac.Metrics, dist *span.Distribution) error {
+	reg := obs.NewRegistry(m)
+	exp := reg.Export(m.Cycles, time.Duration(m.Cycles)*osumac.CycleLength, true)
+	exp.Spans = dist
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(exp); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// reportSpans appends the critical-path phase summary to the report.
+func reportSpans(out io.Writer, dist *span.Distribution) {
+	fmt.Fprintln(out, "lifecycle spans")
+	fmt.Fprintf(out, "  traces %d (%d complete, %d violations, %d stale, %d retx)\n",
+		dist.Traces, dist.Complete, dist.Violations, dist.Stale, dist.Retx)
+	for _, ps := range dist.Phases {
+		if ps.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "  %-18s n=%-6d total=%8.2fs max=%7.3fs\n",
+			ps.Phase, ps.Count, ps.TotalSeconds, ps.MaxSeconds)
+	}
 }
 
 // serveLive drives the already-built network in publish-sized chunks of
 // cycles, publishing an immutable telemetry snapshot between chunks.
 // The kernel schedule is identical to a one-shot Network.Run — only the
 // pauses to publish differ — so results are byte-for-byte the same.
-func serveLive(n *osumac.Network, total int, addr string, every int, hold time.Duration, out io.Writer) error {
+// With span capture on, each snapshot carries the phase distribution of
+// the traces stitched so far, serving /spans live.
+func serveLive(n *osumac.Network, total int, addr string, every int, hold time.Duration, out io.Writer, buf *osumac.TraceBuffer) error {
 	if every <= 0 {
 		every = 1
 	}
@@ -114,15 +191,23 @@ func serveLive(n *osumac.Network, total int, addr string, every int, hold time.D
 	srv := &http.Server{Handler: live.Handler()}
 	go func() { srvErr <- srv.Serve(ln) }()
 	defer func() { _ = srv.Close() }()
-	fmt.Fprintf(out, "telemetry: http://%s/metrics /series /healthz /debug/pprof/\n", ln.Addr())
+	fmt.Fprintf(out, "telemetry: http://%s/metrics /series /spans /healthz /debug/pprof/\n", ln.Addr())
 
 	reg := obs.NewRegistry(n.Metrics())
+	publish := func(cycle int, at time.Duration, done bool) {
+		exp := reg.Export(cycle, at, done)
+		if buf != nil {
+			exp.Spans = span.NewDistribution(span.Stitch(buf.Events()))
+		}
+		live.Publish(exp)
+	}
+
 	kernel := n.Sim()
 	start := kernel.Now()
 	if err := n.ScheduleCycles(total, start); err != nil {
 		return err
 	}
-	live.Publish(reg.Export(0, start, false))
+	publish(0, start, false)
 	for c := every; ; c += every {
 		if c > total {
 			c = total
@@ -137,10 +222,10 @@ func serveLive(n *osumac.Network, total int, addr string, every int, hold time.D
 		if c == total {
 			break
 		}
-		live.Publish(reg.Export(n.Cycle(), kernel.Now(), false))
+		publish(n.Cycle(), kernel.Now(), false)
 	}
 	n.FlushSeries()
-	live.Publish(reg.Export(n.Cycle(), kernel.Now(), true))
+	publish(n.Cycle(), kernel.Now(), true)
 	if hold > 0 {
 		fmt.Fprintf(out, "run complete; holding the endpoint for %v\n", hold)
 		select {

@@ -2,13 +2,18 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/osu-netlab/osumac/internal/obs"
 )
 
 func TestRunDefault(t *testing.T) {
@@ -146,5 +151,131 @@ func TestRunLiveEndpoint(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "scenario:") {
 		t.Fatalf("no final report after live run:\n%s", out.String())
+	}
+}
+
+// TestRunSpansReport checks -spans appends the lifecycle span summary.
+func TestRunSpansReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-cycles", "30", "-warmup", "5", "-spans"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lifecycle spans", "traces ", "airtime"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("span summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunExportSnapshot checks -export writes a snapshot osumacdiff can
+// consume, and that replicated runs export byte-identical files.
+func TestRunExportSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	args := []string{"-seed", "7", "-cycles", "30", "-warmup", "5", "-spans"}
+	if err := run(append(args, "-export", a), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-export", b), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	rawA, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rawA, rawB) {
+		t.Fatal("replicated runs exported different snapshots")
+	}
+	var exp obs.Export
+	if err := json.Unmarshal(rawA, &exp); err != nil {
+		t.Fatalf("snapshot not a valid Export: %v", err)
+	}
+	if len(exp.Metrics) == 0 || len(exp.Series) == 0 {
+		t.Fatalf("snapshot incomplete: %d metrics, %d series points", len(exp.Metrics), len(exp.Series))
+	}
+	if exp.Spans == nil || exp.Spans.Traces == 0 {
+		t.Fatal("snapshot lacks the span distribution despite -spans")
+	}
+}
+
+// TestRunExportWithoutSpans checks -export alone still works; the span
+// distribution is simply absent.
+func TestRunExportWithoutSpans(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.json")
+	if err := run([]string{"-cycles", "20", "-warmup", "2", "-export", path}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exp obs.Export
+	if err := json.Unmarshal(raw, &exp); err != nil {
+		t.Fatal(err)
+	}
+	if exp.Spans != nil {
+		t.Fatal("span distribution exported without -spans")
+	}
+	if len(exp.Series) == 0 {
+		t.Fatal("-export must force series collection")
+	}
+}
+
+// TestRunLiveSpansEndpoint starts a -spans run with -http and scrapes
+// /spans while the endpoint is held open.
+func TestRunLiveSpansEndpoint(t *testing.T) {
+	out := &lockedBuffer{}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{
+			"-cycles", "25", "-warmup", "2", "-spans",
+			"-http", "127.0.0.1:0", "-publish-every", "9", "-hold", "2s",
+		}, out)
+	}()
+
+	addrRE := regexp.MustCompile(`telemetry: http://([^/\s]+)/metrics`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no telemetry line in output:\n%s", out.String())
+		}
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	for {
+		resp, err := http.Get("http://" + addr + "/spans")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			var dist struct {
+				Traces int `json:"traces"`
+			}
+			if err := json.Unmarshal(body, &dist); err != nil {
+				t.Fatalf("/spans not JSON: %v\n%s", err, body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/spans never came up: %d %s", resp.StatusCode, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
 	}
 }

@@ -3,17 +3,24 @@
 // announcements, collisions, reservations, data and GPS receptions —
 // for inspection and debugging.
 //
-// The trace can be dumped as human-readable text (default) or as JSONL
+// The trace can be dumped as human-readable text (default), as JSONL
 // (-format jsonl, one event object per line, machine-readable and
-// round-trippable). -kinds, -user, and -cycles narrow the dump. With
-// -autopsy the command instead scans the trace for GPS deadline
-// violations and reconstructs the scheduling story behind each one.
+// round-trippable), or as Perfetto/Chrome trace-event JSON (-format
+// perfetto; load the file at ui.perfetto.dev to browse one track per
+// subscriber plus forward/reverse channel-occupancy tracks). -kinds,
+// -user, and -cycles narrow the dump. With -autopsy the command instead
+// scans the trace for GPS deadline violations and reconstructs the
+// scheduling story behind each one; with -critical-path it stitches
+// lifecycle spans and prints a phase breakdown per violation (or of the
+// slowest lifecycles when the run is clean).
 //
 // Examples:
 //
 //	osumactrace -cycles 6 -gps 2 -data 3 -load 0.7
 //	osumactrace -cycles 200 -format jsonl -kinds gps-rx,collision
+//	osumactrace -cycles 120 -format perfetto > run.perfetto.json
 //	osumactrace -seed 8188083318138684029 -gps 7 -data 8 -load 1.0 -cycles 500 -autopsy
+//	osumactrace -seed 8188083318138684029 -gps 7 -data 8 -load 1.0 -cycles 500 -critical-path
 package main
 
 import (
@@ -22,9 +29,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	osumac "github.com/osu-netlab/osumac"
+	"github.com/osu-netlab/osumac/internal/core"
 	"github.com/osu-netlab/osumac/internal/obs"
+	"github.com/osu-netlab/osumac/internal/span"
 )
 
 func main() {
@@ -48,6 +58,8 @@ func run(args []string, out io.Writer) error {
 		listKinds = fs.Bool("list-kinds", false, "print the known event kinds and exit")
 		user      = fs.Int("user", -1, "only events naming this user ID")
 		autopsy   = fs.Bool("autopsy", false, "reconstruct the story behind each GPS deadline violation")
+		critPath  = fs.Bool("critical-path", false, "stitch lifecycle spans and print per-violation phase breakdowns")
+		slowest   = fs.Int("slowest", 5, "with -critical-path and no violations, how many slowest lifecycles to break down")
 		window    = fs.Int("window", obs.DefaultAutopsyWindow, "autopsy context window, in cycles")
 		capEvents = fs.Int("cap", 1<<20, "in-memory trace capacity in events")
 	)
@@ -60,8 +72,8 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	if *format != "text" && *format != "jsonl" {
-		return fmt.Errorf("unknown -format %q (want text or jsonl)", *format)
+	if *format != "text" && *format != "jsonl" && *format != "perfetto" {
+		return fmt.Errorf("unknown -format %q (want text, jsonl or perfetto)", *format)
 	}
 	mask, err := obs.ParseKinds(*kinds)
 	if err != nil {
@@ -73,7 +85,7 @@ func run(args []string, out io.Writer) error {
 	buf := &osumac.TraceBuffer{Cap: *capEvents}
 	var sink *obs.JSONLSink
 	tracer := osumac.Tracer(buf)
-	if *format == "jsonl" && !*autopsy {
+	if *format == "jsonl" && !*autopsy && !*critPath {
 		sink = obs.NewJSONLSink(out).FilterKinds(mask)
 		if *user >= 0 {
 			sink.FilterUser(osumac.UserID(*user))
@@ -100,6 +112,10 @@ func run(args []string, out io.Writer) error {
 	}
 
 	switch {
+	case *critPath:
+		return writeCriticalPaths(out, buf.Events(), *format, *slowest)
+	case *format == "perfetto":
+		return span.WritePerfetto(out, buf.Events())
 	case *autopsy:
 		rep := obs.RunAutopsy(buf.Events(), *window)
 		if *format == "jsonl" {
@@ -129,4 +145,71 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
+}
+
+// writeCriticalPaths stitches the stream and prints phase breakdowns:
+// every deadline violation when there are any, the slowest lifecycles
+// otherwise. In jsonl format each breakdown is one JSON line.
+func writeCriticalPaths(out io.Writer, events []core.TraceEvent, format string, slowest int) error {
+	set := span.Stitch(events)
+	targets := set.Violations()
+	header := fmt.Sprintf("critical paths: %d violation(s) among %d lifecycle traces over %d cycles\n",
+		len(targets), len(set.Traces), set.Cycles)
+	if len(targets) == 0 {
+		trs := make([]*span.Trace, len(set.Traces))
+		copy(trs, set.Traces)
+		sort.SliceStable(trs, func(i, j int) bool { return trs[i].Duration() > trs[j].Duration() })
+		if slowest < len(trs) {
+			trs = trs[:slowest]
+		}
+		targets = trs
+		header = fmt.Sprintf("critical paths: no violations; %d slowest of %d lifecycle traces over %d cycles\n",
+			len(targets), len(set.Traces), set.Cycles)
+	}
+	if format == "jsonl" {
+		enc := json.NewEncoder(out)
+		for _, tr := range targets {
+			bd := tr.CriticalPath()
+			if err := enc.Encode(bd); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if _, err := io.WriteString(out, header); err != nil {
+		return err
+	}
+	dist := span.NewDistribution(set)
+	for _, tr := range targets {
+		kind := tr.KindName
+		status := "complete"
+		switch {
+		case tr.Stale:
+			status = "stale drop"
+		case tr.Violation:
+			status = "deadline violation"
+		case !tr.Complete:
+			status = "incomplete"
+		}
+		if _, err := fmt.Fprintf(out, "\n%s u%d (%s, %s)\n", tr.ID, tr.User, kind, status); err != nil {
+			return err
+		}
+		bd := tr.CriticalPath()
+		if err := bd.WriteText(out); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(out, "\nphase distribution over all %d traces:\n", dist.Traces); err != nil {
+		return err
+	}
+	for _, ps := range dist.Phases {
+		if ps.Count == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(out, "  %-18s n=%-6d total=%8.2fs max=%7.3fs\n",
+			ps.Phase, ps.Count, ps.TotalSeconds, ps.MaxSeconds); err != nil {
+			return err
+		}
+	}
+	return nil
 }

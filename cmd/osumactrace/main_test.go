@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"strconv"
 	"strings"
@@ -153,5 +154,109 @@ func TestAutopsyJSON(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), `"violations":[{`) {
 		t.Fatalf("autopsy json has no violations array:\n%.300s", out.String())
+	}
+}
+
+// TestPerfettoOutput checks -format perfetto emits valid trace-event
+// JSON with subscriber and channel tracks.
+func TestPerfettoOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-cycles", "10", "-format", "perfetto"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto output not JSON: %v\n%.300s", err, out.String())
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents array")
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var meta, spans, channels int
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "M":
+			meta++
+		case e.Pid == 1:
+			spans++
+		case e.Pid == 2:
+			channels++
+		}
+	}
+	if meta == 0 || spans == 0 || channels == 0 {
+		t.Fatalf("tracks incomplete: %d metadata, %d span, %d channel events", meta, spans, channels)
+	}
+}
+
+// TestCriticalPathText runs -critical-path on a clean scenario; the
+// slowest lifecycles get phase breakdowns.
+func TestCriticalPathText(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-cycles", "12", "-critical-path", "-slowest", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"critical paths:", "slowest", "phase distribution", "airtime"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("critical-path report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestCriticalPathJSONL checks each breakdown decodes as one JSON line.
+func TestCriticalPathJSONL(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-cycles", "12", "-critical-path", "-slowest", "2", "-format", "jsonl"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&out)
+	var lines int
+	for dec.More() {
+		var bd struct {
+			TraceID  string `json:"traceId"`
+			TotalNS  int64  `json:"totalNs"`
+			Segments []struct {
+				Phase string `json:"phase"`
+			} `json:"segments"`
+		}
+		if err := dec.Decode(&bd); err != nil {
+			t.Fatal(err)
+		}
+		if bd.TraceID == "" || bd.TotalNS <= 0 || len(bd.Segments) == 0 {
+			t.Fatalf("degenerate breakdown: %+v", bd)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("got %d breakdowns, want 2", lines)
+	}
+}
+
+// TestCriticalPathPinnedViolations is the acceptance check: the pinned
+// ROADMAP scenario has two GPS deadline violations and -critical-path
+// must produce a phase breakdown for each.
+func TestCriticalPathPinnedViolations(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-seed", "8188083318138684029", "-gps", "7", "-data", "8",
+		"-load", "1.0", "-cycles", "500", "-critical-path",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "critical paths: 2 violation(s)") {
+		t.Fatalf("pinned scenario did not report 2 violations:\n%.400s", text)
+	}
+	if strings.Count(text, "Σ slot-wait") < 2 {
+		t.Fatalf("want a phase summary per violation:\n%s", text)
 	}
 }

@@ -42,7 +42,8 @@ type Network struct {
 
 	subs       []*subEntry
 	byEIN      map[frame.EIN]*subEntry
-	cycle      int // cycles started so far
+	cycle      int    // cycles started so far
+	traceSeq   uint64 // monotone trace-event sequence (see trace.go)
 	prevSnap   seriesSnap
 	seriesNext int // first cycle index without a recorded series point
 
@@ -279,6 +280,9 @@ func (n *Network) TrackMessage(user frame.UserID, msgID uint16, bytes int, creat
 	n.metrics.BytesGenerated.Addn(uint64(bytes))
 	n.metrics.PerUserGenerated[user] += uint64(bytes)
 	n.msgMeta[msgKey(user, msgID)] = msgMeta{createdAt: createdAt, bytes: bytes}
+	if n.tracing() {
+		n.trace(EventMessageQueued, user, -1, fmt.Sprintf("msg=%d bytes=%d", msgID, bytes))
+	}
 }
 
 // beginCycle schedules every event of notification cycle k.
@@ -385,7 +389,7 @@ func (n *Network) beginCycle(k int) {
 			continue
 		}
 		n.sim.AfterPriority(iv.End, sim.PriorityDeliver, func() {
-			n.forwardSlotEnd(user)
+			n.forwardSlotEnd(i, user)
 		})
 	}
 }
@@ -478,13 +482,24 @@ func (n *Network) maybeStartSources(e *subEntry) {
 			}
 			now := n.sim.Now()
 			msg := e.traffic.NewMessage(now)
+			// The MAC-level message ID assigned by AddMessage, captured
+			// before the call so trace events match data-packet headers.
+			macID := e.sub.NextMsgID()
 			if e.sub.AddMessage(msg.Bytes, now) {
 				n.metrics.MessagesGenerated.Inc()
 				n.metrics.BytesGenerated.Addn(uint64(msg.Bytes))
 				n.metrics.PerUserGenerated[e.sub.ID()] += uint64(msg.Bytes)
 				n.msgMeta[msgKey(e.sub.ID(), uint16(msg.ID))] = msgMeta{createdAt: now, bytes: msg.Bytes}
+				if n.tracing() {
+					n.trace(EventMessageQueued, e.sub.ID(), -1,
+						fmt.Sprintf("msg=%d bytes=%d", macID, msg.Bytes))
+				}
 			} else {
 				n.metrics.MessagesDropped.Inc()
+				if n.tracing() {
+					n.trace(EventMessageDropped, e.sub.ID(), -1,
+						fmt.Sprintf("bytes=%d queue full", msg.Bytes))
+				}
 			}
 			n.sim.After(e.traffic.NextGap(), arrive)
 		}
@@ -580,6 +595,9 @@ func (n *Network) dataSlotEnd(cycle, slot int, isLast, contention bool) {
 			info, err := e.sub.MakeContentionPacket()
 			if err == nil && info != nil {
 				txs = append(txs, tx{e: e, info: info})
+				if n.tracing() {
+					n.trace(EventContentionTx, e.sub.ID(), slot, e.plan.ContentionKind.String())
+				}
 			}
 		}
 	}
@@ -608,11 +626,13 @@ func (n *Network) dataSlotEnd(cycle, slot int, isLast, contention bool) {
 	if out.Received == nil && !out.Collision && len(payloads) == 1 && !contention {
 		n.trace(EventDataLost, frame.NoUser, slot, "rs decode failure")
 	}
-	n.handleOutcome(out, cycle)
+	n.handleOutcome(out, cycle, slot)
 }
 
 // handleOutcome turns base-station reception outcomes into metrics.
-func (n *Network) handleOutcome(out ReverseOutcome, cycle int) {
+// slot is the reverse data slot the reception arrived in, so span
+// stitching can attribute receptions to schedule grants.
+func (n *Network) handleOutcome(out ReverseOutcome, cycle, slot int) {
 	if out.Received == nil {
 		return
 	}
@@ -621,9 +641,9 @@ func (n *Network) handleOutcome(out ReverseOutcome, cycle int) {
 	case frame.TypeData:
 		h := out.Received.Data.Header
 		if n.tracing() {
-			n.trace(EventDataRx, h.User, -1, fmt.Sprintf("msg=%d frag=%d/%d", h.MsgID, h.Frag+1, h.FragTotal))
+			n.trace(EventDataRx, h.User, slot, fmt.Sprintf("msg=%d frag=%d/%d", h.MsgID, h.Frag+1, h.FragTotal))
 			if h.MoreSlots > 0 {
-				n.trace(EventPiggybackRx, h.User, -1, fmt.Sprintf("+%d slots", h.MoreSlots))
+				n.trace(EventPiggybackRx, h.User, slot, fmt.Sprintf("+%d slots", h.MoreSlots))
 			}
 		}
 		n.noteDemandHeard(h.User, now)
@@ -633,7 +653,7 @@ func (n *Network) handleOutcome(out ReverseOutcome, cycle int) {
 				n.metrics.MessagesDelivered.Inc()
 				n.metrics.MessageDelay.AddDuration(now - meta.createdAt)
 				if n.tracing() {
-					n.trace(EventMessageComplete, out.User, -1,
+					n.trace(EventMessageComplete, out.User, slot,
 						fmt.Sprintf("msg=%d %dB in %v", out.MsgID, out.Bytes, now-meta.createdAt))
 				}
 				delete(n.msgMeta, key)
@@ -646,19 +666,19 @@ func (n *Network) handleOutcome(out ReverseOutcome, cycle int) {
 		r := out.Received.Reservation
 		if n.tracing() {
 			if r.Slots == 0 {
-				n.trace(EventPageResponse, r.User, -1, "")
+				n.trace(EventPageResponse, r.User, slot, "")
 			} else {
-				n.trace(EventReservationRx, r.User, -1, fmt.Sprintf("%d slots", r.Slots))
+				n.trace(EventReservationRx, r.User, slot, fmt.Sprintf("%d slots", r.Slots))
 			}
 		}
 		n.noteDemandHeard(r.User, now)
 	case frame.TypeRegistration:
 		if n.tracing() {
-			n.trace(EventRegistrationRx, frame.NoUser, -1, fmt.Sprintf("ein=%d", out.Received.Register.EIN))
+			n.trace(EventRegistrationRx, frame.NoUser, slot, fmt.Sprintf("ein=%d", out.Received.Register.EIN))
 		}
 		if out.NewRegistration {
 			if n.tracing() {
-				n.trace(EventRegistered, out.AssignedID, -1, fmt.Sprintf("ein=%d", out.Received.Register.EIN))
+				n.trace(EventRegistered, out.AssignedID, slot, fmt.Sprintf("ein=%d", out.Received.Register.EIN))
 			}
 			if e, ok := n.byEIN[out.Received.Register.EIN]; ok {
 				n.metrics.RegistrationLatency.Add(float64(e.sub.RegistrationCycles(cycle)))
@@ -681,7 +701,9 @@ func (n *Network) noteDemandHeard(user frame.UserID, now time.Duration) {
 }
 
 // forwardSlotEnd delivers one forward data slot to its scheduled user.
-func (n *Network) forwardSlotEnd(user frame.UserID) {
+// slot is the forward slot index (traced so span stitching can verify
+// forward-channel constraints like the CF2-listener slot-0 exclusion).
+func (n *Network) forwardSlotEnd(slot int, user frame.UserID) {
 	pkt := n.base.PopForward(user)
 	if pkt == nil {
 		return
@@ -712,7 +734,7 @@ func (n *Network) forwardSlotEnd(user frame.UserID) {
 	}
 	n.metrics.ForwardPktsDelivered.Inc()
 	if n.tracing() {
-		n.trace(EventForwardTx, user, -1, fmt.Sprintf("msg=%d frag=%d", parsed.Data.Header.MsgID, parsed.Data.Header.Frag))
+		n.trace(EventForwardTx, user, slot, fmt.Sprintf("msg=%d frag=%d", parsed.Data.Header.MsgID, parsed.Data.Header.Frag))
 	}
 	if done, msgID, _ := e.sub.ReceiveForward(parsed.Data); done {
 		delete(n.fwdMeta, fwdKey(user, msgID))

@@ -31,10 +31,13 @@ const (
 	EventGPSDeadlineViolation
 	EventGPSSlotGrant
 	EventDataSlotGrant
+	EventMessageQueued
+	EventMessageDropped
+	EventContentionTx
 )
 
 // eventKindCount is one past the highest defined EventKind.
-const eventKindCount = int(EventDataSlotGrant) + 1
+const eventKindCount = int(EventContentionTx) + 1
 
 // String implements fmt.Stringer.
 func (k EventKind) String() string {
@@ -77,6 +80,12 @@ func (k EventKind) String() string {
 		return "gps-slot-grant"
 	case EventDataSlotGrant:
 		return "data-slot-grant"
+	case EventMessageQueued:
+		return "message-queued"
+	case EventMessageDropped:
+		return "message-dropped"
+	case EventContentionTx:
+		return "contention-tx"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -106,13 +115,19 @@ func ParseEventKind(s string) (k EventKind, ok bool) {
 type TraceEvent struct {
 	// At is the virtual time of the event.
 	At time.Duration
+	// Seq is a per-network monotone sequence number (first event is 1).
+	// Many events share one virtual instant (a cycle start announces the
+	// whole schedule at t0); Seq gives span stitching a stable total
+	// order. Synthetic events may leave it 0.
+	Seq uint64
 	// Cycle is the notification cycle index.
 	Cycle int
 	// Kind classifies the event.
 	Kind EventKind
 	// User is the subscriber involved (frame.NoUser when none).
 	User frame.UserID
-	// Slot is the reverse slot index involved, or -1.
+	// Slot is the slot index involved (reverse for reverse-channel
+	// events, forward for EventForwardTx), or -1.
 	Slot int
 	// Detail carries a short human-readable annotation.
 	Detail string
@@ -213,8 +228,17 @@ func (n *Network) trace(kind EventKind, user frame.UserID, slot int, detail stri
 		// not a nonsensical cycle -1.
 		cycle = 0
 	}
+	if slot < 0 {
+		// -1 is the single "no slot" sentinel. Call sites that compute a
+		// slot index defensively (e.g. pre-registration events) must not
+		// leak other negative values into the stream: span stitching and
+		// the JSONL schema promise Slot >= -1.
+		slot = -1
+	}
+	n.traceSeq++
 	n.cfg.Tracer.Trace(TraceEvent{
 		At:     n.sim.Now(),
+		Seq:    n.traceSeq,
 		Cycle:  cycle,
 		Kind:   kind,
 		User:   user,

@@ -235,6 +235,118 @@ func TestTraceScheduleGrantEvents(t *testing.T) {
 	}
 }
 
+// TestTraceNormalizesCycleAndSlot is the table test for the trace
+// hook's field normalization: whatever defensive values call sites
+// compute (pre-registration events in particular pass placeholder
+// cycles and slots), emitted events always satisfy Cycle >= 0 and
+// Slot >= -1 so span stitching never sees a negative slot other than
+// the single "no slot" sentinel.
+func TestTraceNormalizesCycleAndSlot(t *testing.T) {
+	cases := []struct {
+		name     string
+		cycle    int // n.cycle before the event fires
+		slot     int
+		wantCyc  int
+		wantSlot int
+	}{
+		{"pre-cycle no-slot", 0, -1, 0, -1},
+		{"pre-cycle stray negative slot", 0, -7, 0, -1},
+		{"mid-run no-slot", 3, -1, 2, -1},
+		{"mid-run stray negative slot", 3, -2, 2, -1},
+		{"mid-run real slot", 3, 5, 2, 5},
+		{"first-cycle slot zero", 1, 0, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := &TraceBuffer{}
+			n := newTestNetwork(t, func(c *Config) { c.Tracer = buf })
+			n.cycle = tc.cycle
+			n.trace(EventGPSQueued, 1, tc.slot, "")
+			evs := buf.Events()
+			if len(evs) != 1 {
+				t.Fatalf("traced %d events, want 1", len(evs))
+			}
+			if evs[0].Cycle != tc.wantCyc || evs[0].Slot != tc.wantSlot {
+				t.Fatalf("event (cycle=%d slot=%d), want (cycle=%d slot=%d)",
+					evs[0].Cycle, evs[0].Slot, tc.wantCyc, tc.wantSlot)
+			}
+		})
+	}
+}
+
+// TestTraceSeqMonotonic: every emitted event carries a strictly
+// increasing sequence number starting at 1, giving span stitching a
+// total order within a shared virtual instant.
+func TestTraceSeqMonotonic(t *testing.T) {
+	buf := &TraceBuffer{Cap: 1 << 16}
+	n := newTestNetwork(t, func(c *Config) {
+		c.Tracer = buf
+		c.MeanInterarrival = 5 * time.Second
+	})
+	if _, err := n.AddSubscriber(100, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddSubscriber(200, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	evs := buf.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events traced")
+	}
+	if evs[0].Seq != 1 {
+		t.Fatalf("first event Seq = %d, want 1", evs[0].Seq)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("Seq not contiguous at %d: %d after %d", i, evs[i].Seq, evs[i-1].Seq)
+		}
+		if evs[i].At == evs[i-1].At && evs[i].Seq <= evs[i-1].Seq {
+			t.Fatal("events at one instant lack a total order")
+		}
+	}
+}
+
+// TestTraceMessageLifecycleEvents: the span-stitching hooks cover the
+// full data-message lifecycle — enqueue, contention transmission,
+// reception with slot attribution, completion.
+func TestTraceMessageLifecycleEvents(t *testing.T) {
+	buf := &TraceBuffer{Cap: 1 << 16}
+	n := newTestNetwork(t, func(c *Config) {
+		c.Tracer = buf
+		c.MeanInterarrival = 5 * time.Second
+	})
+	if _, err := n.AddSubscriber(100, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.Filter(EventMessageQueued)) == 0 {
+		t.Error("no message-queued events traced")
+	}
+	if len(buf.Filter(EventContentionTx)) == 0 {
+		t.Error("no contention-tx events traced")
+	}
+	for _, e := range buf.Filter(EventMessageQueued) {
+		if !strings.Contains(e.Detail, "msg=") {
+			t.Fatalf("message-queued detail %q lacks msg id", e.Detail)
+		}
+	}
+	// Receptions now carry the reverse slot they arrived in.
+	sawSlot := false
+	for _, e := range buf.Filter(EventDataRx) {
+		if e.Slot >= 0 {
+			sawSlot = true
+		}
+	}
+	if !sawSlot {
+		t.Error("data-rx events carry no slot attribution")
+	}
+}
+
 // TestNilTracerTraceAllocsZero proves the zero-overhead invariant at
 // the source: with no tracer attached, the trace hook neither
 // allocates nor records anything.

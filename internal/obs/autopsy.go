@@ -9,6 +9,7 @@ import (
 
 	"github.com/osu-netlab/osumac/internal/core"
 	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/span"
 )
 
 // DefaultAutopsyWindow is how many cycles of context precede each
@@ -54,6 +55,12 @@ type Violation struct {
 	Timeline []core.TraceEvent `json:"timeline"`
 	// Notes are heuristic root-cause observations.
 	Notes []string `json:"notes"`
+	// TraceID names the violated report's stitched lifecycle trace,
+	// when the stream carried lifecycle events.
+	TraceID string `json:"traceId,omitempty"`
+	// CriticalPath attributes the violated report's wall-clock window
+	// to lifecycle phases (nil when no lifecycle trace matched).
+	CriticalPath *span.Breakdown `json:"criticalPath,omitempty"`
 }
 
 // AutopsyReport is the result of RunAutopsy.
@@ -113,6 +120,15 @@ func RunAutopsy(events []core.TraceEvent, window int) *AutopsyReport {
 			ci.data = append(ci.data, SlotGrant{User: e.User, Slot: e.Slot})
 		}
 	}
+	// Stitch lifecycle traces once and pair each violation event with
+	// its trace in stream order (both derive from the same ordered
+	// stream, so the k-th violation of a user matches that user's k-th
+	// violated trace).
+	stitched := span.Stitch(events)
+	nextViolated := make(map[frame.UserID][]*span.Trace)
+	for _, tr := range stitched.Violations() {
+		nextViolated[tr.User] = append(nextViolated[tr.User], tr)
+	}
 	for _, e := range events {
 		if e.Kind != core.EventGPSDeadlineViolation {
 			continue
@@ -151,7 +167,21 @@ func RunAutopsy(events []core.TraceEvent, window int) *AutopsyReport {
 				v.Timeline = append(v.Timeline, f)
 			}
 		}
+		if trs := nextViolated[v.User]; len(trs) > 0 {
+			tr := trs[0]
+			nextViolated[v.User] = trs[1:]
+			v.TraceID = tr.ID
+			bd := tr.CriticalPath()
+			v.CriticalPath = &bd
+		}
 		v.Notes = diagnose(&v)
+		if v.CriticalPath != nil {
+			if p, d := v.CriticalPath.Dominant(); d > 0 {
+				v.Notes = append(v.Notes, fmt.Sprintf(
+					"critical path: %v of the %v window went to %s",
+					d, v.CriticalPath.Total, p))
+			}
+		}
 		rep.Violations = append(rep.Violations, v)
 	}
 	return rep
@@ -230,6 +260,20 @@ func (r *AutopsyReport) WriteText(w io.Writer) error {
 		for _, e := range v.Timeline {
 			if _, err := fmt.Fprintf(w, "    %v\n", e); err != nil {
 				return err
+			}
+		}
+		if v.CriticalPath != nil {
+			var b strings.Builder
+			if err := v.CriticalPath.WriteText(&b); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "  phase breakdown (trace %s):\n", v.TraceID); err != nil {
+				return err
+			}
+			for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+				if _, err := fmt.Fprintf(w, "  %s\n", line); err != nil {
+					return err
+				}
 			}
 		}
 		if len(v.Notes) > 0 {

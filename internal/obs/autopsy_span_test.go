@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/span"
+)
+
+// TestAutopsyCriticalPath feeds the autopsy a stream carrying full
+// lifecycle events and checks each violation gains its stitched trace
+// ID and a phase breakdown that accounts for the whole window.
+func TestAutopsyCriticalPath(t *testing.T) {
+	l := core.NewLayout(core.Format1)
+	cycleLen := 4 * time.Second
+	user := frame.UserID(1)
+	slot := 2
+	arrive := l.GPS[slot].Start + 40*time.Millisecond
+	replaced := arrive + 3900*time.Millisecond
+
+	mk := func(at time.Duration, cycle int, kind core.EventKind, u frame.UserID, s int, detail string) core.TraceEvent {
+		return core.TraceEvent{At: at, Cycle: cycle, Kind: kind, User: u, Slot: s, Detail: detail}
+	}
+	events := []core.TraceEvent{
+		mk(0, 0, core.EventCycleStart, frame.NoUser, -1, "format1"),
+		mk(0, 0, core.EventGPSSlotGrant, user, slot, ""),
+		mk(arrive, 0, core.EventGPSQueued, user, -1, ""),
+		mk(cycleLen, 1, core.EventCycleStart, frame.NoUser, -1, "format1"),
+		mk(cycleLen, 1, core.EventGPSSlotGrant, user, slot, ""),
+		mk(replaced, 1, core.EventGPSDeadlineViolation, user, -1,
+			"stale: previous report replaced before it could be transmitted"),
+		mk(replaced, 1, core.EventGPSQueued, user, -1, ""),
+	}
+
+	rep := RunAutopsy(events, 0)
+	if len(rep.Violations) != 1 {
+		t.Fatalf("violations = %d, want 1", len(rep.Violations))
+	}
+	v := rep.Violations[0]
+	if v.TraceID != "u1-g0" {
+		t.Fatalf("TraceID = %q, want u1-g0", v.TraceID)
+	}
+	if v.CriticalPath == nil {
+		t.Fatal("no critical path attached")
+	}
+	if v.CriticalPath.Total != replaced-arrive {
+		t.Fatalf("critical path total = %v, want %v", v.CriticalPath.Total, replaced-arrive)
+	}
+	var sum time.Duration
+	for _, p := range span.AllPhases() {
+		sum += v.CriticalPath.ByPhase(p)
+	}
+	if sum != v.CriticalPath.Total {
+		t.Fatalf("phases sum to %v, total %v", sum, v.CriticalPath.Total)
+	}
+
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{"phase breakdown (trace u1-g0)", "slot-wait", "critical path:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestLiveSpansEndpoint covers the /spans handler's three states.
+func TestLiveSpansEndpoint(t *testing.T) {
+	live := NewLive()
+	srv := httptest.NewServer(live.Handler())
+	defer srv.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := get("/spans"); got != 503 {
+		t.Fatalf("unpublished /spans = %d, want 503", got)
+	}
+
+	n := runSmallCell(t, nil)
+	reg := NewRegistry(n.Metrics())
+	exp := reg.Export(40, 0, true)
+	live.Publish(exp)
+	if got := get("/spans"); got != 404 {
+		t.Fatalf("/spans without capture = %d, want 404", got)
+	}
+
+	exp2 := reg.Export(40, 0, true)
+	exp2.Spans = span.NewDistribution(&span.Set{})
+	live.Publish(exp2)
+	resp, err := srv.Client().Get(srv.URL + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/spans with capture = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+}

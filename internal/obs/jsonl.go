@@ -56,6 +56,7 @@ func ParseKinds(csv string) (KindMask, error) {
 // traceRecord is the JSONL wire form of one core.TraceEvent.
 type traceRecord struct {
 	AtNS   int64  `json:"atNs"`
+	Seq    uint64 `json:"seq,omitempty"`
 	Cycle  int    `json:"cycle"`
 	Kind   string `json:"kind"`
 	User   int    `json:"user"`
@@ -121,6 +122,7 @@ func (s *JSONLSink) Trace(e core.TraceEvent) {
 	s.count++
 	if err := s.enc.Encode(traceRecord{
 		AtNS:   int64(e.At),
+		Seq:    e.Seq,
 		Cycle:  e.Cycle,
 		Kind:   e.Kind.String(),
 		User:   int(e.User),
@@ -169,6 +171,7 @@ func DecodeJSONL(r io.Reader) ([]core.TraceEvent, error) {
 		}
 		out = append(out, core.TraceEvent{
 			At:     time.Duration(rec.AtNS),
+			Seq:    rec.Seq,
 			Cycle:  rec.Cycle,
 			Kind:   kind,
 			User:   frame.UserID(rec.User),

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/osu-netlab/osumac/internal/span"
+	"github.com/osu-netlab/osumac/internal/stats"
+)
+
+// histFromValues builds a snapshot the same way Gather does.
+func histFromValues(bounds []float64, values ...float64) *HistogramSnapshot {
+	var s stats.Sample
+	for _, v := range values {
+		s.Add(v)
+	}
+	return snapshotHistogram(&s, bounds)
+}
+
+func TestQuantileUniformDistribution(t *testing.T) {
+	// 100 values uniform on (0, 10]: v_i = i/10 for i = 1..100, with
+	// bucket bounds every 1.0. The p-quantile of this population is
+	// ~10p, and with perfectly even buckets the linear interpolation
+	// should land on it exactly.
+	bounds := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	var values []float64
+	for i := 1; i <= 100; i++ {
+		values = append(values, float64(i)/10)
+	}
+	h := histFromValues(bounds, values...)
+	for _, tc := range []struct{ p, want float64 }{
+		{0.5, 5.0},
+		{0.99, 9.9},
+		{0.1, 1.0},
+		{0.25, 2.5},
+		{1.0, 10.0},
+	} {
+		if got := h.Quantile(tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if h.P50 != h.Quantile(0.5) || h.P99 != h.Quantile(0.99) {
+		t.Error("P50/P99 not precomputed from Quantile")
+	}
+}
+
+func TestQuantileSingleBucketInterpolatesFromZero(t *testing.T) {
+	// All mass in the first bucket (0, 4]: the estimator interpolates
+	// linearly from 0 to the bound.
+	h := histFromValues([]float64{4, 8}, 1, 2, 3, 1, 2, 3, 1, 2)
+	if got := h.Quantile(0.5); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %v, want 2.0 (midpoint of first bucket)", got)
+	}
+}
+
+func TestQuantileOverflowClampsToHighestBound(t *testing.T) {
+	// Mass beyond every bound lands in +Inf; the estimator clamps to
+	// the highest finite bound, as histogram_quantile does.
+	h := histFromValues([]float64{1, 2}, 5, 6, 7, 8)
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("Quantile(0.5) = %v, want clamp to 2", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *HistogramSnapshot
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Error("nil histogram should yield NaN")
+	}
+	empty := histFromValues([]float64{1, 2})
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty histogram should yield NaN")
+	}
+	if empty.P50 != 0 || empty.P99 != 0 {
+		t.Error("empty histogram must export zero quantiles, not NaN")
+	}
+	h := histFromValues([]float64{1, 2}, 0.5)
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Error("out-of-range p should yield NaN")
+	}
+}
+
+func TestGatherExportsQuantiles(t *testing.T) {
+	n := runSmallCell(t, nil)
+	reg := NewRegistry(n.Metrics())
+	for _, m := range reg.Gather() {
+		if m.Kind != KindHistogram || m.Hist.Count == 0 {
+			continue
+		}
+		if m.Hist.P50 <= 0 {
+			t.Errorf("%s: P50 = %v, want > 0", m.Name, m.Hist.P50)
+		}
+		if m.Hist.P99 < m.Hist.P50 {
+			t.Errorf("%s: P99 %v < P50 %v", m.Name, m.Hist.P99, m.Hist.P50)
+		}
+	}
+	var buf strings.Builder
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON with quantiles: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"p50"`) || !strings.Contains(buf.String(), `"p99"`) {
+		t.Error("JSON export lacks p50/p99 fields")
+	}
+}
+
+func TestSpanPhaseMetrics(t *testing.T) {
+	if got := SpanPhaseMetrics(nil); got != nil {
+		t.Fatalf("nil distribution should yield nil, got %v", got)
+	}
+	nb := len(span.PhaseBucketBounds)
+	buckets := make([]uint64, nb+1)
+	buckets[0] = 2 // two observations ≤ first bound
+	buckets[2] = 1 // one in the third bucket
+	d := &span.Distribution{
+		Traces: 3, Complete: 2, Violations: 1, Retx: 4,
+		Phases: []span.PhaseStats{
+			{Phase: span.PhaseAirtime.String(), Count: 3, TotalSeconds: 1.5, MaxSeconds: 1.0, Buckets: buckets},
+		},
+	}
+	ms := SpanPhaseMetrics(d)
+	var hist *Metric
+	for i := range ms {
+		if ms[i].Name == "osumac_span_phase_airtime_seconds" {
+			hist = &ms[i]
+		}
+	}
+	if hist == nil {
+		t.Fatalf("airtime phase metric missing: %+v", ms)
+	}
+	if hist.Kind != KindHistogram || hist.Hist == nil {
+		t.Fatal("phase metric is not a histogram")
+	}
+	// Counts must be cumulative: [2, 2, 3, 3, ..., 3].
+	if hist.Hist.Counts[0] != 2 || hist.Hist.Counts[1] != 2 || hist.Hist.Counts[2] != 3 {
+		t.Fatalf("counts not cumulative: %v", hist.Hist.Counts)
+	}
+	if hist.Hist.Counts[nb] != 3 || hist.Hist.Count != 3 {
+		t.Fatalf("total count wrong: %v (count %d)", hist.Hist.Counts, hist.Hist.Count)
+	}
+	if hist.Hist.P50 <= 0 {
+		t.Error("phase histogram P50 not computed")
+	}
+
+	var found int
+	for _, m := range ms {
+		switch m.Name {
+		case "osumac_span_traces_total":
+			found++
+			if m.Value != 3 {
+				t.Errorf("traces total = %v", m.Value)
+			}
+		case "osumac_span_violations_total":
+			found++
+			if m.Value != 1 {
+				t.Errorf("violations total = %v", m.Value)
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatal("lifecycle counters missing")
+	}
+
+	// The converted metrics must render as valid exposition text.
+	var buf strings.Builder
+	if err := WritePrometheus(&buf, ms); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if !strings.Contains(buf.String(), "osumac_span_phase_airtime_seconds_bucket{le=\"+Inf\"} 3") {
+		t.Errorf("exposition missing +Inf bucket:\n%s", buf.String())
+	}
+	// Dashed phase names must be sanitized for Prometheus.
+	if strings.Contains(buf.String(), "-") && strings.Contains(buf.String(), "osumac_span_phase") {
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(line, "osumac_span_phase") && strings.Contains(strings.Fields(line)[0], "-") {
+				t.Errorf("unsanitized metric name: %s", line)
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"github.com/osu-netlab/osumac/internal/core"
@@ -51,6 +52,22 @@ func (k Kind) String() string {
 // MarshalText renders the kind name into JSON exports.
 func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
 
+// UnmarshalText parses the kind name back from a JSON export, so a
+// written Export round-trips (osumacdiff reloads snapshot files).
+func (k *Kind) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "counter":
+		*k = KindCounter
+	case "gauge":
+		*k = KindGauge
+	case "histogram":
+		*k = KindHistogram
+	default:
+		return fmt.Errorf("unknown metric kind %q", b)
+	}
+	return nil
+}
+
 // Metric is one self-describing exported value.
 type Metric struct {
 	Name  string             `json:"name"`
@@ -69,6 +86,43 @@ type HistogramSnapshot struct {
 	Counts      []uint64  `json:"counts"`
 	Sum         float64   `json:"sum"`
 	Count       uint64    `json:"count"`
+	// P50 and P99 are Quantile(0.5) and Quantile(0.99), precomputed at
+	// gather time for the JSON export (dashboards shouldn't reimplement
+	// bucket interpolation).
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
+}
+
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) with linear
+// interpolation inside the bucket containing the target rank — the
+// same estimator as Prometheus's histogram_quantile(). The first
+// bucket interpolates from zero; a rank landing in the +Inf bucket
+// returns the highest finite bound (the estimator's conventional
+// clamp). NaN is returned for an empty histogram or out-of-range p.
+func (h *HistogramSnapshot) Quantile(p float64) float64 {
+	if h == nil || h.Count == 0 || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	rank := p * float64(h.Count)
+	for i, ub := range h.UpperBounds {
+		c := float64(h.Counts[i])
+		if c < rank {
+			continue
+		}
+		lower, prev := 0.0, 0.0
+		if i > 0 {
+			lower = h.UpperBounds[i-1]
+			prev = float64(h.Counts[i-1])
+		}
+		if c == prev {
+			return ub
+		}
+		return lower + (ub-lower)*(rank-prev)/(c-prev)
+	}
+	if len(h.UpperBounds) == 0 {
+		return math.NaN()
+	}
+	return h.UpperBounds[len(h.UpperBounds)-1]
 }
 
 // Registry names every counter and sample of one run's core.Metrics and
@@ -208,6 +262,12 @@ func snapshotHistogram(s *stats.Sample, bounds []float64) *HistogramSnapshot {
 		}
 	}
 	h.Counts[len(bounds)] = h.Count
+	if h.Count > 0 {
+		// Empty histograms keep 0 here: NaN is not representable in the
+		// JSON export.
+		h.P50 = h.Quantile(0.5)
+		h.P99 = h.Quantile(0.99)
+	}
 	return h
 }
 

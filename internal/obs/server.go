@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/span"
 )
 
 // Export is one published, immutable telemetry snapshot: the gathered
@@ -17,9 +18,12 @@ import (
 type Export struct {
 	Metrics []Metric          `json:"metrics"`
 	Series  []core.CyclePoint `json:"series"`
-	Cycle   int               `json:"cycle"`
-	Done    bool              `json:"done"`
-	AtNS    int64             `json:"atNs"`
+	// Spans is the critical-path phase distribution of the stitched
+	// lifecycle traces, when the run captured spans (nil otherwise).
+	Spans *span.Distribution `json:"spans,omitempty"`
+	Cycle int                `json:"cycle"`
+	Done  bool               `json:"done"`
+	AtNS  int64              `json:"atNs"`
 }
 
 // Export builds a snapshot for publishing. It copies the series slice
@@ -57,12 +61,14 @@ func (l *Live) Current() *Export { return l.cur.Load() }
 //
 //	/metrics       Prometheus text exposition (version 0.0.4)
 //	/series        per-cycle CyclePoint array as JSON
+//	/spans         span critical-path phase distribution as JSON
 //	/healthz       liveness + run progress as JSON
 //	/debug/pprof/  the standard Go profiling handlers
 func (l *Live) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", l.serveMetrics)
 	mux.HandleFunc("/series", l.serveSeries)
+	mux.HandleFunc("/spans", l.serveSpans)
 	mux.HandleFunc("/healthz", l.serveHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -96,6 +102,20 @@ func (l *Live) serveSeries(w http.ResponseWriter, r *http.Request) {
 		series = []core.CyclePoint{}
 	}
 	_ = json.NewEncoder(w).Encode(series)
+}
+
+func (l *Live) serveSpans(w http.ResponseWriter, r *http.Request) {
+	exp := l.cur.Load()
+	if exp == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	if exp.Spans == nil {
+		http.Error(w, "span capture disabled for this run", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(exp.Spans)
 }
 
 func (l *Live) serveHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"strings"
+
+	"github.com/osu-netlab/osumac/internal/span"
+)
+
+// Span-phase metrics: the bridge from the span package's critical-path
+// distribution into the registry's Metric model, so phase histograms
+// ride the same Prometheus/JSON exposition (and osumacdiff comparison)
+// as the protocol metrics.
+
+// spanPhaseMetricName maps a phase name to its metric name
+// ("contention-backoff" → "osumac_span_phase_contention_backoff_seconds").
+func spanPhaseMetricName(phase string) string {
+	return "osumac_span_phase_" + strings.ReplaceAll(phase, "-", "_") + "_seconds"
+}
+
+// SpanPhaseMetrics converts a critical-path distribution into
+// histogram metrics, one per phase, in causal phase order, followed by
+// lifecycle counters. Bucket counts arrive non-cumulative from the
+// distribution and are re-binned into the registry's cumulative style.
+func SpanPhaseMetrics(d *span.Distribution) []Metric {
+	if d == nil {
+		return nil
+	}
+	out := make([]Metric, 0, len(d.Phases)+4)
+	for _, ps := range d.Phases {
+		h := &HistogramSnapshot{
+			UpperBounds: span.PhaseBucketBounds,
+			Counts:      make([]uint64, len(span.PhaseBucketBounds)+1),
+			Sum:         ps.TotalSeconds,
+			Count:       uint64(ps.Count),
+		}
+		var cum uint64
+		for i := range span.PhaseBucketBounds {
+			if i < len(ps.Buckets) {
+				cum += ps.Buckets[i]
+			}
+			h.Counts[i] = cum
+		}
+		h.Counts[len(span.PhaseBucketBounds)] = h.Count
+		if h.Count > 0 {
+			h.P50 = h.Quantile(0.5)
+			h.P99 = h.Quantile(0.99)
+		}
+		out = append(out, Metric{
+			Name: spanPhaseMetricName(ps.Phase),
+			Help: "critical-path time attributed to the " + ps.Phase + " phase",
+			Kind: KindHistogram,
+			Hist: h,
+		})
+	}
+	counters := []struct {
+		name, help string
+		v          int
+	}{
+		{"osumac_span_traces_total", "stitched lifecycle traces", d.Traces},
+		{"osumac_span_traces_complete_total", "lifecycles completing successfully", d.Complete},
+		{"osumac_span_violations_total", "lifecycles breaking the GPS deadline", d.Violations},
+		{"osumac_span_retx_total", "retransmissions observed across lifecycles", d.Retx},
+	}
+	for _, c := range counters {
+		out = append(out, Metric{Name: c.name, Help: c.help, Kind: KindCounter, Value: float64(c.v)})
+	}
+	return out
+}

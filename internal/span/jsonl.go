@@ -1,0 +1,55 @@
+package span
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Span JSONL export: one JSON object per line, matching the telemetry
+// layer's newline-delimited convention (obs.JSONLSink) so span streams
+// pipe through the same jq-style tooling as event streams. Every span
+// of every trace is emitted, roots first within a trace, traces in
+// start order.
+
+// WriteJSONL writes each span of the set as one JSON line.
+func WriteJSONL(w io.Writer, set *Set) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, t := range set.Traces {
+		for _, s := range t.Spans {
+			if err := enc.Encode(s); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeJSONL reads spans written by WriteJSONL, skipping blank lines.
+func DecodeJSONL(r io.Reader) ([]Span, error) {
+	var out []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal(b, &s); err != nil {
+			return nil, fmt.Errorf("span jsonl line %d: %w", line, err)
+		}
+		if p, ok := ParsePhase(s.PhaseName); ok {
+			s.Phase = p // Phase itself is not serialized; rebuild it
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,257 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+)
+
+// Perfetto / Chrome trace-event JSON export. The output loads directly
+// in ui.perfetto.dev (or chrome://tracing): process 1 holds one thread
+// track per subscriber showing lifecycle root spans with their
+// critical-path phases nested underneath; process 2 holds forward- and
+// reverse-channel occupancy tracks reconstructed from the cycle
+// schedule announcements. Timestamps and durations are microseconds,
+// as the format requires.
+//
+// Format reference: the Chrome trace-event spec ("X" complete events,
+// "M" metadata events with process_name/thread_name args).
+
+const (
+	perfettoPidSubscribers = 1
+	perfettoPidChannels    = 2
+	perfettoTidForward     = 1
+	perfettoTidReverse     = 2
+)
+
+// perfettoEvent is one trace-event record.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// perfettoFile is the JSON-object form of a trace-event capture.
+type perfettoFile struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// userTid maps a subscriber to its thread track (tid 0 is reserved).
+func userTid(u frame.UserID) int { return int(u) + 1 }
+
+// WritePerfetto stitches the event stream and writes a Perfetto-loadable
+// trace-event JSON capture.
+func WritePerfetto(w io.Writer, events []core.TraceEvent) error {
+	set := Stitch(events)
+	return WritePerfettoSet(w, set, events)
+}
+
+// WritePerfettoSet writes an already-stitched set. The raw events are
+// still needed for the channel-occupancy tracks.
+func WritePerfettoSet(w io.Writer, set *Set, events []core.TraceEvent) error {
+	var out []perfettoEvent
+
+	// Process/thread naming metadata.
+	meta := func(pid, tid int, key, name string) {
+		out = append(out, perfettoEvent{
+			Name: key, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(perfettoPidSubscribers, 0, "process_name", "subscribers")
+	meta(perfettoPidChannels, 0, "process_name", "channels")
+	meta(perfettoPidChannels, perfettoTidForward, "thread_name", "forward 6.4kbps")
+	meta(perfettoPidChannels, perfettoTidReverse, "thread_name", "reverse 4.8kbps")
+	users := map[frame.UserID]bool{}
+	for _, t := range set.Traces {
+		if !users[t.User] {
+			users[t.User] = true
+			meta(perfettoPidSubscribers, userTid(t.User), "thread_name", fmt.Sprintf("user %d", t.User))
+		}
+	}
+
+	// Subscriber tracks: root spans with nested phase spans.
+	for _, t := range set.Traces {
+		for _, s := range t.Spans {
+			dur := s.Duration()
+			if s.Phase != 0 && dur == 0 {
+				continue // zero-width decode markers clutter the UI
+			}
+			args := map[string]any{"traceId": s.TraceID, "spanId": s.SpanID}
+			cat := t.KindName
+			name := s.Name
+			if s.Phase == 0 {
+				args["complete"] = t.Complete
+				if t.Violation {
+					args["violation"] = true
+				}
+				if t.Stale {
+					args["stale"] = true
+				}
+				if t.Retx > 0 {
+					args["retx"] = t.Retx
+				}
+				if t.Bytes > 0 {
+					args["bytes"] = t.Bytes
+				}
+			} else {
+				cat = "phase"
+				if s.Cycle >= 0 {
+					args["cycle"] = s.Cycle
+				}
+				if s.Slot >= 0 {
+					args["slot"] = s.Slot
+				}
+				if s.Format != "" {
+					args["format"] = s.Format
+				}
+			}
+			if s.Detail != "" {
+				args["detail"] = s.Detail
+			}
+			out = append(out, perfettoEvent{
+				Name: name, Ph: "X", Cat: cat,
+				Ts: usec(s.Start), Dur: usec(dur),
+				Pid: perfettoPidSubscribers, Tid: userTid(s.User),
+				Args: args,
+			})
+		}
+	}
+
+	// Channel-occupancy tracks from the schedule announcements and
+	// observed transmissions.
+	out = append(out, channelEvents(events)...)
+
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Ph != out[j].Ph && (out[i].Ph == "M" || out[j].Ph == "M") {
+			return out[i].Ph == "M" // metadata first
+		}
+		return out[i].Ts < out[j].Ts
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(perfettoFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+// channelEvents reconstructs forward/reverse channel occupancy.
+func channelEvents(events []core.TraceEvent) []perfettoEvent {
+	var out []perfettoEvent
+	layouts := map[core.ReverseFormat]core.Layout{}
+	layoutOf := func(f core.ReverseFormat) (core.Layout, bool) {
+		if f != core.Format1 && f != core.Format2 {
+			return core.Layout{}, false
+		}
+		l, ok := layouts[f]
+		if !ok {
+			l = core.NewLayout(f)
+			layouts[f] = l
+		}
+		return l, true
+	}
+
+	type cyc struct {
+		at     time.Duration
+		format core.ReverseFormat
+	}
+	cycles := map[int]cyc{}
+	for _, e := range events {
+		if e.Kind != core.EventCycleStart {
+			continue
+		}
+		var f core.ReverseFormat
+		switch e.Detail {
+		case core.Format1.String():
+			f = core.Format1
+		case core.Format2.String():
+			f = core.Format2
+		}
+		if _, dup := cycles[e.Cycle]; !dup {
+			cycles[e.Cycle] = cyc{at: e.At, format: f}
+		}
+	}
+
+	slotX := func(name, cat string, at time.Duration, iv time.Duration, tid, cycle, slot int, user frame.UserID) perfettoEvent {
+		args := map[string]any{"cycle": cycle}
+		if slot >= 0 {
+			args["slot"] = slot
+		}
+		if user != frame.NoUser {
+			args["user"] = int(user)
+		}
+		return perfettoEvent{
+			Name: name, Ph: "X", Cat: cat,
+			Ts: usec(at), Dur: usec(iv),
+			Pid: perfettoPidChannels, Tid: tid, Args: args,
+		}
+	}
+
+	for _, e := range events {
+		c, ok := cycles[e.Cycle]
+		if !ok {
+			continue
+		}
+		l, ok := layoutOf(c.format)
+		if !ok {
+			continue
+		}
+		switch e.Kind {
+		case core.EventCycleStart:
+			out = append(out,
+				slotX("CF1", "control", c.at+l.CF1.Start, l.CF1.Duration(), perfettoTidForward, e.Cycle, -1, frame.NoUser),
+				slotX("CF2", "control", c.at+l.CF2.Start, l.CF2.Duration(), perfettoTidForward, e.Cycle, -1, frame.NoUser))
+		case core.EventGPSSlotGrant:
+			if e.Slot >= 0 && e.Slot < len(l.GPS) {
+				iv := l.GPS[e.Slot]
+				out = append(out, slotX(fmt.Sprintf("u%d gps", e.User), "gps",
+					c.at+iv.Start, iv.Duration(), perfettoTidReverse, e.Cycle, e.Slot, e.User))
+			}
+		case core.EventDataSlotGrant:
+			if e.Slot >= 0 && e.Slot < len(l.ReverseData) {
+				iv := l.ReverseData[e.Slot]
+				out = append(out, slotX(fmt.Sprintf("u%d data", e.User), "data",
+					c.at+iv.Start, iv.Duration(), perfettoTidReverse, e.Cycle, e.Slot, e.User))
+			}
+		case core.EventContentionTx:
+			// Contention happens in an unassigned data slot. The event
+			// fires at the slot end, and the overlap slot's event lands in
+			// the next cycle, so recover the owning cycle by matching the
+			// layout-predicted end time (same rule as the stitcher).
+			for _, cand := range []int{e.Cycle, e.Cycle - 1} {
+				cc, ok := cycles[cand]
+				if !ok {
+					continue
+				}
+				cl, ok := layoutOf(cc.format)
+				if !ok || e.Slot < 0 || e.Slot >= len(cl.ReverseData) {
+					continue
+				}
+				iv := cl.ReverseData[e.Slot]
+				if cc.at+iv.End != e.At {
+					continue
+				}
+				out = append(out, slotX(fmt.Sprintf("u%d contention (%s)", e.User, e.Detail), "contention",
+					cc.at+iv.Start, iv.Duration(), perfettoTidReverse, cand, e.Slot, e.User))
+				break
+			}
+		case core.EventForwardTx:
+			if e.Slot >= 0 && e.Slot < len(l.ForwardData) {
+				iv := l.ForwardData[e.Slot]
+				out = append(out, slotX(fmt.Sprintf("u%d fwd", e.User), "forward",
+					c.at+iv.Start, iv.Duration(), perfettoTidForward, e.Cycle, e.Slot, e.User))
+			}
+		}
+	}
+	return out
+}

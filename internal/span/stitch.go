@@ -1,0 +1,646 @@
+package span
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+)
+
+// Stitch folds a recorded trace-event stream into lifecycle traces.
+//
+// The stitcher leans on the timing contract of the core event stream:
+// EventCycleStart fires at the forward cycle start t0 carrying the
+// reverse format, slot grants are announced at t0, EventGPSRx fires at
+// its slot's start and EventDataRx at its slot's end. Slot intervals
+// are reconstructed through core.NewLayout, which makes the δ shift
+// between the forward announcement and the reverse slot explicit in the
+// resulting spans. Streams with unknown cycle formats (synthetic
+// fixtures, filtered captures) degrade gracefully: interval math is
+// skipped and the affected spans collapse to zero width instead of
+// failing.
+func Stitch(events []core.TraceEvent) *Set {
+	st := newStitcher()
+	st.indexCycles(events)
+	for _, e := range events {
+		st.consume(e)
+	}
+	st.finish()
+	return st.set
+}
+
+// cycleInfo is the per-cycle context gathered in the indexing pass.
+type cycleInfo struct {
+	at       time.Duration
+	atKnown  bool
+	format   core.ReverseFormat // 0 when unparseable
+	gpsGrant map[frame.UserID]int
+}
+
+// fragSeg is one received data fragment placed on the timeline.
+type fragSeg struct {
+	cycle, slot                 int
+	grantAt, slotStart, slotEnd time.Duration
+	format                      core.ReverseFormat
+	detail                      string
+}
+
+// msgBuilder accumulates one uplink message lifecycle.
+type msgBuilder struct {
+	tr          *Trace
+	firstContTx time.Duration
+	contCount   int
+	demandAt    time.Duration
+	hasDemand   bool
+	hasCont     bool
+	frags       []fragSeg
+	fragSeen    map[int]bool
+	partial     bool
+}
+
+// gpsBuilder accumulates one GPS report lifecycle.
+type gpsBuilder struct {
+	tr         *Trace
+	lateDetail string
+}
+
+type stitcher struct {
+	set      *Set
+	cycles   map[int]*cycleInfo
+	cycleIdx []int // sorted cycle numbers with known start times
+	layouts  map[core.ReverseFormat]core.Layout
+	msgs     map[frame.UserID][]*msgBuilder
+	gps      map[frame.UserID]*gpsBuilder
+	gpsSeq   map[frame.UserID]int
+	idSeen   map[string]int
+	lastAt   time.Duration
+}
+
+func newStitcher() *stitcher {
+	return &stitcher{
+		set:     &Set{},
+		cycles:  make(map[int]*cycleInfo),
+		layouts: make(map[core.ReverseFormat]core.Layout),
+		msgs:    make(map[frame.UserID][]*msgBuilder),
+		gps:     make(map[frame.UserID]*gpsBuilder),
+		gpsSeq:  make(map[frame.UserID]int),
+		idSeen:  make(map[string]int),
+	}
+}
+
+// indexCycles records each cycle's start time, reverse format and GPS
+// grant table before the stitching pass, so slot math and per-cycle
+// wait attribution never depend on event lookahead.
+func (st *stitcher) indexCycles(events []core.TraceEvent) {
+	for _, e := range events {
+		switch e.Kind {
+		case core.EventCycleStart:
+			ci := st.cycle(e.Cycle)
+			if !ci.atKnown {
+				ci.at = e.At
+				ci.atKnown = true
+				st.cycleIdx = append(st.cycleIdx, e.Cycle)
+			}
+			switch e.Detail {
+			case core.Format1.String():
+				ci.format = core.Format1
+			case core.Format2.String():
+				ci.format = core.Format2
+			}
+		case core.EventGPSSlotGrant:
+			ci := st.cycle(e.Cycle)
+			if ci.gpsGrant == nil {
+				ci.gpsGrant = make(map[frame.UserID]int)
+			}
+			ci.gpsGrant[e.User] = e.Slot
+		}
+		if e.Cycle+1 > st.set.Cycles {
+			st.set.Cycles = e.Cycle + 1
+		}
+	}
+	sort.Ints(st.cycleIdx)
+}
+
+func (st *stitcher) cycle(k int) *cycleInfo {
+	ci := st.cycles[k]
+	if ci == nil {
+		ci = &cycleInfo{}
+		st.cycles[k] = ci
+	}
+	return ci
+}
+
+func (st *stitcher) layout(f core.ReverseFormat) (core.Layout, bool) {
+	if f != core.Format1 && f != core.Format2 {
+		return core.Layout{}, false
+	}
+	l, ok := st.layouts[f]
+	if !ok {
+		l = core.NewLayout(f)
+		st.layouts[f] = l
+	}
+	return l, true
+}
+
+func (st *stitcher) consume(e core.TraceEvent) {
+	st.set.Events++
+	if e.At > st.lastAt {
+		st.lastAt = e.At
+	}
+	switch e.Kind {
+	case core.EventMessageQueued:
+		msgID, _ := detailInt(e.Detail, "msg")
+		bytes, _ := detailInt(e.Detail, "bytes")
+		st.openMsg(e.User, msgID, bytes, e.At)
+	case core.EventContentionTx:
+		if e.Detail != frame.TypeReservation.String() {
+			return // registration attempts precede any traced lifecycle
+		}
+		for _, b := range st.msgs[e.User] {
+			if !b.hasDemand {
+				if !b.hasCont {
+					b.hasCont = true
+					b.firstContTx = e.At
+				}
+				b.contCount++
+				break
+			}
+		}
+	case core.EventReservationRx, core.EventPiggybackRx:
+		// The base now knows the user's whole queue: every open message
+		// without a heard demand is covered by this announcement.
+		for _, b := range st.msgs[e.User] {
+			if !b.hasDemand {
+				b.hasDemand = true
+				b.demandAt = e.At
+			}
+		}
+	case core.EventDataRx:
+		var msgID, frag, total int
+		if _, err := fmt.Sscanf(e.Detail, "msg=%d frag=%d/%d", &msgID, &frag, &total); err != nil {
+			return
+		}
+		b := st.findMsg(e.User, msgID)
+		if b == nil {
+			// Message queued before the capture started: synthesize a
+			// partial trace anchored at this first observed fragment.
+			b = st.openMsg(e.User, msgID, 0, e.At)
+			b.partial = true
+		}
+		seg := st.dataSlotTimes(e.Cycle, e.Slot, e.At)
+		seg.detail = fmt.Sprintf("frag %d/%d", frag, total)
+		if b.fragSeen[frag] {
+			b.tr.Retx++
+			seg.detail += " (retx)"
+		}
+		b.fragSeen[frag] = true
+		if !b.hasDemand {
+			// Served without an observed request (e.g. lump allocation
+			// from an earlier piggyback): demand was implicitly known by
+			// the granting announcement.
+			b.hasDemand = true
+			b.demandAt = seg.grantAt
+			if b.demandAt < b.tr.Start {
+				b.demandAt = b.tr.Start
+			}
+		}
+		if b.partial && seg.grantAt < b.tr.Start {
+			b.tr.Start = seg.grantAt
+		}
+		b.frags = append(b.frags, seg)
+	case core.EventMessageComplete:
+		msgID, ok := detailInt(e.Detail, "msg")
+		if !ok {
+			return
+		}
+		if b := st.findMsg(e.User, msgID); b != nil {
+			st.closeMsg(b, e.At, true, "")
+		}
+	case core.EventGPSQueued:
+		if e.User == frame.NoUser {
+			return
+		}
+		if b := st.gps[e.User]; b != nil {
+			// No violation event preceded (filtered stream): close the
+			// superseded report explicitly rather than leaking it.
+			st.closeGPSWait(b, e.At, false, false, "replaced")
+		}
+		st.openGPS(e.User, e.At)
+	case core.EventGPSDeadlineViolation:
+		b := st.gps[e.User]
+		if b == nil {
+			return
+		}
+		if strings.HasPrefix(e.Detail, "stale") {
+			st.closeGPSWait(b, e.At, true, true, e.Detail)
+		} else {
+			// "late": the report is transmitting right now; the matching
+			// EventGPSRx or EventGPSLost closes the trace.
+			b.tr.Violation = true
+			b.lateDetail = e.Detail
+		}
+	case core.EventGPSRx:
+		if b := st.gps[e.User]; b != nil {
+			st.closeGPSServed(b, e, true, e.Detail)
+		}
+	case core.EventGPSLost:
+		if b := st.gps[e.User]; b != nil {
+			st.closeGPSServed(b, e, false, "lost on air: "+e.Detail)
+		}
+	}
+}
+
+// finish closes every still-open lifecycle at the stream end.
+func (st *stitcher) finish() {
+	for _, bs := range st.msgs {
+		for _, b := range bs {
+			st.closeMsg(b, st.lastAt, false, "unfinished at trace end")
+		}
+	}
+	for _, b := range st.gps {
+		st.closeGPSWait(b, st.lastAt, false, false, "unfinished at trace end")
+	}
+	st.msgs = make(map[frame.UserID][]*msgBuilder)
+	st.gps = make(map[frame.UserID]*gpsBuilder)
+	sort.SliceStable(st.set.Traces, func(i, j int) bool {
+		a, b := st.set.Traces[i], st.set.Traces[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.User != b.User {
+			return a.User < b.User
+		}
+		return a.ID < b.ID
+	})
+}
+
+func (st *stitcher) openMsg(user frame.UserID, msgID, bytes int, at time.Duration) *msgBuilder {
+	base := traceID(KindMessage, user, msgID, 0)
+	n := st.idSeen[base]
+	st.idSeen[base] = n + 1
+	b := &msgBuilder{
+		tr: &Trace{
+			ID:       traceID(KindMessage, user, msgID, n),
+			Kind:     KindMessage,
+			KindName: KindMessage.String(),
+			User:     user,
+			MsgID:    msgID,
+			Bytes:    bytes,
+			Start:    at,
+		},
+		fragSeen: make(map[int]bool),
+	}
+	st.msgs[user] = append(st.msgs[user], b)
+	return b
+}
+
+func (st *stitcher) findMsg(user frame.UserID, msgID int) *msgBuilder {
+	for _, b := range st.msgs[user] {
+		if b.tr.MsgID == msgID {
+			return b
+		}
+	}
+	return nil
+}
+
+func (st *stitcher) removeMsg(b *msgBuilder) {
+	bs := st.msgs[b.tr.User]
+	for i, x := range bs {
+		if x == b {
+			st.msgs[b.tr.User] = append(bs[:i], bs[i+1:]...)
+			return
+		}
+	}
+}
+
+func (st *stitcher) openGPS(user frame.UserID, at time.Duration) {
+	seq := st.gpsSeq[user]
+	st.gpsSeq[user] = seq + 1
+	st.gps[user] = &gpsBuilder{
+		tr: &Trace{
+			ID:       traceID(KindGPS, user, seq, 0),
+			Kind:     KindGPS,
+			KindName: KindGPS.String(),
+			User:     user,
+			MsgID:    seq,
+			Start:    at,
+		},
+	}
+}
+
+// dataSlotTimes places a data fragment on the timeline. The event's
+// Cycle field is the cycle current when the slot *ended*; the last data
+// slot of cycle k runs past the start of cycle k+1 (the CF2 overlap),
+// so the slot's owning cycle is found by checking which candidate's
+// layout reproduces the observed end time exactly.
+func (st *stitcher) dataSlotTimes(evCycle, slot int, at time.Duration) fragSeg {
+	for _, c := range []int{evCycle, evCycle - 1} {
+		ci := st.cycles[c]
+		if ci == nil || !ci.atKnown {
+			continue
+		}
+		l, ok := st.layout(ci.format)
+		if !ok || slot < 0 || slot >= len(l.ReverseData) {
+			continue
+		}
+		iv := l.ReverseData[slot]
+		if ci.at+iv.End == at {
+			return fragSeg{
+				cycle:     c,
+				slot:      slot,
+				grantAt:   ci.at,
+				slotStart: ci.at + iv.Start,
+				slotEnd:   at,
+				format:    ci.format,
+			}
+		}
+	}
+	// Unknown format or synthetic stream: degrade to a zero-width slot
+	// at the observation time.
+	seg := fragSeg{cycle: evCycle, slot: slot, grantAt: at, slotStart: at, slotEnd: at}
+	if ci := st.cycles[evCycle]; ci != nil && ci.atKnown && ci.at <= at {
+		seg.grantAt = ci.at
+		seg.format = ci.format
+	}
+	return seg
+}
+
+// gpsSlotTimes returns the slot interval for a GPS transmission whose
+// start time is known (EventGPSRx/EventGPSLost fire at slot start).
+func (st *stitcher) gpsSlotTimes(cycle, slot int, start time.Duration) (end time.Duration, format core.ReverseFormat) {
+	ci := st.cycles[cycle]
+	if ci == nil {
+		return start, 0
+	}
+	l, ok := st.layout(ci.format)
+	if !ok || slot < 0 || slot >= len(l.GPS) {
+		return start, ci.format
+	}
+	return start + l.GPS[slot].Duration(), ci.format
+}
+
+// closeMsg finalizes a message trace: root span plus critical-path
+// phase spans.
+func (st *stitcher) closeMsg(b *msgBuilder, end time.Duration, complete bool, detail string) {
+	st.removeMsg(b)
+	tr := b.tr
+	tr.End = end
+	tr.Complete = complete
+	if end < tr.Start {
+		tr.End = tr.Start
+	}
+
+	f := newFinalizer(tr)
+	sort.SliceStable(b.frags, func(i, j int) bool { return b.frags[i].slotStart < b.frags[j].slotStart })
+
+	cursor := tr.Start
+	if b.hasDemand && b.demandAt > cursor {
+		if b.hasCont && b.firstContTx < b.demandAt {
+			if b.firstContTx > cursor {
+				f.add(PhaseQueueWait, cursor, b.firstContTx, -1, -1, "", "")
+			}
+			from := b.firstContTx
+			if from < cursor {
+				from = cursor
+			}
+			f.add(PhaseContention, from, b.demandAt, -1, -1, "",
+				fmt.Sprintf("%d reservation attempt(s)", b.contCount))
+		} else {
+			f.add(PhaseQueueWait, cursor, b.demandAt, -1, -1, "", "")
+		}
+		cursor = b.demandAt
+	}
+	for _, seg := range b.frags {
+		if seg.grantAt > cursor {
+			f.add(PhaseCFWait, cursor, seg.grantAt, seg.cycle, -1, "", "")
+			cursor = seg.grantAt
+		}
+		if seg.slotStart > cursor {
+			f.add(PhaseSlotWait, cursor, seg.slotStart, seg.cycle, seg.slot, formatName(seg.format), "")
+			cursor = seg.slotStart
+		}
+		if seg.slotEnd > cursor {
+			f.add(PhaseAirtime, cursor, seg.slotEnd, seg.cycle, seg.slot, formatName(seg.format), seg.detail)
+			cursor = seg.slotEnd
+		}
+	}
+	if tr.End > cursor {
+		f.add(PhaseCFWait, cursor, tr.End, -1, -1, "", "awaiting further grants")
+	}
+	if complete {
+		f.add(PhaseDecode, tr.End, tr.End, -1, -1, "", "rs decode + reassembly")
+	}
+
+	rootName := fmt.Sprintf("msg %d", tr.MsgID)
+	if tr.Bytes > 0 {
+		rootName = fmt.Sprintf("msg %d (%dB)", tr.MsgID, tr.Bytes)
+	}
+	rootDetail := detail
+	if b.partial {
+		if rootDetail != "" {
+			rootDetail += "; "
+		}
+		rootDetail += "queued before capture start"
+	}
+	f.seal(rootName, rootDetail)
+	st.set.Traces = append(st.set.Traces, tr)
+}
+
+// closeGPSServed finalizes a GPS report that reached its slot (received
+// or lost on air). e.At is the slot start.
+func (st *stitcher) closeGPSServed(b *gpsBuilder, e core.TraceEvent, complete bool, detail string) {
+	delete(st.gps, e.User)
+	tr := b.tr
+	slotStart := e.At
+	slotEnd, format := st.gpsSlotTimes(e.Cycle, e.Slot, slotStart)
+	tr.End = slotEnd
+	tr.Complete = complete
+
+	f := newFinalizer(tr)
+	cursor := tr.Start
+	if ci := st.cycles[e.Cycle]; ci != nil && ci.atKnown && ci.at > cursor && ci.at < slotStart {
+		// The report waited through earlier cycles: attribute each one,
+		// then hand over to the serving cycle's announcement.
+		if moved := st.addGPSWaitSegments(f, tr.User, cursor, ci.at); moved > cursor {
+			cursor = moved
+		}
+	}
+	if slotStart > cursor {
+		f.add(PhaseSlotWait, cursor, slotStart, e.Cycle, e.Slot, formatName(format), "")
+	}
+	if slotEnd > slotStart {
+		f.add(PhaseAirtime, slotStart, slotEnd, e.Cycle, e.Slot, formatName(format), "")
+	}
+	if complete {
+		f.add(PhaseDecode, slotEnd, slotEnd, -1, -1, "", "report decode")
+	}
+
+	rootDetail := detail
+	if b.lateDetail != "" {
+		if rootDetail != "" {
+			rootDetail += "; "
+		}
+		rootDetail += b.lateDetail
+	}
+	f.seal(fmt.Sprintf("gps %d", tr.MsgID), rootDetail)
+	st.set.Traces = append(st.set.Traces, tr)
+}
+
+// closeGPSWait finalizes a GPS report that never transmitted (stale
+// replacement or stream end): the whole window is wait time, attributed
+// cycle by cycle.
+func (st *stitcher) closeGPSWait(b *gpsBuilder, end time.Duration, violation, stale bool, detail string) {
+	delete(st.gps, b.tr.User)
+	tr := b.tr
+	tr.End = end
+	tr.Complete = false
+	tr.Violation = tr.Violation || violation
+	tr.Stale = stale
+	if tr.End < tr.Start {
+		tr.End = tr.Start
+	}
+
+	f := newFinalizer(tr)
+	cursor := st.addGPSWaitSegments(f, tr.User, tr.Start, tr.End)
+	if tr.End > cursor {
+		f.add(PhaseCFWait, cursor, tr.End, -1, -1, "", "no cycle information")
+	}
+	f.seal(fmt.Sprintf("gps %d", tr.MsgID), detail)
+	st.set.Traces = append(st.set.Traces, tr)
+}
+
+// addGPSWaitSegments attributes [from, to) of a waiting GPS report to
+// phases, one segment per notification cycle: slot-wait when the user
+// held a GPS grant that cycle (annotated with why the slot was
+// unreachable), cf-wait when it held none. Returns the new cursor.
+func (st *stitcher) addGPSWaitSegments(f *finalizer, user frame.UserID, from, to time.Duration) time.Duration {
+	if to <= from || len(st.cycleIdx) == 0 {
+		return from
+	}
+	// Find the cycle containing `from`.
+	i := sort.Search(len(st.cycleIdx), func(i int) bool {
+		return st.cycles[st.cycleIdx[i]].at > from
+	}) - 1
+	if i < 0 {
+		i = 0
+	}
+	cursor := from
+	for ; i < len(st.cycleIdx) && cursor < to; i++ {
+		c := st.cycleIdx[i]
+		ci := st.cycles[c]
+		if ci.at >= to {
+			break
+		}
+		segEnd := to
+		if i+1 < len(st.cycleIdx) {
+			if next := st.cycles[st.cycleIdx[i+1]].at; next < segEnd {
+				segEnd = next
+			}
+		}
+		if segEnd <= cursor {
+			continue
+		}
+		slot, granted := -1, false
+		if ci.gpsGrant != nil {
+			slot, granted = gpsGrantFor(ci.gpsGrant, user)
+		}
+		if granted {
+			reason := "granted slot unused"
+			if l, ok := st.layout(ci.format); ok && slot < len(l.GPS) {
+				slotStart := ci.at + l.GPS[slot].Start
+				switch {
+				case slotStart < cursor:
+					reason = fmt.Sprintf("slot %d opened %v before the report arrived", slot, cursor-slotStart)
+				case slotStart >= to:
+					reason = fmt.Sprintf("slot %d opens %v after the report was replaced", slot, slotStart-to)
+				}
+			}
+			f.add(PhaseSlotWait, cursor, segEnd, c, slot, formatName(ci.format), reason)
+		} else {
+			f.add(PhaseCFWait, cursor, segEnd, c, -1, "", "no GPS slot granted this cycle")
+		}
+		cursor = segEnd
+	}
+	return cursor
+}
+
+func gpsGrantFor(grants map[frame.UserID]int, user frame.UserID) (int, bool) {
+	s, ok := grants[user]
+	return s, ok
+}
+
+// finalizer assembles a trace's span slice: a root covering the whole
+// lifecycle and one child per critical-path segment.
+type finalizer struct {
+	tr     *Trace
+	phases []Span
+	counts [phaseCount]int
+}
+
+func newFinalizer(tr *Trace) *finalizer { return &finalizer{tr: tr} }
+
+// add appends a phase span; cycle and slot are -1 when unknown.
+func (f *finalizer) add(p Phase, start, end time.Duration, cycle, slot int, format, detail string) {
+	if end < start {
+		return
+	}
+	i := f.counts[p]
+	f.counts[p]++
+	f.phases = append(f.phases, Span{
+		TraceID:   f.tr.ID,
+		SpanID:    fmt.Sprintf("%s:%s-%d", f.tr.ID, p, i),
+		ParentID:  f.tr.ID + ":root",
+		Name:      p.String(),
+		Phase:     p,
+		PhaseName: p.String(),
+		User:      f.tr.User,
+		Start:     start,
+		End:       end,
+		Cycle:     cycle,
+		Slot:      slot,
+		Format:    format,
+		Detail:    detail,
+	})
+}
+
+// seal prepends the root span and installs the slice on the trace.
+func (f *finalizer) seal(name, detail string) {
+	root := Span{
+		TraceID: f.tr.ID,
+		SpanID:  f.tr.ID + ":root",
+		Name:    name,
+		User:    f.tr.User,
+		Start:   f.tr.Start,
+		End:     f.tr.End,
+		Cycle:   -1,
+		Slot:    -1,
+		Retx:    f.tr.Retx,
+		Detail:  detail,
+	}
+	f.tr.Spans = append([]Span{root}, f.phases...)
+}
+
+func formatName(f core.ReverseFormat) string {
+	if f == core.Format1 || f == core.Format2 {
+		return f.String()
+	}
+	return ""
+}
+
+// detailInt scans a "key=<int>" token out of an event detail string.
+func detailInt(detail, key string) (int, bool) {
+	prefix := key + "="
+	for _, tok := range strings.Fields(detail) {
+		if !strings.HasPrefix(tok, prefix) {
+			continue
+		}
+		var v int
+		if _, err := fmt.Sscanf(tok[len(prefix):], "%d", &v); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}

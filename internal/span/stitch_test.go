@@ -1,0 +1,443 @@
+package span_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	osumac "github.com/osu-netlab/osumac"
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/phy"
+	"github.com/osu-netlab/osumac/internal/span"
+)
+
+// runTraced executes a small scenario and returns its event stream.
+func runTraced(t *testing.T, scn osumac.Scenario) []core.TraceEvent {
+	t.Helper()
+	buf := &core.TraceBuffer{Cap: 1 << 20}
+	scn.Tracer = buf
+	if _, err := osumac.Run(scn); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return buf.Events()
+}
+
+func smallScenario() osumac.Scenario {
+	return osumac.Scenario{
+		Seed:      42,
+		GPSUsers:  4,
+		DataUsers: 5,
+		Load:      0.6,
+		Cycles:    40,
+	}
+}
+
+// checkTiling asserts a trace's phase spans partition [Start, End]
+// contiguously — the property the critical-path analyzer relies on.
+func checkTiling(t *testing.T, tr *span.Trace) {
+	t.Helper()
+	if len(tr.Spans) == 0 {
+		t.Fatalf("trace %s has no spans", tr.ID)
+	}
+	root := tr.Spans[0]
+	if root.SpanID != tr.ID+":root" || root.ParentID != "" {
+		t.Fatalf("trace %s: bad root span %+v", tr.ID, root)
+	}
+	cursor := tr.Start
+	for _, s := range tr.Spans[1:] {
+		if s.ParentID != root.SpanID {
+			t.Fatalf("trace %s: span %s parent = %q, want %q", tr.ID, s.SpanID, s.ParentID, root.SpanID)
+		}
+		if s.Start != cursor {
+			t.Fatalf("trace %s: span %s starts at %v, cursor at %v (gap or overlap)",
+				tr.ID, s.SpanID, s.Start, cursor)
+		}
+		if s.End < s.Start {
+			t.Fatalf("trace %s: span %s ends before it starts", tr.ID, s.SpanID)
+		}
+		cursor = s.End
+	}
+	if cursor != tr.End {
+		t.Fatalf("trace %s: phase spans end at %v, trace ends at %v", tr.ID, cursor, tr.End)
+	}
+}
+
+func TestStitchRealRunLifecycles(t *testing.T) {
+	events := runTraced(t, smallScenario())
+	set := span.Stitch(events)
+	if len(set.Traces) == 0 {
+		t.Fatal("no traces stitched from a loaded run")
+	}
+
+	var completeMsgs, completeGPS int
+	ids := make(map[string]bool)
+	for _, tr := range set.Traces {
+		if ids[tr.ID] {
+			t.Fatalf("duplicate trace ID %s", tr.ID)
+		}
+		ids[tr.ID] = true
+		checkTiling(t, tr)
+		if tr.Kind == span.KindMessage && tr.Complete {
+			completeMsgs++
+			var airtime time.Duration
+			for _, s := range tr.Spans {
+				if s.Phase == span.PhaseAirtime {
+					airtime += s.Duration()
+					if s.Slot < 0 {
+						t.Errorf("trace %s: airtime span without slot", tr.ID)
+					}
+					if s.Format == "" {
+						t.Errorf("trace %s: airtime span without format", tr.ID)
+					}
+				}
+			}
+			if airtime == 0 {
+				t.Errorf("complete message %s has zero airtime", tr.ID)
+			}
+		}
+		if tr.Kind == span.KindGPS && tr.Complete {
+			completeGPS++
+		}
+	}
+	if completeMsgs == 0 {
+		t.Error("no complete message traces")
+	}
+	if completeGPS == 0 {
+		t.Error("no complete GPS traces")
+	}
+
+	// The critical path must account for the whole lifecycle.
+	for _, tr := range set.Traces {
+		bd := tr.CriticalPath()
+		var sum time.Duration
+		for _, p := range span.AllPhases() {
+			sum += bd.ByPhase(p)
+		}
+		if sum != bd.Total {
+			t.Fatalf("trace %s: phases sum to %v, total %v", tr.ID, sum, bd.Total)
+		}
+	}
+}
+
+func TestStitchDeterministic(t *testing.T) {
+	a := span.Stitch(runTraced(t, smallScenario()))
+	b := span.Stitch(runTraced(t, smallScenario()))
+	aj, _ := json.Marshal(a.Traces)
+	bj, _ := json.Marshal(b.Traces)
+	if !bytes.Equal(aj, bj) {
+		t.Fatal("same-seed runs stitched to different trace sets")
+	}
+}
+
+// synthetic stream helpers ------------------------------------------------
+
+func ev(at time.Duration, cycle int, kind core.EventKind, user frame.UserID, slot int, detail string) core.TraceEvent {
+	return core.TraceEvent{At: at, Cycle: cycle, Kind: kind, User: user, Slot: slot, Detail: detail}
+}
+
+// TestStitchAcrossFormatSwitch walks a message through a reverse
+// format-1 cycle into a format-2 cycle and lands its final fragment in
+// data slot 8 — the slot that only exists because format 2 coalesces
+// the five unused GPS slots into one extra data slot, and whose
+// interval runs past the next cycle start (so its event is stamped
+// with the next cycle's index).
+func TestStitchAcrossFormatSwitch(t *testing.T) {
+	l1 := core.NewLayout(core.Format1)
+	l2 := core.NewLayout(core.Format2)
+	cyc := func(k int) time.Duration { return time.Duration(k) * phy.CycleLength }
+	user := frame.UserID(3)
+
+	lastSlot := l2.LastDataSlot()
+	if lastSlot != 8 {
+		t.Fatalf("format 2 last data slot = %d, want 8 (5-slot coalescing)", lastSlot)
+	}
+	if l1.LastDataSlot() != 7 {
+		t.Fatalf("format 1 last data slot = %d, want 7", l1.LastDataSlot())
+	}
+	// The coalesced slot's interval must spill past the next cycle start.
+	if cyc(1)+l2.ReverseData[lastSlot].End <= cyc(2) {
+		t.Fatal("format 2 overlap slot does not cross the cycle boundary")
+	}
+
+	events := []core.TraceEvent{
+		ev(0, 0, core.EventCycleStart, frame.NoUser, -1, "format1"),
+		ev(100*time.Millisecond, 0, core.EventMessageQueued, user, -1, "msg=7 bytes=240"),
+		// Reservation heard in cycle 0's slot 2 (format 1 timing).
+		ev(cyc(0)+l1.ReverseData[2].End, 0, core.EventContentionTx, user, 2, "reservation"),
+		ev(cyc(0)+l1.ReverseData[2].End, 0, core.EventReservationRx, user, 2, "2 slots"),
+		// Cycle 1 switches to format 2 and serves both fragments; the
+		// second lands in the coalesced slot 8.
+		ev(cyc(1), 1, core.EventCycleStart, frame.NoUser, -1, "format2"),
+		ev(cyc(1), 1, core.EventFormatSwitch, frame.NoUser, -1, "format1→format2"),
+		ev(cyc(1), 1, core.EventDataSlotGrant, user, 4, ""),
+		ev(cyc(1), 1, core.EventDataSlotGrant, user, lastSlot, ""),
+		ev(cyc(1)+l2.ReverseData[4].End, 1, core.EventDataRx, user, 4, "msg=7 frag=1/2"),
+		// Next cycle begins before the overlap slot ends: the DataRx
+		// event carries cycle 2, as in the live stream.
+		ev(cyc(2), 2, core.EventCycleStart, frame.NoUser, -1, "format2"),
+		ev(cyc(1)+l2.ReverseData[lastSlot].End, 2, core.EventDataRx, user, lastSlot, "msg=7 frag=2/2"),
+		ev(cyc(1)+l2.ReverseData[lastSlot].End, 2, core.EventMessageComplete, user, lastSlot, "msg=7 240B in 8s"),
+	}
+
+	set := span.Stitch(events)
+	tr := set.Find("u3-m7")
+	if tr == nil {
+		t.Fatalf("trace u3-m7 not stitched; have %d traces", len(set.Traces))
+	}
+	if !tr.Complete {
+		t.Fatal("message not marked complete")
+	}
+	checkTiling(t, tr)
+
+	var airtimes []span.Span
+	for _, s := range tr.Spans {
+		if s.Phase == span.PhaseAirtime {
+			airtimes = append(airtimes, s)
+		}
+	}
+	if len(airtimes) != 2 {
+		t.Fatalf("got %d airtime spans, want 2", len(airtimes))
+	}
+	// Both fragments belong to cycle 1 under format 2 — including the
+	// overlap fragment whose event was stamped cycle 2.
+	for _, s := range airtimes {
+		if s.Cycle != 1 {
+			t.Errorf("airtime span %s: cycle = %d, want 1", s.SpanID, s.Cycle)
+		}
+		if s.Format != "format2" {
+			t.Errorf("airtime span %s: format = %q, want format2", s.SpanID, s.Format)
+		}
+	}
+	if airtimes[1].Slot != lastSlot {
+		t.Errorf("second fragment slot = %d, want %d", airtimes[1].Slot, lastSlot)
+	}
+	wantStart := cyc(1) + l2.ReverseData[lastSlot].Start
+	if airtimes[1].Start != wantStart {
+		t.Errorf("overlap fragment starts at %v, want %v", airtimes[1].Start, wantStart)
+	}
+
+	// The wait between the cycle-0 reservation and the cycle-1 grant is
+	// CF wait, crossing the format switch.
+	bd := tr.CriticalPath()
+	if bd.ByPhase(span.PhaseCFWait) == 0 {
+		t.Error("no CF-wait attributed across the format switch")
+	}
+	if got := bd.ByPhase(span.PhaseContention) + bd.ByPhase(span.PhaseQueueWait); got == 0 {
+		t.Error("no pre-reservation wait attributed")
+	}
+}
+
+// TestStitchCF2ListenerForwardSlotExclusion builds the forward-channel
+// side of the CF2-listener rule: the listener (who transmitted in the
+// previous cycle's overlap slot) may not receive forward slot 0, which
+// sits between CF1 and CF2 — it is still listening for CF2 then. The
+// exporter must place the listener's forward occupancy strictly after
+// CF2 ends, and slot 0 for the other user strictly before CF2 starts.
+func TestStitchCF2ListenerForwardSlotExclusion(t *testing.T) {
+	l := core.NewLayout(core.Format1)
+	listener, other := frame.UserID(5), frame.UserID(2)
+
+	if l.ForwardData[0].End > l.CF2.Start {
+		t.Fatal("forward slot 0 should end before CF2 starts")
+	}
+	if l.ForwardData[1].Start < l.CF2.End {
+		t.Fatal("forward slot 1 should start after CF2 ends")
+	}
+
+	events := []core.TraceEvent{
+		ev(0, 0, core.EventCycleStart, frame.NoUser, -1, "format1"),
+		// sched.AssignForward gives slot 0 to a non-listener and the
+		// CF2 listener its first slot at index 1.
+		ev(l.ForwardData[0].End, 0, core.EventForwardTx, other, 0, "msg=1 frag=0"),
+		ev(l.ForwardData[1].End, 0, core.EventForwardTx, listener, 1, "msg=2 frag=0"),
+	}
+
+	var buf bytes.Buffer
+	if err := span.WritePerfetto(&buf, events); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+
+	usec := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	var sawListener, sawOther bool
+	for _, e := range file.TraceEvents {
+		switch e.Name {
+		case fmt.Sprintf("u%d fwd", listener):
+			sawListener = true
+			if e.Ts < usec(l.CF2.End) {
+				t.Errorf("listener forward tx at ts=%v overlaps CF2 (ends %v)", e.Ts, usec(l.CF2.End))
+			}
+		case fmt.Sprintf("u%d fwd", other):
+			sawOther = true
+			if e.Ts+e.Dur > usec(l.CF2.Start) {
+				t.Errorf("slot-0 forward tx runs to %v, into CF2 (starts %v)", e.Ts+e.Dur, usec(l.CF2.Start))
+			}
+		}
+	}
+	if !sawListener || !sawOther {
+		t.Fatalf("missing forward occupancy events (listener=%v other=%v)", sawListener, sawOther)
+	}
+}
+
+// TestStitchStaleGPSAttribution reproduces the stale-drop shape from
+// the ROADMAP autopsy: a report arrives just after its granted slot
+// opened, waits through the rest of the cycle plus the next cycle's
+// pre-slot region, and is replaced before transmitting. The analyzer
+// must attribute the whole window to slot-wait with a "slot opened
+// before the report arrived" miss reason.
+func TestStitchStaleGPSAttribution(t *testing.T) {
+	l := core.NewLayout(core.Format1)
+	cyc := func(k int) time.Duration { return time.Duration(k) * phy.CycleLength }
+	user := frame.UserID(1)
+	slot := 2
+	arrive := cyc(0) + l.GPS[slot].Start + 50*time.Millisecond  // just missed it
+	replaced := arrive + phy.CycleLength - 120*time.Millisecond // period < slot return
+
+	events := []core.TraceEvent{
+		ev(0, 0, core.EventCycleStart, frame.NoUser, -1, "format1"),
+		ev(0, 0, core.EventGPSSlotGrant, user, slot, ""),
+		ev(arrive, 0, core.EventGPSQueued, user, -1, ""),
+		ev(cyc(1), 1, core.EventCycleStart, frame.NoUser, -1, "format1"),
+		ev(cyc(1), 1, core.EventGPSSlotGrant, user, slot, ""),
+		ev(replaced, 1, core.EventGPSDeadlineViolation, user, -1,
+			"stale: previous report replaced before it could be transmitted"),
+		ev(replaced, 1, core.EventGPSQueued, user, -1, ""),
+	}
+
+	set := span.Stitch(events)
+	tr := set.Find("u1-g0")
+	if tr == nil {
+		t.Fatal("stale report trace not stitched")
+	}
+	if !tr.Violation || !tr.Stale || tr.Complete {
+		t.Fatalf("trace flags = complete=%v violation=%v stale=%v", tr.Complete, tr.Violation, tr.Stale)
+	}
+	checkTiling(t, tr)
+
+	bd := tr.CriticalPath()
+	if bd.Total != replaced-arrive {
+		t.Fatalf("total = %v, want %v", bd.Total, replaced-arrive)
+	}
+	if bd.ByPhase(span.PhaseSlotWait) != bd.Total {
+		t.Fatalf("slot-wait = %v, want the whole window %v (got cf-wait %v)",
+			bd.ByPhase(span.PhaseSlotWait), bd.Total, bd.ByPhase(span.PhaseCFWait))
+	}
+	var sawMissReason bool
+	for _, s := range bd.Segments {
+		if strings.Contains(s.Detail, "before the report arrived") {
+			sawMissReason = true
+		}
+	}
+	if !sawMissReason {
+		t.Fatalf("no miss reason in segments: %+v", bd.Segments)
+	}
+
+	// Second report: open at replacement, closed at stream end.
+	if tr2 := set.Find("u1-g1"); tr2 == nil {
+		t.Fatal("replacement report trace not stitched")
+	}
+}
+
+func TestDistributionAndJSONLRoundTrip(t *testing.T) {
+	events := runTraced(t, smallScenario())
+	set := span.Stitch(events)
+
+	d := span.NewDistribution(set)
+	if d.Traces != len(set.Traces) {
+		t.Fatalf("distribution traces = %d, want %d", d.Traces, len(set.Traces))
+	}
+	if d.Complete == 0 {
+		t.Fatal("no complete lifecycles in distribution")
+	}
+	air := d.Phase(span.PhaseAirtime.String())
+	if air == nil || air.Count == 0 || air.TotalSeconds <= 0 {
+		t.Fatalf("airtime stats missing or empty: %+v", air)
+	}
+	var bucketSum uint64
+	for _, b := range air.Buckets {
+		bucketSum += b
+	}
+	if int(bucketSum) != air.Count {
+		t.Fatalf("airtime buckets sum to %d, count is %d", bucketSum, air.Count)
+	}
+
+	var buf bytes.Buffer
+	if err := span.WriteJSONL(&buf, set); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	spans, err := span.DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatalf("DecodeJSONL: %v", err)
+	}
+	var want int
+	for _, tr := range set.Traces {
+		want += len(tr.Spans)
+	}
+	if len(spans) != want {
+		t.Fatalf("round-trip: %d spans, want %d", len(spans), want)
+	}
+	for _, s := range spans {
+		if s.PhaseName != "" {
+			if p, ok := span.ParsePhase(s.PhaseName); !ok || s.Phase != p {
+				t.Fatalf("span %s: phase not rebuilt on decode (%q → %v)", s.SpanID, s.PhaseName, s.Phase)
+			}
+		}
+	}
+}
+
+func TestPerfettoExportValid(t *testing.T) {
+	events := runTraced(t, smallScenario())
+	var buf bytes.Buffer
+	if err := span.WritePerfetto(&buf, events); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("not valid trace-event JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	var meta, spansN, channel int
+	for _, e := range file.TraceEvents {
+		switch {
+		case e.Ph == "M":
+			meta++
+		case e.Pid == 1:
+			spansN++
+		case e.Pid == 2:
+			channel++
+		}
+		if e.Ph == "X" && e.Ts < 0 {
+			t.Fatalf("negative timestamp on %q", e.Name)
+		}
+	}
+	if meta == 0 || spansN == 0 || channel == 0 {
+		t.Fatalf("missing track classes: meta=%d span=%d channel=%d", meta, spansN, channel)
+	}
+}
