@@ -13,11 +13,19 @@
 // per-cycle series, span distribution when captured) is written as
 // JSON — the input format of cmd/osumacdiff.
 //
+// With -conformance the run streams every protocol event through the
+// runtime invariant checker (internal/conformance): GPS report
+// deadlines on ideal channels, slot-assignment disjointness, the
+// format-switching rule, CF2-listener exclusion and grant-starvation
+// freedom. The verdict is appended to the report and any breach makes
+// the command exit nonzero.
+//
 // Examples:
 //
 //	osumacsim -gps 8 -data 10 -load 0.9 -cycles 500 -loss 0.05
 //	osumacsim -cycles 5000 -http :8080 -hold 1m
 //	osumacsim -cycles 300 -spans -export run-a.json
+//	osumacsim -gps 7 -data 8 -load 1.0 -cycles 500 -conformance
 package main
 
 import (
@@ -65,6 +73,8 @@ func run(args []string, out io.Writer) error {
 
 		spans      = fs.Bool("spans", false, "capture lifecycle spans and report the critical-path phase summary")
 		exportPath = fs.String("export", "", "write the telemetry snapshot (metrics, series, spans) as JSON to this file")
+		conf       = fs.Bool("conformance", false, "check protocol invariants at runtime and exit nonzero on any breach")
+		legacy     = fs.Bool("legacy-grants", false, "restore the pre-deadline-aware fixed GPS grant ordering (ablation baseline)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +92,7 @@ func run(args []string, out io.Writer) error {
 		ForwardLoss:         *fwdLoss,
 		DisableSecondCF:     *noCF2,
 		DisableDynamicSlots: *noDyn,
+		LegacyGPSGrants:     *legacy,
 	}
 
 	// Span capture rides the normal tracer hook; without -spans the
@@ -96,11 +107,24 @@ func run(args []string, out io.Writer) error {
 		scn.CollectSeries = true
 	}
 
+	// The conformance checker rides the tracer hook ahead of any span
+	// buffer, so both run paths (one-shot and -http chunked) feed it the
+	// same event stream.
+	var chk *osumac.ConformanceChecker
+	build := func() (*osumac.Network, error) {
+		if !*conf {
+			return osumac.Build(scn)
+		}
+		n, c, err := osumac.BuildChecked(scn)
+		chk = c
+		return n, err
+	}
+
 	var res *osumac.Result
 	if *httpAddr != "" {
 		// The live endpoint serves /series, so always collect it.
 		scn.CollectSeries = true
-		n, err := osumac.Build(scn)
+		n, err := build()
 		if err != nil {
 			return err
 		}
@@ -109,6 +133,19 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("no cycles to run")
 		}
 		if err := serveLive(n, total, *httpAddr, *pubEvery, *hold, out, buf); err != nil {
+			return err
+		}
+		res = osumac.Summarize(n)
+	} else if *conf {
+		n, err := build()
+		if err != nil {
+			return err
+		}
+		total := scn.WarmupCycles + scn.Cycles
+		if total <= 0 {
+			return fmt.Errorf("no cycles to run")
+		}
+		if err := n.Run(total); err != nil {
 			return err
 		}
 		res = osumac.Summarize(n)
@@ -135,6 +172,16 @@ func run(args []string, out io.Writer) error {
 	}
 	if dist != nil && !*asJSON {
 		reportSpans(out, dist)
+	}
+	if chk != nil {
+		rep := chk.Finish()
+		if err := rep.WriteText(out); err != nil {
+			return err
+		}
+		if !rep.OK() {
+			return fmt.Errorf("%d protocol invariant violation(s) over %d cycles",
+				len(rep.Violations)+rep.Truncated, rep.Cycles)
+		}
 	}
 	return nil
 }

@@ -58,6 +58,57 @@ func TestRunJSON(t *testing.T) {
 	}
 }
 
+// TestRunConformanceVerdict checks -conformance appends the checker's
+// verdict: a full-assertion pass on the default policy, and a relaxed
+// pass (deadline not asserted) under the legacy ablation, which has a
+// known deadline breach on the pinned ROADMAP scenario.
+func TestRunConformanceVerdict(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{
+		"-seed", "8188083318138684029", "-gps", "7", "-data", "8",
+		"-load", "1.0", "-cycles", "120", "-warmup", "5", "-conformance",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "conformance: OK — 5 invariants clean") {
+		t.Fatalf("missing full conformance verdict:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{
+		"-seed", "8188083318138684029", "-gps", "7", "-data", "8",
+		"-load", "1.0", "-cycles", "500", "-warmup", "20",
+		"-conformance", "-legacy-grants",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "conformance: OK — 4 invariants clean") {
+		t.Fatalf("legacy run should relax the deadline invariant:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "deadline violations     2") {
+		t.Fatalf("legacy run lost its pinned deadline violations:\n%s", out.String())
+	}
+}
+
+// TestRunConformanceWithSpansAndHTTP checks the checker chains ahead of
+// the span buffer on the -http chunked run path: both the span summary
+// and the conformance verdict appear.
+func TestRunConformanceWithSpansAndHTTP(t *testing.T) {
+	out := &lockedBuffer{}
+	if err := run([]string{
+		"-cycles", "25", "-warmup", "2", "-spans", "-conformance",
+		"-http", "127.0.0.1:0", "-publish-every", "9",
+	}, out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "lifecycle spans") {
+		t.Fatalf("span summary missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "conformance: OK") {
+		t.Fatalf("conformance verdict missing on the -http path:\n%s", out.String())
+	}
+}
+
 // lockedBuffer lets the test goroutine read command output while the
 // command goroutine is still writing it.
 type lockedBuffer struct {

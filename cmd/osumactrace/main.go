@@ -57,6 +57,7 @@ func run(args []string, out io.Writer) error {
 		kinds     = fs.String("kinds", "", "comma-separated event kinds to keep (empty = all; see -list-kinds)")
 		listKinds = fs.Bool("list-kinds", false, "print the known event kinds and exit")
 		user      = fs.Int("user", -1, "only events naming this user ID")
+		legacy    = fs.Bool("legacy-grants", false, "use the fixed (pre-deadline-aware) GPS grant ordering, reproducing the historical grant-starvation bug")
 		autopsy   = fs.Bool("autopsy", false, "reconstruct the story behind each GPS deadline violation")
 		critPath  = fs.Bool("critical-path", false, "stitch lifecycle spans and print per-violation phase breakdowns")
 		slowest   = fs.Int("slowest", 5, "with -critical-path and no violations, how many slowest lifecycles to break down")
@@ -94,14 +95,15 @@ func run(args []string, out io.Writer) error {
 	}
 
 	scn := osumac.Scenario{
-		Seed:          *seed,
-		GPSUsers:      *gps,
-		DataUsers:     *data,
-		Load:          *load,
-		VariableSizes: true,
-		Cycles:        *cycles,
-		ReverseLoss:   *loss,
-		Tracer:        tracer,
+		Seed:            *seed,
+		GPSUsers:        *gps,
+		DataUsers:       *data,
+		Load:            *load,
+		VariableSizes:   true,
+		Cycles:          *cycles,
+		ReverseLoss:     *loss,
+		LegacyGPSGrants: *legacy,
+		Tracer:          tracer,
 	}
 	n, err := osumac.Build(scn)
 	if err != nil {

@@ -123,13 +123,14 @@ func TestJSONLKindAndUserFilters(t *testing.T) {
 	}
 }
 
-// TestAutopsyCommand exercises -autopsy on the ROADMAP's latent GPS
-// deadline scenario; the text report must name victims and cycles.
+// TestAutopsyCommand exercises -autopsy on the ROADMAP's historical GPS
+// deadline scenario (reproduced via -legacy-grants now that the default
+// policy fixes it); the text report must name victims and cycles.
 func TestAutopsyCommand(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{
 		"-seed", "8188083318138684029", "-gps", "7", "-data", "8",
-		"-load", "1.0", "-cycles", "500", "-autopsy",
+		"-load", "1.0", "-cycles", "500", "-autopsy", "-legacy-grants",
 	}, &out); err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestAutopsyJSON(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{
 		"-seed", "8188083318138684029", "-gps", "7", "-data", "8",
-		"-load", "1.0", "-cycles", "500", "-autopsy", "-format", "jsonl",
+		"-load", "1.0", "-cycles", "500", "-autopsy", "-legacy-grants", "-format", "jsonl",
 	}, &out); err != nil {
 		t.Fatal(err)
 	}
@@ -241,14 +242,16 @@ func TestCriticalPathJSONL(t *testing.T) {
 	}
 }
 
-// TestCriticalPathPinnedViolations is the acceptance check: the pinned
-// ROADMAP scenario has two GPS deadline violations and -critical-path
-// must produce a phase breakdown for each.
+// TestCriticalPathPinnedViolations is the acceptance check: under the
+// legacy grant policy the pinned ROADMAP scenario has two GPS deadline
+// violations and -critical-path must produce a phase breakdown for
+// each. (The default deadline-aware policy records none; see the
+// regression tests at the repo root.)
 func TestCriticalPathPinnedViolations(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{
 		"-seed", "8188083318138684029", "-gps", "7", "-data", "8",
-		"-load", "1.0", "-cycles", "500", "-critical-path",
+		"-load", "1.0", "-cycles", "500", "-critical-path", "-legacy-grants",
 	}, &out); err != nil {
 		t.Fatal(err)
 	}

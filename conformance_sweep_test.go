@@ -1,0 +1,106 @@
+package osumac_test
+
+// Seeded conformance sweep (ISSUE 5): run the runtime protocol-invariant
+// checker across the full GPS-population grid on ideal channels. Every
+// cell must be clean — zero deadline violations, disjoint slot
+// assignments, correct format switching, CF2-listener exclusion, and no
+// GPS user left ungranted for a full cycle. The grid is seeded and
+// deterministic; a failing cell reports its exact scenario so it can be
+// replayed with `osumactrace autopsy`.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	osumac "github.com/osu-netlab/osumac"
+)
+
+func TestConformanceSweepIdealChannels(t *testing.T) {
+	seeds := []uint64{1, 42, 8188083318138684029}
+	cycles := 250
+	if testing.Short() {
+		seeds = seeds[:1]
+		cycles = 120
+	}
+	for gps := 1; gps <= 8; gps++ {
+		for _, data := range []int{4, 8} {
+			for _, load := range []float64{0.5, 1.0} {
+				for _, seed := range seeds {
+					scn := osumac.Scenario{
+						Seed:          seed,
+						GPSUsers:      gps,
+						DataUsers:     data,
+						Load:          load,
+						VariableSizes: true,
+						Cycles:        cycles,
+						WarmupCycles:  10,
+						Conformance:   true,
+					}
+					name := fmt.Sprintf("gps%d/data%d/load%.1f/seed%d", gps, data, load, seed)
+					t.Run(name, func(t *testing.T) {
+						if _, err := osumac.Run(scn); err != nil {
+							t.Fatalf("scenario %+v breached protocol invariants:\n%s",
+								scn, conformanceReport(t, err))
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceSweepDegradedModes runs the checker over the ablation
+// configurations: lossy channels and the legacy grant policy relax the
+// hard deadline invariant (the checker drops DeadlineMustHold), but the
+// structural invariants must still hold.
+func TestConformanceSweepDegradedModes(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*osumac.Scenario)
+	}{
+		{"reverse-loss", func(s *osumac.Scenario) { s.ReverseLoss = 0.05 }},
+		{"forward-loss", func(s *osumac.Scenario) { s.ForwardLoss = 0.05 }},
+		{"legacy-grants", func(s *osumac.Scenario) { s.LegacyGPSGrants = true }},
+		{"static-format", func(s *osumac.Scenario) { s.DisableDynamicSlots = true }},
+		{"single-cf", func(s *osumac.Scenario) { s.DisableSecondCF = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			scn := osumac.Scenario{
+				Seed:          7,
+				GPSUsers:      7,
+				DataUsers:     8,
+				Load:          1.0,
+				VariableSizes: true,
+				Cycles:        200,
+				WarmupCycles:  10,
+				Conformance:   true,
+			}
+			if testing.Short() {
+				scn.Cycles = 100
+			}
+			tc.mut(&scn)
+			if _, err := osumac.Run(scn); err != nil {
+				t.Fatalf("degraded scenario %+v breached structural invariants:\n%s",
+					scn, conformanceReport(t, err))
+			}
+		})
+	}
+}
+
+// conformanceReport renders the checker's full report — including
+// critical-path breakdowns for deadline breaches — from a Run error.
+func conformanceReport(t *testing.T, err error) string {
+	t.Helper()
+	var cerr *osumac.ConformanceError
+	if !errors.As(err, &cerr) {
+		return fmt.Sprintf("(non-conformance error) %v", err)
+	}
+	var buf bytes.Buffer
+	if werr := cerr.Report.WriteText(&buf); werr != nil {
+		t.Fatal(werr)
+	}
+	return buf.String()
+}

@@ -71,11 +71,13 @@ func TestPropertyScenarioInvariants(t *testing.T) {
 	}
 	// Pinned RNG: quick.Check's default time seed makes the drawn
 	// scenarios differ per run, so CI would fail only when it happens
-	// to draw a latent edge case. One such draw is already known
+	// to draw a latent edge case. One such draw used to exist
 	// (Seed=8188083318138684029, 7 GPS users, load 1.0 → 2 GPS
-	// deadline violations on an ideal channel; see ROADMAP open
-	// items). FuzzScenario keeps exploring randomly; this test stays
-	// reproducible like everything else in the repo.
+	// deadline violations on an ideal channel, fixed by the
+	// deadline-aware grant policy and pinned in
+	// gps_deadline_regression_test.go). FuzzScenario keeps exploring
+	// randomly; this test stays reproducible like everything else in
+	// the repo.
 	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(1))}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)

@@ -1,13 +1,21 @@
 package osumac_test
 
-// Pinned reproduction of the latent GPS-deadline scheduling edge
-// recorded in ROADMAP.md (see also ISSUE 3): on an ideal channel with a
-// near-full GPS population under saturation, two reports out of ~291
-// miss the 4 s deadline. The tests below (a) pin the reproduction so
-// the bug cannot drift silently, (b) assert the obs autopsy tooling
-// fully reconstructs both violations, and (c) keep the broken
-// "zero violations on an ideal channel" property visible as a known
-// failure instead of a silent skip.
+// Regression coverage for the GPS-deadline scheduling edge recorded in
+// ROADMAP.md (see also ISSUE 3 and ISSUE 5): on an ideal channel with a
+// near-full GPS population under saturation, the original table-pinned
+// grant ordering let two reports out of ~291 miss the 4 s deadline — a
+// user admitted through the previous cycle's overlapping last data slot
+// saw its first grant a full cycle later, at a fixed high slot index
+// whose start fell past the first report's replacement deadline.
+//
+// The deadline-aware grant policy (earliest-report-deadline-first
+// rotation plus second-control-field grant amendment, ISSUE 5's
+// tentpole) closes the edge. The tests below (a) assert the pinned
+// scenario is now clean under the default policy, (b) keep the
+// historical failure reproducible behind Scenario.LegacyGPSGrants and
+// assert the obs autopsy tooling still fully reconstructs both
+// violations, and (c) assert the paper's zero-violation ideal-channel
+// property holds.
 
 import (
 	"bytes"
@@ -32,12 +40,14 @@ func roadmapScenario() osumac.Scenario {
 	return scn
 }
 
-// roadmapViolations is what the pinned scenario currently records.
-const roadmapViolations = 2
+// legacyRoadmapViolations is what the pinned scenario records under the
+// historical fixed-slot grant ordering.
+const legacyRoadmapViolations = 2
 
-func runRoadmapTraced(t *testing.T) (*osumac.Result, []osumac.TraceEvent) {
+func runRoadmapTraced(t *testing.T, legacy bool) (*osumac.Result, []osumac.TraceEvent) {
 	t.Helper()
 	scn := roadmapScenario()
+	scn.LegacyGPSGrants = legacy
 	buf := &osumac.TraceBuffer{Cap: 1 << 20}
 	scn.Tracer = buf
 	n, err := osumac.Build(scn)
@@ -53,17 +63,43 @@ func runRoadmapTraced(t *testing.T) (*osumac.Result, []osumac.TraceEvent) {
 	return osumac.Summarize(n), buf.Events()
 }
 
-// TestRoadmapGPSDeadlineScenarioPinned locks the reproduction in place:
-// if the count moves, either the bug was fixed (update ROADMAP.md and
-// these tests) or the scheduler regressed further.
+// TestRoadmapGPSDeadlineScenarioPinned locks the fix in place: under
+// the default deadline-aware grant policy the pinned ROADMAP scenario
+// must record zero violations, in the metrics and in the trace alike.
 func TestRoadmapGPSDeadlineScenarioPinned(t *testing.T) {
-	res, events := runRoadmapTraced(t)
-	switch v := res.GPSDeadlineViolations; {
-	case v == 0:
-		t.Fatalf("pinned scenario records no violations — the latent ROADMAP bug is apparently " +
-			"fixed; update ROADMAP.md and this test (ISSUE 3)")
-	case v != roadmapViolations:
-		t.Fatalf("pinned scenario records %d violations, expected %d — scheduling behavior drifted", v, roadmapViolations)
+	res, events := runRoadmapTraced(t, false)
+	if v := res.GPSDeadlineViolations; v != 0 {
+		t.Fatalf("pinned scenario records %d violations under the deadline-aware policy, want 0 — "+
+			"the scheduler regressed; run `osumactrace -seed 8188083318138684029 -gps 7 -data 8 "+
+			"-load 1.0 -cycles 500 -autopsy` for the reconstruction", v)
+	}
+	for _, e := range events {
+		if e.Kind == core.EventGPSDeadlineViolation {
+			t.Fatalf("metrics count no violations but the trace carries one: %+v", e)
+		}
+	}
+	// The fix's mechanism must be visible in the trace: the overlap-slot
+	// admissions that used to starve are repaired by CF2 grant
+	// amendments.
+	amended := 0
+	for _, e := range events {
+		if e.Kind == core.EventGPSSlotGrant && e.Detail == "cf2-amend" {
+			amended++
+		}
+	}
+	if amended == 0 {
+		t.Fatal("no cf2-amend GPS grants in the trace — the deadline policy's CF2 repair never fired")
+	}
+}
+
+// TestLegacyGrantsReproduceRoadmapViolations pins the historical
+// failure behind Scenario.LegacyGPSGrants so the bug reproduction (and
+// ROADMAP's narrative) cannot drift silently.
+func TestLegacyGrantsReproduceRoadmapViolations(t *testing.T) {
+	res, events := runRoadmapTraced(t, true)
+	if v := res.GPSDeadlineViolations; v != legacyRoadmapViolations {
+		t.Fatalf("legacy policy records %d violations, expected %d — the pinned reproduction drifted",
+			v, legacyRoadmapViolations)
 	}
 	// The trace must carry one violation event per counted violation.
 	traced := 0
@@ -72,21 +108,21 @@ func TestRoadmapGPSDeadlineScenarioPinned(t *testing.T) {
 			traced++
 		}
 	}
-	if traced != roadmapViolations {
+	if traced != legacyRoadmapViolations {
 		t.Fatalf("metrics count %d violations but the trace carries %d violation events",
-			roadmapViolations, traced)
+			legacyRoadmapViolations, traced)
 	}
 }
 
 // TestRoadmapAutopsyCapturesBothViolations asserts the autopsy turns
-// the latent bug into a readable, attributed report: each violation
+// the historical bug into a readable, attributed report: each violation
 // names its victim and cycle and carries schedule context, a victim
 // timeline, and diagnosis notes.
 func TestRoadmapAutopsyCapturesBothViolations(t *testing.T) {
-	_, events := runRoadmapTraced(t)
+	_, events := runRoadmapTraced(t, true)
 	rep := obs.RunAutopsy(events, 0)
-	if len(rep.Violations) != roadmapViolations {
-		t.Fatalf("autopsy found %d violations, want %d", len(rep.Violations), roadmapViolations)
+	if len(rep.Violations) != legacyRoadmapViolations {
+		t.Fatalf("autopsy found %d violations, want %d", len(rep.Violations), legacyRoadmapViolations)
 	}
 	var text bytes.Buffer
 	if err := rep.WriteText(&text); err != nil {
@@ -119,19 +155,17 @@ func TestRoadmapAutopsyCapturesBothViolations(t *testing.T) {
 
 // TestIdealChannelGPSDeadlineProperty is the paper's real-time claim
 // (§2.2, §5): on an ideal channel every GPS report meets the 4 s
-// deadline. The pinned scenario breaks it. Until the scheduler corner
-// is fixed this is a KNOWN FAILURE — asserted explicitly so the suite
-// still passes, but loudly, instead of silently skipping the property.
+// deadline. The pinned scenario used to break it (a KNOWN FAILURE
+// inversion lived here); the deadline-aware grant policy restores the
+// property and this test now asserts it directly.
 func TestIdealChannelGPSDeadlineProperty(t *testing.T) {
 	res, err := osumac.Run(roadmapScenario())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.GPSDeadlineViolations == 0 {
-		t.Fatal("zero-violation property holds again — remove the known-failure inversion " +
-			"here, update ROADMAP.md, and close out ISSUE 3's satellite")
+	if v := res.GPSDeadlineViolations; v != 0 {
+		t.Fatalf("%d GPS deadline violations on an ideal channel, want 0; "+
+			"run `osumactrace -seed 8188083318138684029 -gps 7 -data 8 -load 1.0 -cycles 500 -autopsy` "+
+			"for the reconstruction", v)
 	}
-	t.Logf("KNOWN FAILURE (ROADMAP latent edge, ISSUE 3): %d GPS deadline violations on an ideal channel; "+
-		"run `osumactrace -seed 8188083318138684029 -gps 7 -data 8 -load 1.0 -cycles 500 -autopsy` for the reconstruction",
-		res.GPSDeadlineViolations)
 }

@@ -1,0 +1,497 @@
+// Package conformance checks protocol invariants at runtime against the
+// trace-event stream of a running cell.
+//
+// The checker is a core.Tracer: attach it as (or chain it in front of)
+// a scenario's tracer and every event is verified as it is emitted,
+// with per-cycle invariants settled at the next cycle boundary. It
+// asserts the structural rules the OSU-MAC base station must never
+// break — schedule disjointness, the format-selection rule, the second
+// control-field listener exclusions, GPS grant starvation-freedom — and
+// optionally the paper's real-time guarantee itself (zero GPS deadline
+// violations), which holds on ideal channels under the deadline-aware
+// grant policy.
+//
+// Violations carry the cycle, user, and slot involved; with KeepEvents
+// set, the report also attaches critical-path breakdowns (via
+// internal/span) for every GPS deadline violation, so a failing run
+// explains where the victim's time went.
+package conformance
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/phy"
+	"github.com/osu-netlab/osumac/internal/span"
+)
+
+// Invariant names, as reported in Violation.Invariant.
+const (
+	// InvGPSDeadline: no GPS report misses its access deadline. Checked
+	// only when Options.DeadlineMustHold (ideal channels, default
+	// protocol configuration).
+	InvGPSDeadline = "gps-deadline"
+	// InvSlotDisjoint: within one cycle no slot is granted twice, no
+	// grant lands outside the announced format's on-air slots, no user
+	// holds two GPS slots, and GPS grants name registered users only.
+	InvSlotDisjoint = "slot-disjoint"
+	// InvFormatRule: the announced reverse format matches the GPS
+	// population (≤3 registered GPS users ⇒ format 2, else format 1).
+	// Checked only when Options.DynamicSlots.
+	InvFormatRule = "format-rule"
+	// InvCF2Exclusion: the second control-field listener is never
+	// granted forward slot 0 (paper §3.4 problem 1) nor any reverse
+	// slot starting before it has heard CF2 and retuned. Checked only
+	// when Options.SecondControlField.
+	InvCF2Exclusion = "cf2-forward-exclusion"
+	// InvGPSStarvation: every user registered for a full cycle receives
+	// at least one GPS grant in it, whenever the population fits the
+	// announced format's slot count.
+	InvGPSStarvation = "gps-starvation"
+)
+
+// Options selects which invariants apply to a run.
+type Options struct {
+	// DeadlineMustHold asserts the paper's real-time property: any GPS
+	// deadline violation event is a conformance breach. Set it for
+	// ideal channels with the default protocol configuration; lossy
+	// channels and the legacy grant policy can violate the deadline
+	// without breaking the checker's structural invariants.
+	DeadlineMustHold bool
+	// DynamicSlots enables the format-selection rule check. It must
+	// mirror the run's DynamicSlotAdjustment setting: with static slot
+	// allocation the format is pinned and the rule does not apply.
+	DynamicSlots bool
+	// SecondControlField enables the CF2 listener exclusion checks. It
+	// must mirror the run's SecondControlField setting.
+	SecondControlField bool
+	// KeepEvents retains the full event stream so Finish can attach
+	// span critical-path breakdowns for GPS deadline violations.
+	KeepEvents bool
+	// MaxViolations caps the violations retained (0 = 256); excess
+	// breaches are counted in Report.Truncated.
+	MaxViolations int
+}
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	// Invariant names the broken rule (the Inv… constants).
+	Invariant string
+	// Cycle is the notification cycle the breach belongs to.
+	Cycle int
+	// At is the virtual time of the event that exposed the breach.
+	At time.Duration
+	// User is the subscriber involved, frame.NoUser when none.
+	User frame.UserID
+	// Slot is the slot index involved, -1 when none.
+	Slot int
+	// Detail explains the breach.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	s := fmt.Sprintf("[%s] c%04d", v.Invariant, v.Cycle)
+	if v.User != frame.NoUser {
+		s += fmt.Sprintf(" u%d", v.User)
+	}
+	if v.Slot >= 0 {
+		s += fmt.Sprintf(" slot=%d", v.Slot)
+	}
+	if v.Detail != "" {
+		s += ": " + v.Detail
+	}
+	return s
+}
+
+// Report is the outcome of a checked run.
+type Report struct {
+	// Cycles and Events count what the checker observed.
+	Cycles int
+	Events int
+	// Checked lists the invariant names that were in force.
+	Checked []string
+	// DeadlineEvents counts GPS deadline violation events seen, whether
+	// or not DeadlineMustHold turned them into breaches.
+	DeadlineEvents int
+	// Violations are the retained breaches, in observation order.
+	Violations []Violation
+	// Truncated counts breaches dropped past MaxViolations.
+	Truncated int
+	// CriticalPaths holds one span phase breakdown per GPS deadline
+	// violation, when KeepEvents was set.
+	CriticalPaths []span.Breakdown
+}
+
+// OK reports whether the run satisfied every checked invariant.
+func (r *Report) OK() bool { return len(r.Violations) == 0 && r.Truncated == 0 }
+
+// WriteText renders the report for humans.
+func (r *Report) WriteText(w io.Writer) error {
+	if r.OK() {
+		_, err := fmt.Fprintf(w, "conformance: OK — %d invariants clean over %d cycles (%d events)\n",
+			len(r.Checked), r.Cycles, r.Events)
+		return err
+	}
+	total := len(r.Violations) + r.Truncated
+	if _, err := fmt.Fprintf(w, "conformance: %d violation(s) over %d cycles (%d events)\n",
+		total, r.Cycles, r.Events); err != nil {
+		return err
+	}
+	for _, v := range r.Violations {
+		if _, err := fmt.Fprintf(w, "  %s\n", v); err != nil {
+			return err
+		}
+	}
+	if r.Truncated > 0 {
+		if _, err := fmt.Fprintf(w, "  (%d more suppressed)\n", r.Truncated); err != nil {
+			return err
+		}
+	}
+	for i := range r.CriticalPaths {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := r.CriticalPaths[i].WriteText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// grant records one slot grant observed this cycle.
+type grant struct {
+	user frame.UserID
+	slot int
+}
+
+// Checker verifies protocol invariants over a trace-event stream. Use
+// New, attach it as the network's Tracer (chaining any downstream
+// consumer via Next), and call Finish after the run.
+type Checker struct {
+	// Next, when non-nil, receives every event after the checker — so a
+	// TraceBuffer, JSONL sink, or live exporter can share the stream.
+	Next core.Tracer
+
+	opts    Options
+	members map[frame.UserID]bool
+
+	cycles         int
+	events         int
+	deadlineEvents int
+	violations     []Violation
+	truncated      int
+	kept           []core.TraceEvent
+
+	// Per-cycle state, reset at each cycle-start event.
+	open        bool
+	cycle       int
+	layout      core.Layout
+	gpsGrants   []grant
+	dataGrants  []grant
+	fwdSlotUsed []bool
+	fwdSlot0    frame.UserID
+	required    []frame.UserID
+	left        map[frame.UserID]bool
+	cf2Listener frame.UserID
+}
+
+var _ core.Tracer = (*Checker)(nil)
+
+// New builds a checker for the given option set.
+func New(opts Options) *Checker {
+	if opts.MaxViolations <= 0 {
+		opts.MaxViolations = 256
+	}
+	return &Checker{
+		opts:        opts,
+		members:     make(map[frame.UserID]bool),
+		left:        make(map[frame.UserID]bool),
+		fwdSlot0:    frame.NoUser,
+		cf2Listener: frame.NoUser,
+	}
+}
+
+// Trace implements core.Tracer: it verifies the event, then forwards it
+// to Next.
+func (c *Checker) Trace(e core.TraceEvent) {
+	c.consume(e)
+	if c.Next != nil {
+		c.Next.Trace(e)
+	}
+}
+
+func (c *Checker) consume(e core.TraceEvent) {
+	c.events++
+	if c.opts.KeepEvents {
+		c.kept = append(c.kept, e)
+	}
+	switch e.Kind {
+	case core.EventCycleStart:
+		c.finalizeCycle()
+		c.openCycle(e)
+	case core.EventGPSSlotGrant:
+		c.onGPSGrant(e)
+	case core.EventDataSlotGrant:
+		c.onDataGrant(e)
+	case core.EventForwardSlotGrant:
+		c.onForwardGrant(e)
+	case core.EventCF2Listener:
+		c.cf2Listener = e.User
+	case core.EventGPSAdmitted:
+		// Re-registration of a known EIN re-announces the same
+		// assignment; only genuinely new members matter here.
+		c.members[e.User] = true
+	case core.EventGPSLeft:
+		delete(c.members, e.User)
+		c.left[e.User] = true
+	case core.EventGPSDeadlineViolation:
+		c.deadlineEvents++
+		if c.opts.DeadlineMustHold {
+			c.violate(Violation{
+				Invariant: InvGPSDeadline, Cycle: e.Cycle, At: e.At,
+				User: e.User, Slot: e.Slot, Detail: e.Detail,
+			})
+		}
+	}
+}
+
+// openCycle resets per-cycle state and checks the format rule.
+func (c *Checker) openCycle(e core.TraceEvent) {
+	format := core.Format1
+	if e.Detail == core.Format2.String() {
+		format = core.Format2
+	}
+	c.open = true
+	c.cycle = e.Cycle
+	c.layout = core.NewLayout(format)
+	c.gpsGrants = c.gpsGrants[:0]
+	c.dataGrants = c.dataGrants[:0]
+	if n := len(c.layout.ForwardData); len(c.fwdSlotUsed) < n {
+		c.fwdSlotUsed = make([]bool, n)
+	}
+	for i := range c.fwdSlotUsed {
+		c.fwdSlotUsed[i] = false
+	}
+	c.fwdSlot0 = frame.NoUser
+	c.cf2Listener = frame.NoUser
+	for u := range c.left {
+		delete(c.left, u)
+	}
+
+	// Membership snapshot: users registered before this announcement
+	// must be served this cycle (starvation check at finalize). Sorted
+	// so reports are deterministic.
+	c.required = c.required[:0]
+	for u := range c.members {
+		c.required = append(c.required, u)
+	}
+	sort.Slice(c.required, func(i, j int) bool { return c.required[i] < c.required[j] })
+
+	if c.opts.DynamicSlots {
+		want := core.Format1
+		if len(c.required) <= phy.Format2GPSSlots {
+			want = core.Format2
+		}
+		if format != want {
+			c.violate(Violation{
+				Invariant: InvFormatRule, Cycle: c.cycle, At: e.At, User: frame.NoUser, Slot: -1,
+				Detail: fmt.Sprintf("announced %v with %d registered GPS users (want %v)",
+					format, len(c.required), want),
+			})
+		}
+	}
+}
+
+func (c *Checker) onGPSGrant(e core.TraceEvent) {
+	if !c.open {
+		return
+	}
+	if e.Slot < 0 || e.Slot >= len(c.layout.GPS) {
+		c.violate(Violation{
+			Invariant: InvSlotDisjoint, Cycle: c.cycle, At: e.At, User: e.User, Slot: e.Slot,
+			Detail: fmt.Sprintf("gps grant outside the %d on-air slots", len(c.layout.GPS)),
+		})
+		return
+	}
+	for _, g := range c.gpsGrants {
+		if g.slot == e.Slot {
+			c.violate(Violation{
+				Invariant: InvSlotDisjoint, Cycle: c.cycle, At: e.At, User: e.User, Slot: e.Slot,
+				Detail: fmt.Sprintf("gps slot granted twice (already held by u%d)", g.user),
+			})
+			return
+		}
+		if g.user == e.User {
+			c.violate(Violation{
+				Invariant: InvSlotDisjoint, Cycle: c.cycle, At: e.At, User: e.User, Slot: e.Slot,
+				Detail: fmt.Sprintf("user granted two gps slots (%d and %d)", g.slot, e.Slot),
+			})
+			return
+		}
+	}
+	if !c.members[e.User] {
+		c.violate(Violation{
+			Invariant: InvSlotDisjoint, Cycle: c.cycle, At: e.At, User: e.User, Slot: e.Slot,
+			Detail: "gps grant to a user holding no gps registration",
+		})
+	}
+	c.gpsGrants = append(c.gpsGrants, grant{user: e.User, slot: e.Slot})
+}
+
+func (c *Checker) onDataGrant(e core.TraceEvent) {
+	if !c.open {
+		return
+	}
+	if e.Slot < 0 || e.Slot >= len(c.layout.ReverseData) {
+		c.violate(Violation{
+			Invariant: InvSlotDisjoint, Cycle: c.cycle, At: e.At, User: e.User, Slot: e.Slot,
+			Detail: fmt.Sprintf("data grant outside the %d reverse data slots", len(c.layout.ReverseData)),
+		})
+		return
+	}
+	for _, g := range c.dataGrants {
+		if g.slot == e.Slot {
+			c.violate(Violation{
+				Invariant: InvSlotDisjoint, Cycle: c.cycle, At: e.At, User: e.User, Slot: e.Slot,
+				Detail: fmt.Sprintf("reverse data slot granted twice (already held by u%d)", g.user),
+			})
+			return
+		}
+	}
+	c.dataGrants = append(c.dataGrants, grant{user: e.User, slot: e.Slot})
+}
+
+func (c *Checker) onForwardGrant(e core.TraceEvent) {
+	if !c.open {
+		return
+	}
+	if e.Slot < 0 || e.Slot >= len(c.fwdSlotUsed) {
+		c.violate(Violation{
+			Invariant: InvSlotDisjoint, Cycle: c.cycle, At: e.At, User: e.User, Slot: e.Slot,
+			Detail: fmt.Sprintf("forward grant outside the %d forward slots", len(c.layout.ForwardData)),
+		})
+		return
+	}
+	if c.fwdSlotUsed[e.Slot] {
+		c.violate(Violation{
+			Invariant: InvSlotDisjoint, Cycle: c.cycle, At: e.At, User: e.User, Slot: e.Slot,
+			Detail: "forward slot granted twice",
+		})
+		return
+	}
+	c.fwdSlotUsed[e.Slot] = true
+	if e.Slot == 0 {
+		c.fwdSlot0 = e.User
+	}
+}
+
+// finalizeCycle settles the whole-cycle invariants once the next cycle
+// opens (or the run ends): starvation-freedom and the CF2 exclusions.
+func (c *Checker) finalizeCycle() {
+	if !c.open {
+		return
+	}
+	c.cycles++
+
+	// Starvation: everyone registered at the announcement and still
+	// registered at cycle end must have been granted, whenever the
+	// population fits on air.
+	if len(c.required) <= len(c.layout.GPS) {
+		for _, u := range c.required {
+			if c.left[u] {
+				continue
+			}
+			granted := false
+			for _, g := range c.gpsGrants {
+				if g.user == u {
+					granted = true
+					break
+				}
+			}
+			if !granted {
+				c.violate(Violation{
+					Invariant: InvGPSStarvation, Cycle: c.cycle, At: 0, User: u, Slot: -1,
+					Detail: "registered for the full cycle but never granted a gps slot",
+				})
+			}
+		}
+	}
+
+	// CF2 listener exclusions (paper §3.4 problem 1): while the
+	// previous cycle's last-slot user listens to the second control
+	// fields, it cannot receive forward slot 0 nor transmit before it
+	// has heard CF2 and switched back (20 ms).
+	if c.opts.SecondControlField && c.cf2Listener != frame.NoUser {
+		if c.fwdSlot0 == c.cf2Listener {
+			c.violate(Violation{
+				Invariant: InvCF2Exclusion, Cycle: c.cycle, At: 0, User: c.cf2Listener, Slot: 0,
+				Detail: "cf2 listener granted forward slot 0",
+			})
+		}
+		minStart := c.layout.CF2.End + phy.HalfDuplexSwitch
+		for _, g := range c.dataGrants {
+			if g.user == c.cf2Listener && c.layout.ReverseData[g.slot].Start < minStart {
+				c.violate(Violation{
+					Invariant: InvCF2Exclusion, Cycle: c.cycle, At: 0, User: g.user, Slot: g.slot,
+					Detail: fmt.Sprintf("cf2 listener granted reverse data slot starting %v, before it can retune (%v)",
+						c.layout.ReverseData[g.slot].Start, minStart),
+				})
+			}
+		}
+		for _, g := range c.gpsGrants {
+			if g.user == c.cf2Listener && c.layout.GPS[g.slot].Start < minStart {
+				c.violate(Violation{
+					Invariant: InvCF2Exclusion, Cycle: c.cycle, At: 0, User: g.user, Slot: g.slot,
+					Detail: fmt.Sprintf("cf2 listener granted gps slot starting %v, before it can retune (%v)",
+						c.layout.GPS[g.slot].Start, minStart),
+				})
+			}
+		}
+	}
+	c.open = false
+}
+
+func (c *Checker) violate(v Violation) {
+	if len(c.violations) >= c.opts.MaxViolations {
+		c.truncated++
+		return
+	}
+	c.violations = append(c.violations, v)
+}
+
+// Finish settles the last open cycle and builds the report. The checker
+// may keep receiving events afterwards, but cycle/event counters then
+// continue from where Finish left them.
+func (c *Checker) Finish() *Report {
+	c.finalizeCycle()
+	rep := &Report{
+		Cycles:         c.cycles,
+		Events:         c.events,
+		DeadlineEvents: c.deadlineEvents,
+		Violations:     append([]Violation(nil), c.violations...),
+		Truncated:      c.truncated,
+		Checked:        []string{InvSlotDisjoint, InvGPSStarvation},
+	}
+	if c.opts.DynamicSlots {
+		rep.Checked = append(rep.Checked, InvFormatRule)
+	}
+	if c.opts.SecondControlField {
+		rep.Checked = append(rep.Checked, InvCF2Exclusion)
+	}
+	if c.opts.DeadlineMustHold {
+		rep.Checked = append(rep.Checked, InvGPSDeadline)
+	}
+	sort.Strings(rep.Checked)
+	if c.opts.KeepEvents && c.deadlineEvents > 0 {
+		set := span.Stitch(c.kept)
+		for _, tr := range set.Violations() {
+			rep.CriticalPaths = append(rep.CriticalPaths, tr.CriticalPath())
+		}
+	}
+	return rep
+}

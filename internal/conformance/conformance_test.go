@@ -1,0 +1,411 @@
+package conformance
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/phy"
+	"github.com/osu-netlab/osumac/internal/traffic"
+)
+
+// ev builds a synthetic trace event.
+func ev(kind core.EventKind, cycle int, user frame.UserID, slot int, detail string) core.TraceEvent {
+	return core.TraceEvent{At: time.Duration(cycle) * phy.CycleLength, Cycle: cycle, Kind: kind, User: user, Slot: slot, Detail: detail}
+}
+
+// feed streams events through a fresh checker and returns its report.
+func feed(opts Options, events ...core.TraceEvent) *Report {
+	c := New(opts)
+	for _, e := range events {
+		c.Trace(e)
+	}
+	return c.Finish()
+}
+
+// only asserts the report carries exactly one violation of the named
+// invariant and returns it.
+func only(t *testing.T, rep *Report, invariant string) Violation {
+	t.Helper()
+	if len(rep.Violations) != 1 || rep.Truncated != 0 {
+		t.Fatalf("want exactly one %s violation, got %+v (truncated %d)", invariant, rep.Violations, rep.Truncated)
+	}
+	if v := rep.Violations[0]; v.Invariant != invariant {
+		t.Fatalf("violation invariant = %s, want %s: %+v", v.Invariant, invariant, v)
+	}
+	return rep.Violations[0]
+}
+
+// onlyOf asserts exactly one violation of the named invariant and
+// returns it, ignoring cascading violations of other invariants (a
+// rejected grant also leaves its user starved, for example).
+func onlyOf(t *testing.T, rep *Report, invariant string) Violation {
+	t.Helper()
+	var matched []Violation
+	for _, v := range rep.Violations {
+		if v.Invariant == invariant {
+			matched = append(matched, v)
+		}
+	}
+	if len(matched) != 1 {
+		t.Fatalf("want exactly one %s violation, got %+v", invariant, rep.Violations)
+	}
+	return matched[0]
+}
+
+func TestCleanSyntheticCycle(t *testing.T) {
+	rep := feed(Options{DynamicSlots: true, SecondControlField: true, DeadlineMustHold: true},
+		ev(core.EventGPSAdmitted, 0, 1, 0, ""),
+		ev(core.EventGPSAdmitted, 0, 2, 1, ""),
+		ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format2.String()),
+		ev(core.EventGPSSlotGrant, 1, 1, 0, ""),
+		ev(core.EventGPSSlotGrant, 1, 2, 1, ""),
+		ev(core.EventDataSlotGrant, 1, 7, 3, ""),
+		ev(core.EventCycleStart, 2, frame.NoUser, -1, core.Format2.String()),
+		ev(core.EventGPSSlotGrant, 2, 1, 0, ""),
+		ev(core.EventGPSSlotGrant, 2, 2, 1, ""),
+	)
+	if !rep.OK() {
+		t.Fatalf("clean stream reported violations: %+v", rep.Violations)
+	}
+	if rep.Cycles != 2 || rep.Events != 9 {
+		t.Fatalf("cycles=%d events=%d, want 2/9", rep.Cycles, rep.Events)
+	}
+	if len(rep.Checked) != 5 {
+		t.Fatalf("checked invariants = %v, want all 5", rep.Checked)
+	}
+}
+
+func TestGPSSlotGrantedTwice(t *testing.T) {
+	rep := feed(Options{},
+		ev(core.EventGPSAdmitted, 0, 1, 0, ""),
+		ev(core.EventGPSAdmitted, 0, 2, 1, ""),
+		ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format1.String()),
+		ev(core.EventGPSSlotGrant, 1, 1, 0, ""),
+		ev(core.EventGPSSlotGrant, 1, 2, 0, ""),
+	)
+	v := onlyOf(t, rep, InvSlotDisjoint)
+	if !strings.Contains(v.Detail, "granted twice") {
+		t.Fatalf("unexpected detail: %+v", v)
+	}
+}
+
+func TestUserGrantedTwoGPSSlots(t *testing.T) {
+	rep := feed(Options{},
+		ev(core.EventGPSAdmitted, 0, 1, 0, ""),
+		ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format1.String()),
+		ev(core.EventGPSSlotGrant, 1, 1, 0, ""),
+		ev(core.EventGPSSlotGrant, 1, 1, 5, "cf2-amend"),
+	)
+	v := only(t, rep, InvSlotDisjoint)
+	if !strings.Contains(v.Detail, "two gps slots") {
+		t.Fatalf("unexpected detail: %+v", v)
+	}
+}
+
+func TestGPSGrantOutsideOnAirSlots(t *testing.T) {
+	// Format 2 has 3 on-air GPS slots; a grant at slot 5 is structural
+	// nonsense (the slot does not exist on air).
+	rep := feed(Options{},
+		ev(core.EventGPSAdmitted, 0, 1, 0, ""),
+		ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format2.String()),
+		ev(core.EventGPSSlotGrant, 1, 1, 5, ""),
+	)
+	v := onlyOf(t, rep, InvSlotDisjoint)
+	if !strings.Contains(v.Detail, "on-air") {
+		t.Fatalf("unexpected detail: %+v", v)
+	}
+}
+
+func TestGPSGrantToUnregisteredUser(t *testing.T) {
+	rep := feed(Options{},
+		ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format1.String()),
+		ev(core.EventGPSSlotGrant, 1, 9, 0, ""),
+	)
+	v := only(t, rep, InvSlotDisjoint)
+	if !strings.Contains(v.Detail, "no gps registration") {
+		t.Fatalf("unexpected detail: %+v", v)
+	}
+}
+
+func TestDataSlotGrantedTwice(t *testing.T) {
+	rep := feed(Options{},
+		ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format1.String()),
+		ev(core.EventDataSlotGrant, 1, 4, 2, ""),
+		ev(core.EventDataSlotGrant, 1, 5, 2, ""),
+	)
+	only(t, rep, InvSlotDisjoint)
+}
+
+func TestForwardSlotGrantedTwice(t *testing.T) {
+	rep := feed(Options{},
+		ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format1.String()),
+		ev(core.EventForwardSlotGrant, 1, 4, 10, ""),
+		ev(core.EventForwardSlotGrant, 1, 5, 10, ""),
+	)
+	only(t, rep, InvSlotDisjoint)
+}
+
+func TestFormatRule(t *testing.T) {
+	// 2 registered GPS users must yield format 2; announcing format 1
+	// breaches the rule — but only when DynamicSlots is asserted.
+	events := []core.TraceEvent{
+		ev(core.EventGPSAdmitted, 0, 1, 0, ""),
+		ev(core.EventGPSAdmitted, 0, 2, 1, ""),
+		ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format1.String()),
+		ev(core.EventGPSSlotGrant, 1, 1, 0, ""),
+		ev(core.EventGPSSlotGrant, 1, 2, 1, ""),
+	}
+	v := only(t, feed(Options{DynamicSlots: true}, events...), InvFormatRule)
+	if !strings.Contains(v.Detail, "2 registered") {
+		t.Fatalf("unexpected detail: %+v", v)
+	}
+	if rep := feed(Options{}, events...); !rep.OK() {
+		t.Fatalf("format rule applied in static mode: %+v", rep.Violations)
+	}
+
+	// And the converse: format 2 with 4 members.
+	rep := feed(Options{DynamicSlots: true},
+		ev(core.EventGPSAdmitted, 0, 1, 0, ""),
+		ev(core.EventGPSAdmitted, 0, 2, 1, ""),
+		ev(core.EventGPSAdmitted, 0, 3, 2, ""),
+		ev(core.EventGPSAdmitted, 0, 4, 3, ""),
+		ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format2.String()),
+		ev(core.EventGPSSlotGrant, 1, 1, 0, ""),
+		ev(core.EventGPSSlotGrant, 1, 2, 1, ""),
+		ev(core.EventGPSSlotGrant, 1, 3, 2, ""),
+	)
+	// Slot-disjointness can't serve user 4 in 3 slots, so the format
+	// breach comes with a starvation breach for user 4 — filter.
+	var formatViolations []Violation
+	for _, v := range rep.Violations {
+		if v.Invariant == InvFormatRule {
+			formatViolations = append(formatViolations, v)
+		}
+	}
+	if len(formatViolations) != 1 {
+		t.Fatalf("want one format-rule violation, got %+v", rep.Violations)
+	}
+}
+
+func TestCF2ListenerForwardSlot0(t *testing.T) {
+	events := []core.TraceEvent{
+		ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format1.String()),
+		ev(core.EventForwardSlotGrant, 1, 6, 0, ""),
+		ev(core.EventCF2Listener, 1, 6, -1, ""),
+		ev(core.EventCycleStart, 2, frame.NoUser, -1, core.Format1.String()),
+	}
+	v := only(t, feed(Options{SecondControlField: true}, events...), InvCF2Exclusion)
+	if v.Slot != 0 || v.User != 6 {
+		t.Fatalf("unexpected violation: %+v", v)
+	}
+	// Without CF2 the rule does not apply.
+	if rep := feed(Options{}, events...); !rep.OK() {
+		t.Fatalf("cf2 exclusion applied without a second control field: %+v", rep.Violations)
+	}
+}
+
+func TestCF2ListenerEarlyReverseSlot(t *testing.T) {
+	// In format 2 the first reverse data slots start before CF2 ends:
+	// granting one to the listener means it would transmit deaf.
+	rep := feed(Options{SecondControlField: true},
+		ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format2.String()),
+		ev(core.EventDataSlotGrant, 1, 6, 0, ""),
+		ev(core.EventCF2Listener, 1, 6, -1, ""),
+	)
+	v := only(t, rep, InvCF2Exclusion)
+	if !strings.Contains(v.Detail, "retune") {
+		t.Fatalf("unexpected detail: %+v", v)
+	}
+}
+
+func TestGPSStarvation(t *testing.T) {
+	rep := feed(Options{},
+		ev(core.EventGPSAdmitted, 0, 1, 0, ""),
+		ev(core.EventGPSAdmitted, 0, 2, 1, ""),
+		ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format1.String()),
+		ev(core.EventGPSSlotGrant, 1, 1, 0, ""),
+		ev(core.EventCycleStart, 2, frame.NoUser, -1, core.Format1.String()),
+		ev(core.EventGPSSlotGrant, 2, 1, 0, ""),
+		ev(core.EventGPSSlotGrant, 2, 2, 1, ""),
+	)
+	v := only(t, rep, InvGPSStarvation)
+	if v.User != 2 || v.Cycle != 1 {
+		t.Fatalf("unexpected violation: %+v", v)
+	}
+}
+
+func TestGPSStarvationExemptions(t *testing.T) {
+	// A user admitted mid-cycle is owed its first grant next cycle; a
+	// user that departs mid-cycle is not owed one at all.
+	rep := feed(Options{},
+		ev(core.EventGPSAdmitted, 0, 1, 0, ""),
+		ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format1.String()),
+		ev(core.EventGPSSlotGrant, 1, 1, 0, ""),
+		ev(core.EventGPSAdmitted, 1, 2, 1, ""), // admitted after the announcement
+		ev(core.EventCycleStart, 2, frame.NoUser, -1, core.Format1.String()),
+		ev(core.EventGPSSlotGrant, 2, 1, 0, ""),
+		ev(core.EventGPSSlotGrant, 2, 2, 1, ""), // now required, and served
+		ev(core.EventCycleStart, 3, frame.NoUser, -1, core.Format1.String()),
+		ev(core.EventGPSSlotGrant, 3, 1, 0, ""),
+		ev(core.EventGPSLeft, 3, 2, -1, ""), // departs before its grant mattered
+	)
+	if !rep.OK() {
+		t.Fatalf("exempt cases flagged: %+v", rep.Violations)
+	}
+}
+
+func TestDeadlineEventPolicy(t *testing.T) {
+	events := []core.TraceEvent{
+		ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format1.String()),
+		ev(core.EventGPSDeadlineViolation, 1, 3, 5, "late by 972µs"),
+	}
+	rep := feed(Options{DeadlineMustHold: true}, events...)
+	v := only(t, rep, InvGPSDeadline)
+	if v.User != 3 || v.Detail != "late by 972µs" {
+		t.Fatalf("unexpected violation: %+v", v)
+	}
+	rep = feed(Options{}, events...)
+	if !rep.OK() || rep.DeadlineEvents != 1 {
+		t.Fatalf("without DeadlineMustHold: ok=%v deadlineEvents=%d", rep.OK(), rep.DeadlineEvents)
+	}
+}
+
+func TestMaxViolationsTruncates(t *testing.T) {
+	events := []core.TraceEvent{ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format1.String())}
+	for i := 0; i < 5; i++ {
+		events = append(events, ev(core.EventGPSSlotGrant, 1, frame.UserID(10+i), 0, ""))
+	}
+	rep := feed(Options{MaxViolations: 2}, events...)
+	if len(rep.Violations) != 2 || rep.Truncated == 0 {
+		t.Fatalf("truncation broken: %d kept, %d truncated", len(rep.Violations), rep.Truncated)
+	}
+	if rep.OK() {
+		t.Fatal("truncated report claims OK")
+	}
+}
+
+func TestNextChaining(t *testing.T) {
+	buf := &core.TraceBuffer{Cap: 16}
+	c := New(Options{})
+	c.Next = buf
+	c.Trace(ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format1.String()))
+	c.Trace(ev(core.EventDataSlotGrant, 1, 4, 2, ""))
+	if got := len(buf.Events()); got != 2 {
+		t.Fatalf("downstream tracer saw %d events, want 2", got)
+	}
+}
+
+func TestReportWriteText(t *testing.T) {
+	var out bytes.Buffer
+	rep := feed(Options{},
+		ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format1.String()),
+	)
+	if err := rep.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "conformance: OK") {
+		t.Fatalf("clean report text: %q", out.String())
+	}
+	out.Reset()
+	rep = feed(Options{},
+		ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format1.String()),
+		ev(core.EventGPSSlotGrant, 1, 9, 0, ""),
+	)
+	if err := rep.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "1 violation(s)") || !strings.Contains(text, "[slot-disjoint]") {
+		t.Fatalf("violation report text: %q", text)
+	}
+}
+
+// runCell builds and runs a real cell (mirroring osumac.Build, which
+// this package cannot import) with the checker attached.
+func runCell(t *testing.T, gps, data, cycles int, seed uint64, legacy bool, opts Options) *Report {
+	t.Helper()
+	cfg := core.NewConfig()
+	cfg.Seed = seed
+	if legacy {
+		cfg.GPSGrantPolicy = core.GPSGrantFixed
+	}
+	chk := New(opts)
+	cfg.Tracer = chk
+	cfg.SizeDist = traffic.PaperVariable
+	if data > 0 {
+		cfg.MeanInterarrival = traffic.InterarrivalForSlots(
+			1.0, data, traffic.PaperVariable, frame.MaxPayload,
+			phy.CycleLength, phy.Format1DataSlots)
+	}
+	n, err := core.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < gps; i++ {
+		if _, err := n.AddSubscriber(frame.EIN(1000+i), true, time.Duration(i)*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < data; i++ {
+		if _, err := n.AddSubscriber(frame.EIN(2000+i), false, time.Duration(i)*500*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Run(cycles); err != nil {
+		t.Fatal(err)
+	}
+	return chk.Finish()
+}
+
+// TestRealRunCleanUnderDeadlinePolicy checks a live cell (the pinned
+// ROADMAP population) against every invariant including the hard
+// real-time property.
+func TestRealRunCleanUnderDeadlinePolicy(t *testing.T) {
+	opts := Options{DeadlineMustHold: true, DynamicSlots: true, SecondControlField: true, KeepEvents: true}
+	rep := runCell(t, 7, 8, 520, 8188083318138684029, false, opts)
+	if !rep.OK() {
+		var out bytes.Buffer
+		if err := rep.WriteText(&out); err != nil {
+			t.Fatal(err)
+		}
+		t.Fatalf("live run breached invariants:\n%s", out.String())
+	}
+	if rep.Cycles < 500 {
+		t.Fatalf("checker observed only %d cycles", rep.Cycles)
+	}
+}
+
+// TestRealRunLegacyPolicyBreachesDeadline forces DeadlineMustHold onto
+// the legacy grant ordering: the checker must catch the two historical
+// violations and attach their critical-path breakdowns.
+func TestRealRunLegacyPolicyBreachesDeadline(t *testing.T) {
+	opts := Options{DeadlineMustHold: true, DynamicSlots: true, SecondControlField: true, KeepEvents: true}
+	rep := runCell(t, 7, 8, 520, 8188083318138684029, true, opts)
+	if rep.OK() {
+		t.Fatal("legacy policy passed the deadline invariant on the pinned scenario")
+	}
+	deadline := 0
+	for _, v := range rep.Violations {
+		if v.Invariant != InvGPSDeadline {
+			t.Fatalf("legacy policy breached a structural invariant too: %+v", v)
+		}
+		deadline++
+	}
+	if deadline != 2 {
+		t.Fatalf("want the 2 historical deadline violations, got %d: %+v", deadline, rep.Violations)
+	}
+	if len(rep.CriticalPaths) != 2 {
+		t.Fatalf("want a critical-path breakdown per violation, got %d", len(rep.CriticalPaths))
+	}
+	var out bytes.Buffer
+	if err := rep.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "[gps-deadline]") || !strings.Contains(out.String(), "slot-wait") {
+		t.Fatalf("report text lacks the violation story:\n%s", out.String())
+	}
+}

@@ -48,6 +48,7 @@ type BaseStation struct {
 	cf2User    frame.UserID // listener of this cycle's CF2 (prev last-slot user)
 	curLastTx  frame.UserID // user who actually transmitted in this cycle's last slot
 	lastAssign frame.UserID // user assigned this cycle's last data slot
+	cf2Amends  []GPSAmendment
 	pagesQueue []frame.UserID
 
 	// Forward data queues.
@@ -204,11 +205,18 @@ func (b *BaseStation) BeginCycle() {
 	d := format.DataSlots()
 
 	cf := frame.NewControlFields()
-	cf.GPSSchedule = b.gps.Snapshot()
-	if format == Format2 {
-		// Only the first 3 GPS slots exist on air in format 2.
-		for i := phy.Format2GPSSlots; i < len(cf.GPSSchedule); i++ {
-			cf.GPSSchedule[i] = frame.NoUser
+	if b.cfg.DynamicSlotAdjustment && b.cfg.GPSGrantPolicy == GPSGrantDeadline {
+		// Deadline-aware grants: every registered GPS user gets a slot
+		// this cycle (population never exceeds the on-air count with the
+		// table consolidated), earliest report deadline first.
+		cf.GPSSchedule = b.gps.GrantSchedule(format.GPSSlots())
+	} else {
+		cf.GPSSchedule = b.gps.Snapshot()
+		if format == Format2 {
+			// Only the first 3 GPS slots exist on air in format 2.
+			for i := phy.Format2GPSSlots; i < len(cf.GPSSchedule); i++ {
+				cf.GPSSchedule[i] = frame.NoUser
+			}
 		}
 	}
 
@@ -355,15 +363,77 @@ func (b *BaseStation) assignForward(cf *frame.ControlFields, d int) [frame.Forwa
 	return out
 }
 
+// GPSAmendment records a GPS grant added in the second control fields
+// for a user admitted after this cycle's CF1 announcement.
+type GPSAmendment struct {
+	User frame.UserID
+	Slot int
+}
+
 // BuildCF2 returns the second control-field set: identical to CF1
 // except it acknowledges the previous cycle's last-slot activity
-// (paper §3.4 problem 3). The base cannot change the schedules here.
+// (paper §3.4 problem 3) and, under the deadline-aware grant policy,
+// amends the GPS schedule with slots for users admitted since CF1.
 func (b *BaseStation) BuildCF2() *frame.ControlFields {
+	b.amendCF2GPS()
 	cf2 := *b.cf
 	if b.prevLast >= 0 && b.prevLast < len(cf2.ReverseACKs) {
 		cf2.ReverseACKs[b.prevLast] = b.prevAcks[b.prevLast]
 	}
 	return &cf2
+}
+
+// CF2Amendments lists the GPS grants added by this cycle's CF2, for the
+// harness's trace hooks. The slice is reused across cycles.
+func (b *BaseStation) CF2Amendments() []GPSAmendment { return b.cf2Amends }
+
+// amendCF2GPS grants each GPS user admitted after this cycle's CF1 the
+// earliest announced-free on-air GPS slot it can still use — one whose
+// start clears the CF2 listen window plus the half-duplex switch. A
+// registration arriving in the previous cycle's overlapping last data
+// slot is processed just after BeginCycle froze the schedule; without
+// this repair the user's first grant comes a full cycle later at a
+// fixed high slot index, whose start can fall past the first pending
+// report's replacement deadline (the ROADMAP grant-starvation bug).
+// The registrant activates on this same CF2 (its ack rides here too)
+// and reads its slot from the amended schedule. Established users are
+// untouched: amendments only fill slots announced empty.
+func (b *BaseStation) amendCF2GPS() {
+	b.cf2Amends = b.cf2Amends[:0]
+	if !b.cfg.SecondControlField || !b.cfg.DynamicSlotAdjustment ||
+		b.cfg.GPSGrantPolicy != GPSGrantDeadline {
+		return
+	}
+	onAir := len(b.layout.GPS)
+	if onAir > len(b.cf.GPSSchedule) {
+		onAir = len(b.cf.GPSSchedule)
+	}
+	minStart := b.layout.CF2.End + phy.HalfDuplexSwitch
+	for i := 0; i < phy.MaxGPSUsers; i++ {
+		u := b.gps.Holder(i)
+		if u == frame.NoUser || scheduleHas(b.cf.GPSSchedule, u) {
+			continue
+		}
+		for s := 0; s < onAir; s++ {
+			if b.cf.GPSSchedule[s] != frame.NoUser || b.layout.GPS[s].Start < minStart {
+				continue
+			}
+			b.cf.GPSSchedule[s] = u
+			b.gps.Granted(u)
+			b.cf2Amends = append(b.cf2Amends, GPSAmendment{User: u, Slot: s})
+			break
+		}
+	}
+}
+
+// scheduleHas reports whether user appears in a GPS schedule.
+func scheduleHas(sched [frame.GPSScheduleEntries]frame.UserID, user frame.UserID) bool {
+	for _, u := range sched {
+		if u == user {
+			return true
+		}
+	}
+	return false
 }
 
 // pendingRequests converts the demand book into scheduler requests.

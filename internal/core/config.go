@@ -35,6 +35,39 @@ func (p ReservationPolicy) String() string {
 	}
 }
 
+// GPSGrantPolicy selects how the base station orders GPS users onto the
+// cycle's on-air GPS slots.
+type GPSGrantPolicy int
+
+const (
+	// GPSGrantDeadline (the default) announces grants in
+	// earliest-report-deadline-first order via GPSSlotTable.GrantSchedule:
+	// the user whose last report (or admission) is oldest transmits in
+	// the earliest slot, so no registered user goes ungranted for a full
+	// cycle and consecutive grants stay within the 4 s access bound.
+	GPSGrantDeadline GPSGrantPolicy = iota + 1
+	// GPSGrantFixed is the legacy policy: each user transmits in the
+	// table slot it was admitted to. A user admitted via the previous
+	// cycle's overlapping last data slot misses a full cycle of grants
+	// and its first grant at a high slot index can open just past its
+	// report's replacement deadline — the ROADMAP grant-starvation bug,
+	// kept reproducible for the autopsy/critical-path tooling and as an
+	// ablation baseline.
+	GPSGrantFixed
+)
+
+// String implements fmt.Stringer.
+func (p GPSGrantPolicy) String() string {
+	switch p {
+	case GPSGrantDeadline:
+		return "deadline"
+	case GPSGrantFixed:
+		return "fixed"
+	default:
+		return fmt.Sprintf("GPSGrantPolicy(%d)", int(p))
+	}
+}
+
 // Config parameterizes one OSU-MAC cell simulation. NewConfig returns
 // the paper's defaults; zero-valued fields are filled by Validate.
 type Config struct {
@@ -58,6 +91,12 @@ type Config struct {
 	// station never assigns the last reverse data slot (the paper's
 	// rejected alternative), wasting its bandwidth.
 	SecondControlField bool
+
+	// GPSGrantPolicy orders GPS users onto the cycle's on-air GPS slots;
+	// zero means GPSGrantDeadline. It only takes effect with
+	// DynamicSlotAdjustment (static mode pins users to table slots by
+	// construction).
+	GPSGrantPolicy GPSGrantPolicy
 
 	// MinContentionSlots and MaxContentionSlots bound the dynamic
 	// contention-slot controller. At least one data slot per cycle is
@@ -106,6 +145,7 @@ func NewConfig() Config {
 		Seed:                     1,
 		DynamicSlotAdjustment:    true,
 		SecondControlField:       true,
+		GPSGrantPolicy:           GPSGrantDeadline,
 		MinContentionSlots:       1,
 		MaxContentionSlots:       3,
 		ReservationBackoffCycles: 2,
@@ -145,6 +185,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Policy == 0 {
 		c.Policy = ReserveExplicit
+	}
+	if c.GPSGrantPolicy == 0 {
+		c.GPSGrantPolicy = GPSGrantDeadline
+	}
+	if c.GPSGrantPolicy != GPSGrantDeadline && c.GPSGrantPolicy != GPSGrantFixed {
+		return fmt.Errorf("core: unknown GPS grant policy %d", c.GPSGrantPolicy)
 	}
 	if c.Policy != ReserveExplicit && c.Policy != ReserveWithData {
 		return fmt.Errorf("core: unknown reservation policy %d", c.Policy)

@@ -23,6 +23,16 @@ import (
 type GPSSlotTable struct {
 	slots   []frame.UserID // slots[i] = holder of GPS slot i
 	dynamic bool
+
+	// lastSeq[i] is the logical time (a monotone counter) of slot i's
+	// holder's last transmission opportunity: its admission, or the last
+	// slot GrantSchedule issued to it. The kernel processes events in
+	// virtual-time order, so counter order is virtual-time order. A
+	// user's earliest possible pending-report deadline is one access
+	// deadline after its last opportunity, so ascending lastSeq is
+	// earliest-report-deadline-first order.
+	lastSeq []uint64
+	seq     uint64
 }
 
 // NewGPSSlotTable returns a table with the cell's 8 GPS slots free.
@@ -31,6 +41,7 @@ type GPSSlotTable struct {
 func NewGPSSlotTable(dynamic bool) *GPSSlotTable {
 	t := &GPSSlotTable{
 		slots:   make([]frame.UserID, phy.MaxGPSUsers),
+		lastSeq: make([]uint64, phy.MaxGPSUsers),
 		dynamic: dynamic,
 	}
 	for i := range t.slots {
@@ -53,6 +64,8 @@ func (t *GPSSlotTable) Admit(user frame.UserID) (slot int, err error) {
 	for i, u := range t.slots {
 		if u == frame.NoUser {
 			t.slots[i] = user
+			t.seq++
+			t.lastSeq[i] = t.seq
 			return i, nil
 		}
 	}
@@ -81,9 +94,12 @@ func (t *GPSSlotTable) Leave(user frame.UserID) error {
 	// Shift-down: every later holder moves one slot earlier. Each such
 	// move is an (R3) re-assignment to a smaller index, so the holder's
 	// next access comes sooner than its previous cadence — the 4 s bound
-	// holds through the transition.
+	// holds through the transition. The deadline clocks move with their
+	// holders.
 	copy(t.slots[idx:], t.slots[idx+1:])
 	t.slots[len(t.slots)-1] = frame.NoUser
+	copy(t.lastSeq[idx:], t.lastSeq[idx+1:])
+	t.lastSeq[len(t.lastSeq)-1] = 0
 	return nil
 }
 
@@ -160,4 +176,74 @@ func (t *GPSSlotTable) Snapshot() [frame.GPSScheduleEntries]frame.UserID {
 		out[i] = t.Holder(i)
 	}
 	return out
+}
+
+// GrantSchedule issues a deadline-aware per-cycle grant order: every
+// held slot's user appears at most once in the first onAir entries,
+// ordered by ascending deadline clock (earliest report deadline first),
+// so the user whose last opportunity — grant or admission — is oldest
+// transmits in the cycle's earliest GPS slot. onAir caps the usable
+// slot count (3 in format 2); with the table consolidated, population
+// never exceeds it, so every registered user is granted every cycle.
+// Issuing a grant advances the holder's deadline clock, which makes the
+// rotation stable: a user's rank — hence its slot's start time — never
+// increases while it stays registered, departures only pull later users
+// earlier, and consecutive grants therefore stay one cycle length
+// (3.984 s) apart, inside the 4 s replacement deadline. Should
+// population ever exceed onAir, the ungranted tail keeps its old
+// clocks and ranks first next cycle, so no user starves.
+//
+// Compare Snapshot, which pins each user to its table slot and carries
+// no opportunity clock: the announced order is the same (admission
+// order), but nothing records that a late-cycle admission missed the
+// announcement, which is what lets the base repair it in the second
+// control field (the ROADMAP grant-starvation bug).
+func (t *GPSSlotTable) GrantSchedule(onAir int) [frame.GPSScheduleEntries]frame.UserID {
+	var out [frame.GPSScheduleEntries]frame.UserID
+	for i := range out {
+		out[i] = frame.NoUser
+	}
+	if onAir > len(out) {
+		onAir = len(out)
+	}
+	// Insertion sort over ≤8 (user, lastSeq) pairs, ascending by lastSeq
+	// (table order breaks the tie, though clocks are never duplicated).
+	// Fixed-size scratch keeps the cycle hot path allocation-free.
+	var order [phy.MaxGPSUsers]int
+	n := 0
+	for i, u := range t.slots {
+		if u == frame.NoUser {
+			continue
+		}
+		j := n
+		for j > 0 && t.lastSeq[order[j-1]] > t.lastSeq[i] {
+			order[j] = order[j-1]
+			j--
+		}
+		order[j] = i
+		n++
+	}
+	if n > onAir {
+		n = onAir
+	}
+	for k := 0; k < n; k++ {
+		out[k] = t.slots[order[k]]
+		t.seq++
+		t.lastSeq[order[k]] = t.seq
+	}
+	return out
+}
+
+// Granted advances user's deadline clock for a grant issued outside
+// GrantSchedule — a second-control-field amendment. The next cycle's
+// schedule then ranks the user after everyone granted earlier this
+// cycle, preserving the stable rotation.
+func (t *GPSSlotTable) Granted(user frame.UserID) {
+	for i, u := range t.slots {
+		if u == user {
+			t.seq++
+			t.lastSeq[i] = t.seq
+			return
+		}
+	}
 }

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/phy"
+)
+
+// FuzzGPSGrantTable drives the GPS slot table through randomized
+// admission / departure / grant / amendment sequences and checks the
+// scheduler's invariants after every step:
+//
+//   - the table stays consolidated and its population matches the model;
+//   - a grant schedule never names a non-member, never names anyone
+//     twice, and never grants beyond the on-air slot count;
+//   - whenever the population fits on air, EVERY member is granted,
+//     packed into the first population-many entries (starvation-freedom);
+//   - grants are issued in ascending opportunity-clock order
+//     (earliest report deadline first), verified against an independent
+//     model of the clocks.
+//
+// Each op byte decodes as: action = op & 3 (0 admit, 1 leave, 2 grant
+// cycle, 3 out-of-band grant), format-2 flag = op & 4, user = high bits.
+func FuzzGPSGrantTable(f *testing.F) {
+	// The ROADMAP shape: seven buses admitted, granted for two cycles,
+	// then an eighth admitted late and amended (out-of-band grant)
+	// before its first scheduled cycle.
+	f.Add([]byte{0x00, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x02, 0x02, 0x70, 0x73, 0x02})
+	// Format-2 population with a mid-life departure.
+	f.Add([]byte{0x00, 0x10, 0x20, 0x06, 0x11, 0x06, 0x06})
+	// Over-capacity rotation: 7 members scheduled into 3 on-air slots.
+	f.Add([]byte{0x00, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x06, 0x06, 0x06})
+	f.Add([]byte{0x02})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		tbl := NewGPSSlotTable(true)
+		members := make(map[frame.UserID]bool)
+		// clock models lastSeq: admission and every issued grant bump it.
+		clock := make(map[frame.UserID]uint64)
+		var now uint64
+		tick := func(u frame.UserID) { now++; clock[u] = now }
+
+		for _, op := range ops {
+			user := frame.UserID((op>>4)&7) + 1
+			switch op & 3 {
+			case 0: // admit
+				_, err := tbl.Admit(user)
+				switch {
+				case members[user] && err == nil:
+					t.Fatalf("double admission of %v accepted", user)
+				case !members[user] && len(members) < phy.MaxGPSUsers && err != nil:
+					t.Fatalf("admission of %v refused with %d/%d slots used: %v",
+						user, len(members), phy.MaxGPSUsers, err)
+				}
+				if err == nil {
+					members[user] = true
+					tick(user)
+				}
+			case 1: // leave
+				err := tbl.Leave(user)
+				if members[user] != (err == nil) {
+					t.Fatalf("leave(%v) err=%v with membership %v", user, err, members[user])
+				}
+				delete(members, user)
+				delete(clock, user)
+			case 2: // grant cycle
+				onAir := phy.MaxGPSUsers
+				if op&4 != 0 {
+					onAir = phy.Format2GPSSlots
+				}
+				s := tbl.GrantSchedule(onAir)
+				verifySchedule(t, s, members, onAir)
+				// Deadline order: granted clocks must ascend, and every
+				// issued grant advances its holder's clock.
+				var prev uint64
+				for i := 0; i < len(s); i++ {
+					u := s[i]
+					if u == frame.NoUser {
+						continue
+					}
+					if c := clock[u]; c < prev {
+						t.Fatalf("grant order violates deadline order at slot %d: %v", i, s)
+					} else {
+						prev = c
+					}
+				}
+				for _, u := range s {
+					if u != frame.NoUser {
+						tick(u)
+					}
+				}
+			case 3: // out-of-band grant (CF2 amendment)
+				tbl.Granted(user)
+				if members[user] {
+					tick(user)
+				}
+			}
+			if !tbl.Consolidated() {
+				t.Fatalf("table lost consolidation after op %#x", op)
+			}
+			if tbl.Active() != len(members) {
+				t.Fatalf("population drifted: table %d, model %d", tbl.Active(), len(members))
+			}
+		}
+	})
+}
+
+// verifySchedule checks structural schedule invariants for one cycle.
+func verifySchedule(t *testing.T, s [frame.GPSScheduleEntries]frame.UserID, members map[frame.UserID]bool, onAir int) {
+	t.Helper()
+	granted := make(map[frame.UserID]int)
+	for i, u := range s {
+		if u == frame.NoUser {
+			continue
+		}
+		if i >= onAir {
+			t.Fatalf("grant beyond the %d on-air slots: %v", onAir, s)
+		}
+		if !members[u] {
+			t.Fatalf("grant to non-member %v: %v", u, s)
+		}
+		if j, dup := granted[u]; dup {
+			t.Fatalf("user %v granted slots %d and %d: %v", u, j, i, s)
+		}
+		granted[u] = i
+	}
+	if len(members) <= onAir {
+		// Starvation-freedom: everyone served, packed at the front.
+		if len(granted) != len(members) {
+			t.Fatalf("%d of %d members granted with room for all: %v", len(granted), len(members), s)
+		}
+		for u, i := range granted {
+			if i >= len(members) {
+				t.Fatalf("member %v granted slot %d beyond the first %d: %v", u, i, len(members), s)
+			}
+		}
+	} else if len(granted) != onAir {
+		t.Fatalf("over-capacity cycle granted %d slots, want all %d: %v", len(granted), onAir, s)
+	}
+}

@@ -203,6 +203,9 @@ func (n *Network) Deregister(sub *Subscriber) error {
 		if err := n.base.Deregister(sub.ID()); err != nil {
 			return err
 		}
+		if sub.IsGPS {
+			n.trace(EventGPSLeft, sub.ID(), -1, "")
+		}
 	}
 	sub.Deactivate()
 	return nil
@@ -316,6 +319,14 @@ func (n *Network) beginCycle(k int) {
 				n.trace(EventDataSlotGrant, u, i, "")
 			}
 		}
+		for i, u := range cf1.ForwardSchedule {
+			if u != frame.NoUser {
+				n.trace(EventForwardSlotGrant, u, i, "")
+			}
+		}
+		if cf2u := n.base.CF2User(); cf2u != frame.NoUser {
+			n.trace(EventCF2Listener, cf2u, -1, "")
+		}
 	}
 
 	// Snapshot who listens to CF2 this cycle (decided last cycle).
@@ -346,6 +357,13 @@ func (n *Network) beginCycle(k int) {
 	// CF2 delivery.
 	n.sim.AfterPriority(layout.CF2.End, sim.PriorityDeliver, func() {
 		cf2 := n.base.BuildCF2()
+		if n.tracing() {
+			// Grants added for users admitted after CF1 (announced here,
+			// used later this same cycle).
+			for _, a := range n.base.CF2Amendments() {
+				n.trace(EventGPSSlotGrant, a.User, a.Slot, "cf2-amend")
+			}
+		}
 		cf2Air, err := n.codec.EncodeControlFieldsTo(n.cf2Buf[:0], cf2)
 		if err != nil {
 			n.fail("control field encode", err)
@@ -679,6 +697,10 @@ func (n *Network) handleOutcome(out ReverseOutcome, cycle, slot int) {
 		if out.NewRegistration {
 			if n.tracing() {
 				n.trace(EventRegistered, out.AssignedID, slot, fmt.Sprintf("ein=%d", out.Received.Register.EIN))
+				if out.Received.Register.WantGPS {
+					n.trace(EventGPSAdmitted, out.AssignedID, n.base.GPSTable().SlotOf(out.AssignedID),
+						fmt.Sprintf("ein=%d", out.Received.Register.EIN))
+				}
 			}
 			if e, ok := n.byEIN[out.Received.Register.EIN]; ok {
 				n.metrics.RegistrationLatency.Add(float64(e.sub.RegistrationCycles(cycle)))

@@ -34,10 +34,14 @@ const (
 	EventMessageQueued
 	EventMessageDropped
 	EventContentionTx
+	EventCF2Listener
+	EventForwardSlotGrant
+	EventGPSAdmitted
+	EventGPSLeft
 )
 
 // eventKindCount is one past the highest defined EventKind.
-const eventKindCount = int(EventContentionTx) + 1
+const eventKindCount = int(EventGPSLeft) + 1
 
 // String implements fmt.Stringer.
 func (k EventKind) String() string {
@@ -86,6 +90,14 @@ func (k EventKind) String() string {
 		return "message-dropped"
 	case EventContentionTx:
 		return "contention-tx"
+	case EventCF2Listener:
+		return "cf2-listener"
+	case EventForwardSlotGrant:
+		return "forward-slot-grant"
+	case EventGPSAdmitted:
+		return "gps-admitted"
+	case EventGPSLeft:
+		return "gps-left"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

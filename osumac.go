@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"github.com/osu-netlab/osumac/internal/backbone"
+	"github.com/osu-netlab/osumac/internal/conformance"
 	"github.com/osu-netlab/osumac/internal/core"
 	"github.com/osu-netlab/osumac/internal/frame"
 	"github.com/osu-netlab/osumac/internal/phy"
@@ -89,6 +90,15 @@ type (
 	Internet = backbone.Internet
 	// Address is a subscriber's global (EIN-based) address.
 	Address = backbone.Address
+	// ConformanceChecker verifies protocol invariants over the trace
+	// stream (see internal/conformance).
+	ConformanceChecker = conformance.Checker
+	// ConformanceOptions selects which invariants a checker enforces.
+	ConformanceOptions = conformance.Options
+	// ConformanceReport is the outcome of a checked run.
+	ConformanceReport = conformance.Report
+	// ConformanceViolation is one observed invariant breach.
+	ConformanceViolation = conformance.Violation
 )
 
 // Re-exported constructors and constants.
@@ -164,6 +174,15 @@ type Scenario struct {
 	DisableSecondCF bool
 	// DisableDynamicSlots pins format 1 (for the Fig. 12b comparison).
 	DisableDynamicSlots bool
+	// LegacyGPSGrants restores the fixed (table-slot) GPS grant ordering
+	// that predates the deadline-aware scheduler. It reproduces the
+	// ROADMAP grant-starvation bug — kept for the autopsy/critical-path
+	// tooling and as an ablation baseline.
+	LegacyGPSGrants bool
+	// Conformance attaches the runtime protocol-invariant checker to
+	// the run (see internal/conformance). Run returns a
+	// *ConformanceError when any invariant is breached.
+	Conformance bool
 	// Tracer, when non-nil, receives every protocol event (see
 	// internal/obs for JSONL sinks and autopsy tooling). Leaving it nil
 	// keeps the simulation hot path allocation-free.
@@ -222,20 +241,83 @@ type Result struct {
 	EffectiveLoad float64
 }
 
-// Run executes a scenario and summarizes it.
+// Run executes a scenario and summarizes it. With Scenario.Conformance
+// set, the run is verified by the protocol-invariant checker and the
+// error is a *ConformanceError (alongside the computed Result) when any
+// invariant is breached.
 func Run(scn Scenario) (*Result, error) {
-	n, err := Build(scn)
-	if err != nil {
-		return nil, err
-	}
 	total := scn.WarmupCycles + scn.Cycles
 	if total <= 0 {
 		return nil, fmt.Errorf("osumac: no cycles to run")
+	}
+	if scn.Conformance {
+		n, chk, err := BuildChecked(scn)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.Run(total); err != nil {
+			return nil, err
+		}
+		res := Summarize(n)
+		if rep := chk.Finish(); !rep.OK() {
+			return res, &ConformanceError{Report: rep}
+		}
+		return res, nil
+	}
+	n, err := Build(scn)
+	if err != nil {
+		return nil, err
 	}
 	if err := n.Run(total); err != nil {
 		return nil, err
 	}
 	return Summarize(n), nil
+}
+
+// ConformanceError reports invariant breaches from a checked run. The
+// full report (with per-violation details and critical-path breakdowns)
+// is attached.
+type ConformanceError struct {
+	Report *conformance.Report
+}
+
+// Error implements error.
+func (e *ConformanceError) Error() string {
+	total := len(e.Report.Violations) + e.Report.Truncated
+	return fmt.Sprintf("osumac: %d protocol invariant violation(s) over %d cycles",
+		total, e.Report.Cycles)
+}
+
+// ConformanceOptionsFor derives the invariant set a scenario must
+// satisfy. The structural invariants (schedule disjointness, the
+// format rule, CF2 exclusions, grant starvation-freedom) always apply
+// under the matching protocol toggles; the hard real-time property
+// (zero GPS deadline violations) is asserted only where the protocol
+// guarantees it — ideal channels, both control-field sets, dynamic
+// slot adjustment, and the deadline-aware grant policy.
+func ConformanceOptionsFor(scn Scenario) ConformanceOptions {
+	mustHold := scn.ReverseLoss == 0 && scn.ForwardLoss == 0 &&
+		!scn.DisableSecondCF && !scn.DisableDynamicSlots && !scn.LegacyGPSGrants
+	return ConformanceOptions{
+		DeadlineMustHold:   mustHold,
+		DynamicSlots:       !scn.DisableDynamicSlots,
+		SecondControlField: !scn.DisableSecondCF,
+		KeepEvents:         mustHold,
+	}
+}
+
+// BuildChecked constructs the network for a scenario with the
+// protocol-invariant checker chained in front of the scenario's tracer.
+// Call Finish on the checker after running.
+func BuildChecked(scn Scenario) (*Network, *ConformanceChecker, error) {
+	chk := conformance.New(ConformanceOptionsFor(scn))
+	chk.Next = scn.Tracer
+	scn.Tracer = chk
+	n, err := Build(scn)
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, chk, nil
 }
 
 // Build constructs (but does not run) the network for a scenario,
@@ -251,6 +333,9 @@ func Build(scn Scenario) (*Network, error) {
 	cfg.Seed = scn.Seed
 	cfg.SecondControlField = !scn.DisableSecondCF
 	cfg.DynamicSlotAdjustment = !scn.DisableDynamicSlots
+	if scn.LegacyGPSGrants {
+		cfg.GPSGrantPolicy = core.GPSGrantFixed
+	}
 	cfg.Tracer = scn.Tracer
 	cfg.CollectSeries = scn.CollectSeries
 
