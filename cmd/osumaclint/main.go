@@ -5,12 +5,16 @@
 //
 // Usage:
 //
-//	osumaclint [-json] [-analyzers name,name] [patterns...]
+//	osumaclint [-json] [-checks name,name] [patterns...]
 //
 // Patterns follow go-command conventions ("./...", "./internal/frame");
 // the default is "./...". The module root is located by walking up from
-// the working directory to the nearest go.mod. The exit status is 1 when
-// findings are reported, 2 on driver errors, and 0 otherwise.
+// the working directory to the nearest go.mod. Whole-program analyzers
+// (hotpathalloc, traceexhaustive) always analyze the entire module so
+// their call-graph and cross-package facts are complete; the patterns
+// only restrict which packages findings are reported for. The exit
+// status is 1 when findings are reported, 2 on driver errors, and 0
+// otherwise.
 package main
 
 import (
@@ -33,7 +37,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("osumaclint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
-	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	checks := fs.String("checks", "", "comma-separated analyzer subset (default: all)")
+	names := fs.String("analyzers", "", "alias for -checks (kept for compatibility)")
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -41,14 +46,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 
+	if *checks != "" && *names != "" && *checks != *names {
+		fmt.Fprintln(stderr, "osumaclint: -checks and -analyzers disagree; pass one")
+		return 2
+	}
+	sel := *checks
+	if sel == "" {
+		sel = *names
+	}
 	var subset []string
-	if *names != "" {
-		subset = strings.Split(*names, ",")
+	if sel != "" {
+		subset = strings.Split(sel, ",")
 	}
 	analyzers, err := lint.ByName(subset)
 	if err != nil {
@@ -62,13 +75,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	loader := lint.NewLoader()
-	pkgs, err := loader.Load(root, fs.Args())
+	universe, err := loader.Load(root, nil)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	selected := lint.Select(universe, fs.Args())
 
-	diags := lint.Run(loader.Fset, pkgs, analyzers)
+	diags := lint.RunUniverse(loader.Fset, universe, selected, analyzers)
 	for i := range diags {
 		if rel, err := filepath.Rel(root, diags[i].File); err == nil {
 			diags[i].File = filepath.ToSlash(rel)

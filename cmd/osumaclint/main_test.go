@@ -26,6 +26,40 @@ func TestRunUnknownAnalyzer(t *testing.T) {
 	if code := run([]string{"-analyzers", "nosuch"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("unknown analyzer exited %d, want 2", code)
 	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-checks", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown check exited %d, want 2", code)
+	}
+}
+
+func TestRunConflictingCheckFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-checks", "determinism", "-analyzers", "panicfree"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("conflicting subset flags exited %d, want 2", code)
+	}
+}
+
+// TestRunChecksSubset exercises -checks with a whole-program analyzer
+// restricted to one subtree: the universe load must still let
+// hotpathalloc see its roots, and the selected package must come back
+// clean.
+func TestRunChecksSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole tree; skipped in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-checks", "hotpathalloc,suppressaudit", "./internal/rs"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("subset run exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("expected clean subset, got %d findings: %v", len(diags), diags)
+	}
 }
 
 func TestRunBadFlag(t *testing.T) {

@@ -216,6 +216,34 @@ func New(opts Options) *Checker {
 	}
 }
 
+// checkerIgnored lists the event kinds the conformance checker
+// deliberately passes through unexamined: per-slot payload outcomes and
+// bookkeeping whose protocol invariants (R1–R3, format rule, GPS
+// deadline) are judged from the grant announcements instead. The
+// traceexhaustive analyzer requires every core.EventKind to appear here
+// or in a consume case, so a newly added event cannot silently bypass
+// conformance checking.
+var checkerIgnored = [...]core.EventKind{
+	core.EventCFDecodeFailed,
+	core.EventRegistrationRx,
+	core.EventRegistered,
+	core.EventReservationRx,
+	core.EventPiggybackRx,
+	core.EventCollision,
+	core.EventDataRx,
+	core.EventDataLost,
+	core.EventMessageComplete,
+	core.EventGPSRx,
+	core.EventGPSLost,
+	core.EventForwardTx,
+	core.EventPageResponse,
+	core.EventFormatSwitch,
+	core.EventGPSQueued,
+	core.EventMessageQueued,
+	core.EventMessageDropped,
+	core.EventContentionTx,
+}
+
 // Trace implements core.Tracer: it verifies the event, then forwards it
 // to Next.
 func (c *Checker) Trace(e core.TraceEvent) {

@@ -99,8 +99,30 @@ func (k EventKind) String() string {
 	case EventGPSLeft:
 		return "gps-left"
 	default:
+		//lint:ignore hotpathalloc default branch is unreachable for defined kinds; only malformed traces pay for it
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
+}
+
+// MarshalText implements encoding.TextMarshaler using the canonical
+// String form, so event kinds serialize as stable names rather than
+// bare integers.
+func (k EventKind) MarshalText() ([]byte, error) {
+	if int(k) <= 0 || int(k) >= eventKindCount {
+		return nil, fmt.Errorf("core: cannot marshal undefined EventKind(%d)", int(k))
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler, inverting
+// MarshalText via ParseEventKind.
+func (k *EventKind) UnmarshalText(text []byte) error {
+	parsed, ok := ParseEventKind(string(text))
+	if !ok {
+		return fmt.Errorf("core: unknown EventKind name %q", string(text))
+	}
+	*k = parsed
+	return nil
 }
 
 // AllEventKinds returns every defined event kind in declaration order.

@@ -209,6 +209,35 @@ func TestEventKindStringRoundTrip(t *testing.T) {
 	}
 }
 
+func TestEventKindTextRoundTrip(t *testing.T) {
+	for _, k := range AllEventKinds() {
+		text, err := k.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%v): %v", k, err)
+		}
+		if string(text) != k.String() {
+			t.Fatalf("MarshalText(%v) = %q, want %q", k, text, k.String())
+		}
+		var got EventKind
+		if err := got.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if got != k {
+			t.Fatalf("round-trip of %v gave %v", k, got)
+		}
+	}
+	if _, err := EventKind(0).MarshalText(); err == nil {
+		t.Fatal("MarshalText accepted the zero kind")
+	}
+	if _, err := EventKind(eventKindCount).MarshalText(); err == nil {
+		t.Fatal("MarshalText accepted an out-of-range kind")
+	}
+	var k EventKind
+	if err := k.UnmarshalText([]byte("no-such-kind")); err == nil {
+		t.Fatal("UnmarshalText accepted an unknown name")
+	}
+}
+
 func TestTraceScheduleGrantEvents(t *testing.T) {
 	buf := &TraceBuffer{}
 	n := newTestNetwork(t, func(c *Config) {

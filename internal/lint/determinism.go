@@ -14,6 +14,8 @@ var determinismPackages = []string{
 	"internal/core",
 	"internal/sched",
 	"internal/sim",
+	"internal/backbone",
+	"internal/traffic",
 }
 
 // randConstructors are the math/rand functions that build explicit
@@ -32,7 +34,7 @@ var randConstructors = map[string]bool{
 // scheduling-critical packages.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "forbid time.Now, global math/rand, and multi-case selects in internal/core, internal/sched, internal/sim",
+	Doc:  "forbid time.Now, global math/rand, and multi-case selects in core, sched, sim, backbone, traffic",
 	Run:  runDeterminism,
 }
 

@@ -33,6 +33,14 @@ func TestGolden(t *testing.T) {
 		{"codecpair_clean", "codecpair"},
 		{"panicfree", "panicfree"},
 		{"panicfree_clean", "panicfree"},
+		{"hotpathalloc", "hotpathalloc"},
+		{"hotpathalloc_clean", "hotpathalloc"},
+		{"globalstate", "globalstate"},
+		{"globalstate_clean", "globalstate"},
+		{"traceexhaustive", "traceexhaustive"},
+		{"traceexhaustive_clean", "traceexhaustive"},
+		{"suppressaudit", "determinism,suppressaudit"},
+		{"suppressaudit_clean", "determinism,suppressaudit"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -56,11 +64,12 @@ func TestGolden(t *testing.T) {
 	}
 }
 
-// runFixture loads a fixture tree, runs one analyzer, and renders the
-// diagnostics with fixture-relative slash paths, one per line.
+// runFixture loads a fixture tree, runs the (comma-separated) analyzers,
+// and renders the diagnostics with fixture-relative slash paths, one per
+// line.
 func runFixture(t *testing.T, root, analyzer string) string {
 	t.Helper()
-	analyzers, err := ByName([]string{analyzer})
+	analyzers, err := ByName(strings.Split(analyzer, ","))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +99,8 @@ func runFixture(t *testing.T, root, analyzer string) string {
 // rotting: each bad fixture must contain a suppressed site, proving the
 // suppression path is exercised and not just trivially empty.
 func TestGoldenSuppressionsHaveFindings(t *testing.T) {
-	for _, fixture := range []string{"determinism", "uncheckederr", "constdrift", "panicfree"} {
+	for _, fixture := range []string{"determinism", "uncheckederr", "constdrift", "panicfree",
+		"hotpathalloc", "globalstate", "traceexhaustive"} {
 		root := filepath.Join("testdata", "src", fixture)
 		found := false
 		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {

@@ -18,11 +18,16 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"path/filepath"
 	"sort"
 	"strings"
 )
 
-// An Analyzer is one named invariant checker.
+// An Analyzer is one named invariant checker. Exactly one of Run and
+// RunProgram is set (or neither, for analyzers like suppressaudit that
+// the driver implements directly): Run sees one package at a time;
+// RunProgram sees the whole-program substrate and is invoked once per
+// run regardless of how many packages were selected.
 type Analyzer struct {
 	// Name identifies the analyzer in reports and ignore directives.
 	Name string
@@ -30,6 +35,9 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// RunProgram inspects the whole program (call graph, reachability)
+	// and reports findings through the program pass.
+	RunProgram func(*ProgramPass)
 }
 
 // A Pass carries one analyzer's view of one package.
@@ -43,6 +51,28 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.out = append(*p.out, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A ProgramPass carries one whole-program analyzer's view of the
+// entire loaded universe.
+type ProgramPass struct {
+	Fset *token.FileSet
+	Prog *Program
+
+	analyzer *Analyzer
+	out      *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	*p.out = append(*p.out, Diagnostic{
 		Analyzer: p.analyzer.Name,
@@ -76,7 +106,20 @@ func All() []*Analyzer {
 		ConstDrift,
 		CodecPair,
 		PanicFree,
+		HotPathAlloc,
+		GlobalState,
+		TraceExhaustive,
+		SuppressAudit,
 	}
+}
+
+// SuppressAudit reports //lint:ignore directives that no longer
+// suppress any finding. It has no Run function: the driver implements
+// it directly, because staleness is only decidable after every other
+// analyzer has reported.
+var SuppressAudit = &Analyzer{
+	Name: "suppressaudit",
+	Doc:  "report stale lint:ignore directives that no longer suppress any finding",
 }
 
 // ByName resolves a subset of analyzers by name.
@@ -103,20 +146,56 @@ func ByName(names []string) ([]*Analyzer, error) {
 }
 
 // Run executes the analyzers over every package and returns the
-// surviving (non-suppressed) diagnostics sorted by position.
+// surviving (non-suppressed) diagnostics sorted by position. The
+// packages serve as both the analysis universe and the reporting
+// selection; drivers that load more than they report on should call
+// RunUniverse directly.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunUniverse(fset, pkgs, pkgs, analyzers)
+}
+
+// RunUniverse executes per-package analyzers over the selected
+// packages and whole-program analyzers over the full universe, then
+// restricts the surviving diagnostics to files of the selected
+// packages. Whole-program analyzers need the universe even when the
+// user selected a subtree: traceexhaustive, for example, must see
+// internal/span to judge constants declared in internal/core.
+func RunUniverse(fset *token.FileSet, universe, selected []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram != nil && prog == nil {
+			prog = NewProgram(fset, universe)
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		pass := &ProgramPass{Fset: fset, Prog: prog, analyzer: a, out: &diags}
+		a.RunProgram(pass)
+	}
+
+	for _, pkg := range selected {
 		if pkg.Types == nil && len(pkg.Files) > 0 {
 			continue
 		}
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Fset: fset, Pkg: pkg, analyzer: a, out: &diags}
 			a.Run(pass)
 		}
 		diags = append(diags, checkDirectives(fset, pkg)...)
 	}
-	diags = applySuppressions(fset, pkgs, diags)
+
+	diags, used := applySuppressions(fset, universe, diags)
+	diags = filterToPackages(diags, selected)
+	if analyzerEnabled(analyzers, "suppressaudit") {
+		diags = append(diags, auditSuppressions(fset, selected, analyzers, used)...)
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -133,10 +212,42 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 	return diags
 }
 
+// filterToPackages keeps only diagnostics located in a selected
+// package's directory.
+func filterToPackages(diags []Diagnostic, selected []*Package) []Diagnostic {
+	dirs := make(map[string]bool, len(selected))
+	for _, pkg := range selected {
+		dirs[pkg.Dir] = true
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if dirs[filepath.Dir(d.File)] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func analyzerEnabled(analyzers []*Analyzer, name string) bool {
+	for _, a := range analyzers {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
 // ignoreDirective is one parsed //lint:ignore comment.
 type ignoreDirective struct {
 	analyzers []string // names, or ["*"] for all
 	reason    string
+	col       int // column of the directive comment, for audit reports
+}
+
+// directiveKey addresses one directive for used-tracking.
+type directiveKey struct {
+	file string
+	line int
 }
 
 const directivePrefix = "//lint:ignore"
@@ -171,6 +282,7 @@ func directivesByLine(fset *token.FileSet, pkg *Package) map[string]map[int]igno
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				d.col = pos.Column
 				if out[pos.Filename] == nil {
 					out[pos.Filename] = make(map[int]ignoreDirective)
 				}
@@ -208,8 +320,10 @@ func checkDirectives(fset *token.FileSet, pkg *Package) []Diagnostic {
 }
 
 // applySuppressions drops diagnostics covered by an ignore directive on
-// the same line or the immediately preceding line.
-func applySuppressions(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) []Diagnostic {
+// the same line or the immediately preceding line. It also returns the
+// set of directives that matched at least one diagnostic, which is what
+// suppressaudit judges staleness against.
+func applySuppressions(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) ([]Diagnostic, map[directiveKey]bool) {
 	index := make(map[string]map[int]ignoreDirective)
 	for _, pkg := range pkgs {
 		for file, lines := range directivesByLine(fset, pkg) {
@@ -229,6 +343,7 @@ func applySuppressions(fset *token.FileSet, pkgs []*Package, diags []Diagnostic)
 		}
 		return false
 	}
+	used := make(map[directiveKey]bool)
 	out := diags[:0]
 	for _, diag := range diags {
 		lines := index[diag.File]
@@ -236,13 +351,76 @@ func applySuppressions(fset *token.FileSet, pkgs []*Package, diags []Diagnostic)
 		if lines != nil && diag.Analyzer != "lintdirective" {
 			if d, ok := lines[diag.Line]; ok && matches(d, diag.Analyzer) {
 				suppressed = true
+				used[directiveKey{diag.File, diag.Line}] = true
 			}
 			if d, ok := lines[diag.Line-1]; ok && matches(d, diag.Analyzer) {
 				suppressed = true
+				used[directiveKey{diag.File, diag.Line - 1}] = true
 			}
 		}
 		if !suppressed {
 			out = append(out, diag)
+		}
+	}
+	return out, used
+}
+
+// auditSuppressions implements the suppressaudit analyzer: it reports
+// well-formed directives in the selected packages that name an unknown
+// analyzer, and directives whose every named analyzer ran in this
+// invocation yet which suppressed nothing. Directives naming
+// suppressaudit itself are exempt from the staleness check (a
+// directive cannot prove its own liveness), and "*" directives are
+// only judged when the full suite ran.
+func auditSuppressions(fset *token.FileSet, selected []*Package, analyzers []*Analyzer, used map[directiveKey]bool) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	known["lintdirective"] = true
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	fullSuite := len(analyzers) == len(All())
+
+	var out []Diagnostic
+	for _, pkg := range selected {
+		for file, lines := range directivesByLine(fset, pkg) {
+			for line, d := range lines {
+				stale := true
+				for _, name := range d.analyzers {
+					switch {
+					case name == "suppressaudit":
+						stale = false
+					case name == "*":
+						if !fullSuite {
+							stale = false
+						}
+					case !known[name]:
+						out = append(out, Diagnostic{
+							Analyzer: "suppressaudit",
+							File:     file,
+							Line:     line,
+							Col:      d.col,
+							Message:  fmt.Sprintf("lint:ignore names unknown analyzer %q", name),
+						})
+						stale = false
+					case !ran[name]:
+						stale = false
+					}
+				}
+				if stale && !used[directiveKey{file, line}] {
+					out = append(out, Diagnostic{
+						Analyzer: "suppressaudit",
+						File:     file,
+						Line:     line,
+						Col:      d.col,
+						Message: fmt.Sprintf("stale lint:ignore %s directive suppresses nothing; remove it",
+							strings.Join(d.analyzers, ",")),
+					})
+				}
+			}
 		}
 	}
 	return out

@@ -288,6 +288,18 @@ func packageImports(p *Package) []string {
 
 // selectPackages filters the loaded set by the driver's path patterns.
 func selectPackages(pkgs map[string]*Package, sorted []string, patterns []string) []*Package {
+	ordered := make([]*Package, 0, len(sorted))
+	for _, path := range sorted {
+		ordered = append(ordered, pkgs[path])
+	}
+	return Select(ordered, patterns)
+}
+
+// Select filters already-loaded packages by go-style path patterns,
+// preserving order. An empty pattern list selects everything. Drivers
+// use it to report on a subtree while whole-program analyzers still see
+// the full universe.
+func Select(pkgs []*Package, patterns []string) []*Package {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -312,8 +324,8 @@ func selectPackages(pkgs map[string]*Package, sorted []string, patterns []string
 		return false
 	}
 	var out []*Package
-	for _, path := range sorted {
-		if p := pkgs[path]; match(p) {
+	for _, p := range pkgs {
+		if match(p) {
 			out = append(out, p)
 		}
 	}

@@ -1,0 +1,34 @@
+// Package core is a known-bad fixture for the globalstate analyzer:
+// package-level mutable state, an unsynchronized shared map, and a
+// reassigned error sentinel, alongside the allowed forms (constants,
+// sentinels, blank assertions) and one suppressed site.
+package core
+
+import "errors"
+
+// ErrOverflow is a write-once error sentinel: allowed.
+var ErrOverflow = errors.New("core: queue overflow")
+
+// cache is an unsynchronized shared map: flagged.
+var cache = map[string]int{}
+
+// cycleCount is package-level mutable state: flagged.
+var cycleCount int
+
+//lint:ignore globalstate registry is populated once during init and read-only afterwards
+var registry = map[int]string{}
+
+// slotCount is a constant: allowed.
+const slotCount = 16
+
+// Network keeps its state on the instance, as the shard contract wants.
+type Network struct{ users int }
+
+var _ interface{ grow() } = (*Network)(nil)
+
+func (n *Network) grow() { n.users++ }
+
+func reset() {
+	cycleCount = 0
+	ErrOverflow = errors.New("core: replaced")
+}

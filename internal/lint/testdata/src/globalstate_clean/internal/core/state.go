@@ -1,0 +1,30 @@
+// Package core is the clean twin of the globalstate fixture: only
+// constants, write-once error sentinels, blank compile-time assertions,
+// and instance state.
+package core
+
+import "errors"
+
+// ErrOverflow is a write-once error sentinel: allowed.
+var ErrOverflow = errors.New("core: queue overflow")
+
+// slotCount is a constant: allowed.
+const slotCount = 16
+
+// Network keeps every piece of mutable state on the instance.
+type Network struct {
+	users      int
+	cycleCount int
+	cache      map[string]int
+}
+
+var _ interface{ grow() } = (*Network)(nil)
+
+func (n *Network) grow() { n.users++ }
+
+func (n *Network) reset() {
+	n.cycleCount = 0
+	if n.cache == nil {
+		n.cache = make(map[string]int)
+	}
+}

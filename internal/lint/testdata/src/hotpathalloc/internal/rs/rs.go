@@ -1,0 +1,56 @@
+// Package rs is a known-bad fixture for the hotpathalloc analyzer: it
+// mirrors the real codec's shape (Code.EncodeTo is a hot root) and
+// plants allocation sites both directly in the root and in a helper
+// reachable through the call graph, plus gated, error-return, and
+// suppressed sites that must NOT be reported.
+package rs
+
+import "fmt"
+
+// Code mirrors the real RS codec shape.
+type Code struct {
+	debug   bool
+	scratch []byte
+}
+
+func (c *Code) tracing() bool { return c.debug }
+
+// EncodeTo is a hot root named in the analyzer's root table.
+func (c *Code) EncodeTo(dst, src []byte) error {
+	if len(dst) < len(src) {
+		// Error construction is exempt: the zero-alloc contract covers
+		// valid inputs only.
+		return fmt.Errorf("rs: dst %d shorter than src %d", len(dst), len(src))
+	}
+	label := "block-" + fmt.Sprint(len(src))
+	_ = label
+	out := append([]byte{}, src...)
+	_ = out
+	sink(len(src))
+	if c.tracing() {
+		// Gated behind tracing(): off the steady-state path.
+		note := fmt.Sprintf("encode %d bytes", len(src))
+		_ = note
+	}
+	c.mix(src)
+	//lint:ignore hotpathalloc scratch table is rebuilt only on parameter change, amortized across runs
+	c.scratch = make([]byte, 256)
+	copy(dst, src)
+	return nil
+}
+
+// sink's any parameter boxes every concrete argument it is handed.
+func sink(v any) { _ = v }
+
+// mix is reachable from EncodeTo, so its allocations are hot too.
+func (c *Code) mix(src []byte) {
+	seen := map[int]int{}
+	for i, b := range src {
+		seen[int(b)] = i
+	}
+}
+
+// debugDump is NOT reachable from any root: its allocations are fine.
+func (c *Code) debugDump() string {
+	return fmt.Sprintf("scratch=%v", c.scratch)
+}

@@ -1,0 +1,28 @@
+// Package core is a known-bad fixture for the suppressaudit analyzer,
+// run together with determinism: one live suppression (kept), one stale
+// suppression (flagged), one directive naming an unknown analyzer
+// (flagged), and one naming suppressaudit itself (exempt by design).
+package core
+
+import "time"
+
+// bootTime really does trip determinism; its directive is live.
+//
+//lint:ignore determinism fixture exercises a live suppression of a real finding
+var bootTime = time.Now()
+
+// slotCount no longer trips anything; its directive is stale.
+//
+//lint:ignore determinism the time.Now call this guarded was removed long ago
+var slotCount = 16
+
+//lint:ignore nosuchanalyzer typo in the analyzer name
+var cycleLen = 42
+
+//lint:ignore suppressaudit directives naming suppressaudit are exempt from staleness
+var formatCount = 3
+
+// Uptime keeps the fixture's declarations referenced.
+func Uptime() time.Duration {
+	return time.Since(bootTime) * time.Duration(slotCount%cycleLen%formatCount+1)
+}

@@ -1,0 +1,19 @@
+// Package core is the clean twin of the suppressaudit fixture: every
+// directive either suppresses a real finding or names suppressaudit
+// itself.
+package core
+
+import "time"
+
+// bootTime really does trip determinism; its directive is live.
+//
+//lint:ignore determinism fixture exercises a live suppression of a real finding
+var bootTime = time.Now()
+
+//lint:ignore suppressaudit directives naming suppressaudit are exempt from staleness
+var formatCount = 3
+
+// Uptime keeps the fixture's declarations referenced.
+func Uptime() time.Duration {
+	return time.Since(bootTime) * time.Duration(formatCount)
+}

@@ -1,0 +1,17 @@
+// Package conformance acknowledges a subset of the event kinds; the
+// analyzer must notice the missing ones.
+package conformance
+
+import "internal/core"
+
+// Check accepts only the kinds the checker knows about.
+func Check(kinds []core.EventKind) bool {
+	for _, k := range kinds {
+		switch k {
+		case core.EventCycleStart, core.EventDataRx, core.EventGPSRx:
+		default:
+			return false
+		}
+	}
+	return true
+}

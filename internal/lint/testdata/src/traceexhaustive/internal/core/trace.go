@@ -1,0 +1,34 @@
+// Package core is a known-bad fixture for the traceexhaustive
+// analyzer: EventGPSRx is unknown to the span stitcher, EventCollision
+// is missing both its String case and a conformance reference, and
+// EventPageResponse's gaps are suppressed.
+package core
+
+// EventKind classifies trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EventCycleStart EventKind = iota + 1
+	EventDataRx
+	EventGPSRx
+	EventCollision
+	//lint:ignore traceexhaustive experimental kind pending stitcher and conformance support
+	EventPageResponse
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventCycleStart:
+		return "cycle-start"
+	case EventDataRx:
+		return "data-rx"
+	case EventGPSRx:
+		return "gps-rx"
+	case EventPageResponse:
+		return "page-response"
+	default:
+		return "unknown"
+	}
+}

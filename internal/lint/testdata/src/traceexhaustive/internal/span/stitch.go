@@ -1,0 +1,17 @@
+// Package span handles a subset of the event kinds; the analyzer must
+// notice the ones it neither handles nor lists as ignored.
+package span
+
+import "internal/core"
+
+// Stitch counts the kinds the stitcher understands.
+func Stitch(kinds []core.EventKind) int {
+	n := 0
+	for _, k := range kinds {
+		switch k {
+		case core.EventCycleStart, core.EventDataRx, core.EventCollision:
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,16 @@
+// Package conformance acknowledges every event kind.
+package conformance
+
+import "internal/core"
+
+// Check accepts the full event vocabulary.
+func Check(kinds []core.EventKind) bool {
+	for _, k := range kinds {
+		switch k {
+		case core.EventCycleStart, core.EventDataRx, core.EventGPSRx:
+		default:
+			return false
+		}
+	}
+	return true
+}

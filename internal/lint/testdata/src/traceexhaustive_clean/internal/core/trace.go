@@ -1,0 +1,28 @@
+// Package core is the clean twin of the traceexhaustive fixture: every
+// kind round-trips through String and is acknowledged by both span and
+// conformance.
+package core
+
+// EventKind classifies trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EventCycleStart EventKind = iota + 1
+	EventDataRx
+	EventGPSRx
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventCycleStart:
+		return "cycle-start"
+	case EventDataRx:
+		return "data-rx"
+	case EventGPSRx:
+		return "gps-rx"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,19 @@
+// Package span handles or explicitly ignores every event kind.
+package span
+
+import "internal/core"
+
+// stitchIgnored lists the kinds the stitcher deliberately skips.
+var stitchIgnored = [...]core.EventKind{core.EventGPSRx}
+
+// Stitch counts the kinds the stitcher understands.
+func Stitch(kinds []core.EventKind) int {
+	n := 0
+	for _, k := range kinds {
+		switch k {
+		case core.EventCycleStart, core.EventDataRx:
+			n++
+		}
+	}
+	return n
+}

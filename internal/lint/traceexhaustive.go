@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TraceExhaustive keeps the trace-event vocabulary closed: every
+// core.EventKind constant must (1) have a case in EventKind.String so
+// ParseEventKind/UnmarshalText round-trip it, (2) be referenced by the
+// span stitcher (handled or explicitly listed as ignored), and (3) be
+// referenced by the conformance tracer. Without this, a newly added
+// event compiles fine but silently falls out of span trees, autopsies,
+// and conformance checking.
+var TraceExhaustive = &Analyzer{
+	Name:       "traceexhaustive",
+	Doc:        "require every core.EventKind to be round-trippable and acknowledged by span.Stitch and the conformance tracer",
+	RunProgram: runTraceExhaustive,
+}
+
+func runTraceExhaustive(pass *ProgramPass) {
+	prog := pass.Prog
+	corePkg := prog.PackageBySuffix("internal/core")
+	if corePkg == nil {
+		return
+	}
+	kindObj := corePkg.Types.Scope().Lookup("EventKind")
+	if kindObj == nil {
+		return
+	}
+	kindType := kindObj.Type()
+
+	kinds := eventKindConstants(corePkg, kindType)
+	if len(kinds) == 0 {
+		return
+	}
+
+	inString := stringCaseConstants(corePkg, kindType)
+
+	spanPkg := prog.PackageBySuffix("internal/span")
+	confPkg := prog.PackageBySuffix("internal/conformance")
+
+	for _, k := range kinds {
+		if !inString[k.obj] {
+			pass.Reportf(k.pos, "EventKind %s has no case in EventKind.String; ParseEventKind and UnmarshalText cannot round-trip it", k.obj.Name())
+		}
+		if spanPkg != nil && !referencesConst(spanPkg, k.obj) {
+			pass.Reportf(k.pos, "EventKind %s is not handled by internal/span; add a Stitch case or list it in stitchIgnored", k.obj.Name())
+		}
+		if confPkg != nil && !referencesConst(confPkg, k.obj) {
+			pass.Reportf(k.pos, "EventKind %s is not acknowledged by internal/conformance; add a Checker case or list it in checkerIgnored", k.obj.Name())
+		}
+	}
+}
+
+type kindConst struct {
+	obj *types.Const
+	pos token.Pos
+}
+
+// eventKindConstants returns the package's EventKind constants in
+// declaration order.
+func eventKindConstants(pkg *Package, kindType types.Type) []kindConst {
+	var kinds []kindConst
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					c, ok := pkg.Info.Defs[name].(*types.Const)
+					if !ok || !types.Identical(c.Type(), kindType) {
+						continue
+					}
+					kinds = append(kinds, kindConst{obj: c, pos: name.Pos()})
+				}
+			}
+		}
+	}
+	return kinds
+}
+
+// stringCaseConstants collects the EventKind constants that appear in a
+// case clause inside the EventKind.String method.
+func stringCaseConstants(pkg *Package, kindType types.Type) map[*types.Const]bool {
+	covered := make(map[*types.Const]bool)
+	decl := methodDecl(pkg, kindType, "String")
+	if decl == nil || decl.Body == nil {
+		return covered
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, expr := range cc.List {
+			id, ok := ast.Unparen(expr).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if c, ok := pkg.Info.Uses[id].(*types.Const); ok {
+				covered[c] = true
+			}
+		}
+		return true
+	})
+	return covered
+}
+
+// methodDecl finds the declaration of recvType's method by name.
+func methodDecl(pkg *Package, recvType types.Type, name string) *ast.FuncDecl {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			t := pkg.Info.TypeOf(fd.Recv.List[0].Type)
+			if t == nil {
+				continue
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if types.Identical(t, recvType) {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// referencesConst reports whether any non-test file of pkg uses the
+// given constant.
+func referencesConst(pkg *Package, c *types.Const) bool {
+	for _, file := range pkg.Files {
+		found := false
+		ast.Inspect(file, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pkg.Info.Uses[id] == c {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -32,6 +32,27 @@ func Stitch(events []core.TraceEvent) *Set {
 	return st.set
 }
 
+// stitchIgnored lists the event kinds the stitcher deliberately does
+// not fold into lifecycle traces: control-frame bookkeeping, grant
+// announcements already consumed by indexCycles, and per-slot outcomes
+// that carry no span boundary. The traceexhaustive analyzer requires
+// every core.EventKind to appear here or in a consume/indexCycles case,
+// so a newly added event cannot silently fall out of the span trees.
+var stitchIgnored = [...]core.EventKind{
+	core.EventCFDecodeFailed,
+	core.EventRegistrationRx,
+	core.EventRegistered,
+	core.EventCollision,
+	core.EventDataLost,
+	core.EventPageResponse,
+	core.EventFormatSwitch,
+	core.EventMessageDropped,
+	core.EventCF2Listener,
+	core.EventForwardSlotGrant,
+	core.EventGPSAdmitted,
+	core.EventGPSLeft,
+}
+
 // cycleInfo is the per-cycle context gathered in the indexing pass.
 type cycleInfo struct {
 	at       time.Duration
