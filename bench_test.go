@@ -420,19 +420,31 @@ func BenchmarkRSDecodeErasures(b *testing.B) {
 }
 
 // BenchmarkControlFieldCodec measures one full control-field
-// encode+decode round (2 RS codewords each way).
+// encode+decode round (2 RS codewords each way) in its steady-state
+// form: EncodeControlFieldsTo into a reused buffer and
+// DecodeControlFieldsInto a caller-owned struct. Expected: 0 allocs/op.
 func BenchmarkControlFieldCodec(b *testing.B) {
 	codec := frame.NewCodec()
 	cf := frame.NewControlFields()
 	cf.GPSSchedule[0] = 1
 	cf.ReverseSchedule[3] = 7
+	air := make([]byte, 0, frame.ControlFieldAirBytes)
+	var rx frame.ControlFields
+	// Warm the RS decoder scratch pool before measuring.
+	air, err := codec.EncodeControlFieldsTo(air[:0], cf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := codec.DecodeControlFieldsInto(&rx, air); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		air, err := codec.EncodeControlFields(cf)
+		air, err = codec.EncodeControlFieldsTo(air[:0], cf)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := codec.DecodeControlFields(air); err != nil {
+		if err := codec.DecodeControlFieldsInto(&rx, air); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -455,6 +467,51 @@ func BenchmarkSimulationCycle(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := n.Run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledCycle measures the compiled executor's idle-cell
+// steady state: active data users, no queued traffic, no GPS. Every
+// cycle activates fast and every slot action is a table dispatch, so
+// this is the pure executor cost. Expected: 0 allocs/op after the
+// pre-scheduled chunk amortizes.
+func BenchmarkCompiledCycle(b *testing.B) {
+	cfg := NewConfig()
+	cfg.Seed = benchSeed
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := n.AddSubscriber(EIN(2000+i), false, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := n.Run(5); err != nil {
+		b.Fatal(err)
+	}
+	s := n.Sim()
+	start := s.Now()
+	scheduled := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i == scheduled {
+			// Schedule cycle-begin events in chunks off the clock; the
+			// measured region is pure kernel + compiled-table execution.
+			b.StopTimer()
+			chunk := b.N - scheduled
+			if chunk > 1<<14 {
+				chunk = 1 << 14
+			}
+			if err := n.ScheduleCycles(chunk, start+time.Duration(scheduled)*CycleLength); err != nil {
+				b.Fatal(err)
+			}
+			scheduled += chunk
+			b.StartTimer()
+		}
+		if err := s.Run(start + time.Duration(i+1)*CycleLength); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -30,7 +30,40 @@ func NewWriter(capacityBits int) *Writer {
 	if capacityBits < 0 {
 		capacityBits = 0
 	}
+	//lint:ignore hotpathalloc constructor of the cold strict-Writer API; hot paths use the stateless PutBitsAt and only reach here via frame's off-path marshalErr rebuild
 	return &Writer{buf: make([]byte, (capacityBits+7)/8)}
+}
+
+// PutBitsAt writes the low width bits of v MSB-first at bit offset nbit
+// of buf and returns the advanced offset. It is the stateless form of
+// WriteBits for zero-allocation hot paths: holding the offset in a
+// local instead of a Writer keeps caller-owned stack buffers off the
+// heap (escape analysis treats any slice stored into a struct as
+// escaping). The caller guarantees capacity, zeroed target bits, and
+// that v fits width — validate up front, as frame's MarshalTo does.
+func PutBitsAt(buf []byte, nbit int, v uint64, width int) int {
+	for i := width - 1; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			buf[nbit/8] |= 1 << uint(7-nbit%8)
+		}
+		nbit++
+	}
+	return nbit
+}
+
+// TakeBitsAt reads width bits MSB-first from bit offset nbit of buf,
+// returning the value and the advanced offset: the stateless form of
+// ReadBits (see PutBitsAt). The caller guarantees bounds.
+func TakeBitsAt(buf []byte, nbit, width int) (uint64, int) {
+	var v uint64
+	for i := 0; i < width; i++ {
+		v <<= 1
+		if buf[nbit/8]&(1<<uint(7-nbit%8)) != 0 {
+			v |= 1
+		}
+		nbit++
+	}
+	return v, nbit
 }
 
 // CapacityBits returns the writer's capacity in bits.
@@ -96,6 +129,7 @@ func (w *Writer) PutBits(v uint64, width int) {
 		return
 	}
 	if width < 64 && v >= 1<<uint(width) {
+		//lint:ignore hotpathalloc error construction in the cold strict-Writer API; hot callers validate field widths up front and never take this branch
 		w.setErr(fmt.Errorf("%w: value %d in %d bits", ErrValueRange, v, width))
 		return
 	}

@@ -41,6 +41,7 @@ type BaseStation struct {
 
 	// Per-cycle state.
 	layout     Layout
+	layouts    [2]Layout            // precomputed per-format slot timings
 	cf         *frame.ControlFields // announced schedule for the current cycle
 	prevAcks   [frame.ReverseACKEntries]frame.ReverseACK
 	curAcks    [frame.ReverseACKEntries]frame.ReverseACK
@@ -50,6 +51,16 @@ type BaseStation struct {
 	lastAssign frame.UserID // user assigned this cycle's last data slot
 	cf2Amends  []GPSAmendment
 	pagesQueue []frame.UserID
+
+	// cfBufs double-buffers the announced control fields so BeginCycle
+	// allocates nothing: cycle k's set stays readable until its last
+	// overlapping reverse slot resolves early in cycle k+1, so reuse at
+	// k+2 is safe. cf2Scratch backs BuildCF2 the same way (valid until
+	// the next BuildCF2 call).
+	cfBufs     [2]frame.ControlFields
+	cfFlip     int
+	cfBlank    frame.ControlFields // all-unassigned template the buffers reset from
+	cf2Scratch frame.ControlFields
 
 	// Forward data queues.
 	fwdQueue map[frame.UserID][]*frame.DataPacket
@@ -67,6 +78,8 @@ type asmState struct {
 // NewBaseStation builds the cell controller.
 func NewBaseStation(cfg *Config, metrics *Metrics, rng *sim.RNG) *BaseStation {
 	return &BaseStation{
+		layouts:         [2]Layout{NewLayout(Format1), NewLayout(Format2)},
+		cfBlank:         *frame.NewControlFields(),
 		cfg:             cfg,
 		metrics:         metrics,
 		rng:             rng,
@@ -201,10 +214,14 @@ func (b *BaseStation) BeginCycle() {
 	if b.cfg.DynamicSlotAdjustment {
 		format = b.gps.Format()
 	}
-	b.layout = NewLayout(format)
+	b.layout = b.layouts[int(format)-1]
 	d := format.DataSlots()
 
-	cf := frame.NewControlFields()
+	// Flip the control-field double buffer (see the field comment for why
+	// two generations suffice) and reset it to all-unassigned.
+	cf := &b.cfBufs[b.cfFlip]
+	b.cfFlip ^= 1
+	*cf = b.cfBlank
 	if b.cfg.DynamicSlotAdjustment && b.cfg.GPSGrantPolicy == GPSGrantDeadline {
 		// Deadline-aware grants: every registered GPS user gets a slot
 		// this cycle (population never exceeds the on-air count with the
@@ -237,7 +254,10 @@ func (b *BaseStation) BeginCycle() {
 		avail = 0
 	}
 	reqs := b.pendingRequests()
-	assignment := b.cfg.Scheduler.Schedule(reqs, avail)
+	var assignment []frame.UserID
+	if len(reqs) > 0 {
+		assignment = b.cfg.Scheduler.Schedule(reqs, avail)
+	}
 	for i, u := range assignment {
 		cf.ReverseSchedule[cSlots+i] = u
 	}
@@ -284,8 +304,8 @@ func (b *BaseStation) BeginCycle() {
 		}
 	}
 	b.metrics.DataSlotsAssigned.Addn(uint64(assigned))
-	b.metrics.ContentionSlotsOpen.Addn(uint64(len(cf.ContentionSlots())))
-	b.contOfferedThisCyc = len(cf.ContentionSlots())
+	b.metrics.ContentionSlotsOpen.Addn(uint64(cf.ContentionSlotCount()))
+	b.contOfferedThisCyc = cf.ContentionSlotCount()
 }
 
 // fixCF2UserEarlySlots enforces that this cycle's CF2 listener is not
@@ -376,11 +396,11 @@ type GPSAmendment struct {
 // amends the GPS schedule with slots for users admitted since CF1.
 func (b *BaseStation) BuildCF2() *frame.ControlFields {
 	b.amendCF2GPS()
-	cf2 := *b.cf
-	if b.prevLast >= 0 && b.prevLast < len(cf2.ReverseACKs) {
-		cf2.ReverseACKs[b.prevLast] = b.prevAcks[b.prevLast]
+	b.cf2Scratch = *b.cf
+	if b.prevLast >= 0 && b.prevLast < len(b.cf2Scratch.ReverseACKs) {
+		b.cf2Scratch.ReverseACKs[b.prevLast] = b.prevAcks[b.prevLast]
 	}
-	return &cf2
+	return &b.cf2Scratch
 }
 
 // CF2Amendments lists the GPS grants added by this cycle's CF2, for the
@@ -482,12 +502,6 @@ type ReverseOutcome struct {
 // RS-decoded 48-byte payloads of each non-colliding transmission; the
 // harness passes nil payloads for transmissions whose decode failed.
 func (b *BaseStation) RecordReverse(slot int, intoPrev bool, isLastSlot bool, payloads [][]byte, contention bool) ReverseOutcome {
-	var out ReverseOutcome
-	acks := &b.curAcks
-	if intoPrev {
-		acks = &b.prevAcks
-	}
-
 	if contention && len(payloads) > 0 {
 		b.metrics.ContentionSlotsUsed.Inc()
 		b.metrics.ContentionTx.Addn(uint64(len(payloads)))
@@ -495,14 +509,13 @@ func (b *BaseStation) RecordReverse(slot int, intoPrev bool, isLastSlot bool, pa
 		b.contUsedThisCyc++
 	}
 	if len(payloads) == 0 {
-		return out
+		return ReverseOutcome{}
 	}
 	if len(payloads) > 1 {
 		// Collision: everything in the slot is lost.
-		out.Collision = true
 		b.metrics.ContentionCollisions.Inc()
 		b.collisionsThisCyc++
-		return out
+		return ReverseOutcome{Collision: true}
 	}
 	payload := payloads[0]
 	if payload == nil {
@@ -510,14 +523,28 @@ func (b *BaseStation) RecordReverse(slot int, intoPrev bool, isLastSlot bool, pa
 		if !contention {
 			b.metrics.FragmentsLost.Inc()
 		}
-		return out
+		return ReverseOutcome{}
 	}
 	pkt, err := frame.UnmarshalPacket(payload)
 	if err != nil {
 		if !contention {
 			b.metrics.FragmentsLost.Inc()
 		}
-		return out
+		return ReverseOutcome{}
+	}
+	return b.recordPacket(slot, intoPrev, isLastSlot, pkt, contention)
+}
+
+// recordPacket applies a successfully decoded reverse-slot packet: the
+// wire-independent back half of RecordReverse. The compiled executor
+// calls it directly with a protocol-built packet, skipping the marshal →
+// RS encode → RS decode → unmarshal round-trip an ideal channel cannot
+// change.
+func (b *BaseStation) recordPacket(slot int, intoPrev bool, isLastSlot bool, pkt *frame.Packet, contention bool) ReverseOutcome {
+	var out ReverseOutcome
+	acks := &b.curAcks
+	if intoPrev {
+		acks = &b.prevAcks
 	}
 	out.Received = pkt
 
@@ -653,13 +680,24 @@ func (b *BaseStation) RecordGPS(body []byte) (*frame.GPSReport, bool) {
 		b.metrics.GPSLost.Inc()
 		return nil, false
 	}
+	if !b.RecordGPSDirect(rep) {
+		return nil, false
+	}
+	return rep, true
+}
+
+// RecordGPSDirect applies an already-decoded GPS report: the
+// wire-independent back half of RecordGPS, used by the compiled
+// executor (an ideal channel cannot corrupt the 32-byte body, so the
+// unmarshal of a protocol-built report cannot fail).
+func (b *BaseStation) RecordGPSDirect(rep *frame.GPSReport) bool {
 	if b.gps.SlotOf(rep.User) < 0 {
 		// Report from a user that no longer holds a slot.
 		b.metrics.GPSLost.Inc()
-		return nil, false
+		return false
 	}
 	b.metrics.GPSDelivered.Inc()
-	return rep, true
+	return true
 }
 
 // PopForward removes and returns the next queued forward packet for
@@ -690,6 +728,7 @@ func (b *BaseStation) reassemble(h frame.DataHeader, payloadLen int) (dup, done 
 	key := uint32(h.User)<<16 | uint32(h.MsgID)
 	st, ok := b.asm[key]
 	if !ok {
+		//lint:ignore hotpathalloc one amortized allocation per uplink message, paid identically by both engines; the idle steady state never reaches it
 		st = &asmState{total: int(h.FragTotal), received: make(map[int]bool)}
 		b.asm[key] = st
 	}

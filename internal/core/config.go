@@ -134,6 +134,13 @@ type Config struct {
 	// Tracer receives protocol events when non-nil (see TraceBuffer).
 	Tracer Tracer
 
+	// DisableCompiledCycle forces every notification cycle through the
+	// general event-driven kernel instead of the compiled slot-action
+	// templates (see compiled.go). The two engines are observationally
+	// identical — this switch exists for the differential tests that
+	// prove it, and as an escape hatch.
+	DisableCompiledCycle bool
+
 	// CollectSeries records a per-cycle metric point in
 	// Metrics.Series — useful for transient analysis and plotting.
 	CollectSeries bool

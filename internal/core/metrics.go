@@ -69,6 +69,19 @@ type Metrics struct {
 	ForwardPktsSent      stats.Counter
 	ForwardPktsDelivered stats.Counter
 
+	// Compiled-cycle executor accounting (see compiled.go). These count
+	// which execution engine drove each cycle and why the fast path
+	// deactivated; they are deliberately NOT part of Snapshot, because
+	// the compiled path must be observationally identical to the event
+	// kernel and exported run artifacts must not differ between engines.
+	CompiledCycles             stats.Counter // cycles driven by the compiled source
+	CompiledFallbacks          stats.Counter // cycles whose fast path deactivated
+	CompiledFallbackLoss       stats.Counter // lossy channel model present
+	CompiledFallbackContention stats.Counter // a contention transmission was planned
+	CompiledFallbackAmendment  stats.Counter // CF2 amended the GPS schedule
+	CompiledFallbackFormat     stats.Counter // reverse format switched this cycle
+	CompiledRecompiles         stats.Counter // template re-selections on format switch
+
 	// Series holds per-cycle points when Config.CollectSeries is set.
 	Series []CyclePoint
 }

@@ -64,6 +64,22 @@ type Network struct {
 	cf2Buf []byte
 	encBuf []byte
 	rxBuf  []byte
+
+	// Compiled-cycle executor (see compiled.go). compiled is nil when
+	// Config.DisableCompiledCycle is set; allIdeal tracks whether every
+	// attached channel model is phy.Ideal — the fast path's precondition.
+	compiled *compiledSource
+	allIdeal bool
+
+	// Scratch owned by the compiled fast path. The kernel is
+	// single-threaded and each is fully consumed within one slot
+	// handler. scratchPayload stays all-zero: fast-path data packets
+	// slice it without writing, mirroring the event path's zeroed
+	// make([]byte, size) payloads.
+	scratchData    frame.DataPacket
+	scratchPkt     frame.Packet
+	scratchGPS     frame.GPSReport
+	scratchPayload [frame.MaxPayload]byte
 }
 
 type subEntry struct {
@@ -121,8 +137,13 @@ func NewNetworkOnSim(cfg Config, kernel *sim.Simulator) (*Network, error) {
 		msgMeta:   make(map[uint32]msgMeta),
 		fwdMeta:   make(map[uint32]msgMeta),
 		nextFwdID: make(map[frame.UserID]uint16),
+		allIdeal:  true,
 	}
 	n.base = NewBaseStation(&n.cfg, n.metrics, root.Fork("base"))
+	if !n.cfg.DisableCompiledCycle {
+		n.compiled = newCompiledSource(n)
+		kernel.AttachSource(n.compiled)
+	}
 	return n, nil
 }
 
@@ -185,6 +206,12 @@ func (n *Network) AddSubscriber(ein frame.EIN, isGPS bool, joinAt time.Duration)
 		fwdModel: n.cfg.NewForwardModel(),
 		revModel: n.cfg.NewReverseModel(),
 		chanRNG:  n.rootRNG.ForkIndexed("chan", idx),
+	}
+	if _, ok := e.fwdModel.(phy.Ideal); !ok {
+		n.allIdeal = false
+	}
+	if _, ok := e.revModel.(phy.Ideal); !ok {
+		n.allIdeal = false
 	}
 	if !isGPS && n.cfg.MeanInterarrival > 0 {
 		e.traffic = traffic.NewPoissonSource(n.cfg.MeanInterarrival,
@@ -345,38 +372,21 @@ func (n *Network) beginCycle(k int) {
 		return
 	}
 	n.cf1Buf = cf1Air
+
+	// Compiled fast path: when an instance is free, the whole cycle runs
+	// off a precompiled slot-action table instead of per-slot heap events
+	// (see compiled.go). The two engines are observationally identical.
+	if n.compiled != nil && n.compiled.activate(k, t0, layout, cf1, cf1Air) {
+		return
+	}
+
 	n.sim.AfterPriority(layout.CF1.End, sim.PriorityDeliver, func() {
-		for _, e := range n.subs {
-			if e.sub.State() == StateIdle || e.listensCF2 {
-				continue
-			}
-			n.deliverCF(e, cf1Air, layout)
-		}
+		n.deliverCF1All(cf1Air, layout)
 	})
 
 	// CF2 delivery.
 	n.sim.AfterPriority(layout.CF2.End, sim.PriorityDeliver, func() {
-		cf2 := n.base.BuildCF2()
-		if n.tracing() {
-			// Grants added for users admitted after CF1 (announced here,
-			// used later this same cycle).
-			for _, a := range n.base.CF2Amendments() {
-				n.trace(EventGPSSlotGrant, a.User, a.Slot, "cf2-amend")
-			}
-		}
-		cf2Air, err := n.codec.EncodeControlFieldsTo(n.cf2Buf[:0], cf2)
-		if err != nil {
-			n.fail("control field encode", err)
-			return
-		}
-		n.cf2Buf = cf2Air
-		for _, e := range n.subs {
-			if e.sub.State() == StateIdle || !e.listensCF2 {
-				continue
-			}
-			n.metrics.CF2Listens.Inc()
-			n.deliverCF(e, cf2Air, layout)
-		}
+		n.deliverCF2All(layout)
 	})
 
 	// Reverse GPS slots. The transmit decision happens at the slot
@@ -440,6 +450,58 @@ func (n *Network) recordSeriesPoint(cycle int) {
 		QueueDepth:        depth,
 	})
 	n.prevSnap = cur
+}
+
+// deliverCF1All delivers the encoded first control-field set to every
+// subscriber not waiting for CF2. It is the body of the event kernel's
+// CF1 delivery event, and the compiled executor's slow CF1 action.
+func (n *Network) deliverCF1All(air []byte, layout Layout) {
+	for _, e := range n.subs {
+		if e.sub.State() == StateIdle || e.listensCF2 {
+			continue
+		}
+		n.deliverCF(e, air, layout)
+	}
+}
+
+// deliverCF2All builds, announces, and delivers the second control-field
+// set: the body of the event kernel's CF2 delivery event, and the
+// compiled executor's slow CF2 action. BuildCF2 is not idempotent (its
+// amendments grant slots), so anything that has already called it must
+// use deliverCF2Wire instead.
+func (n *Network) deliverCF2All(layout Layout) {
+	cf2 := n.base.BuildCF2()
+	n.announceCF2Amendments()
+	n.deliverCF2Wire(cf2, layout)
+}
+
+// announceCF2Amendments traces the GPS grants added for users admitted
+// after CF1 (announced at CF2 delivery, used later this same cycle).
+func (n *Network) announceCF2Amendments() {
+	if !n.tracing() {
+		return
+	}
+	for _, a := range n.base.CF2Amendments() {
+		n.trace(EventGPSSlotGrant, a.User, a.Slot, "cf2-amend")
+	}
+}
+
+// deliverCF2Wire encodes a built CF2 set and delivers it through each
+// listener's forward channel.
+func (n *Network) deliverCF2Wire(cf2 *frame.ControlFields, layout Layout) {
+	cf2Air, err := n.codec.EncodeControlFieldsTo(n.cf2Buf[:0], cf2)
+	if err != nil {
+		n.fail("control field encode", err)
+		return
+	}
+	n.cf2Buf = cf2Air
+	for _, e := range n.subs {
+		if e.sub.State() == StateIdle || !e.listensCF2 {
+			continue
+		}
+		n.metrics.CF2Listens.Inc()
+		n.deliverCF(e, cf2Air, layout)
+	}
 }
 
 // deliverCF passes a control-field transmission through one subscriber's

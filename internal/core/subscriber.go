@@ -107,6 +107,12 @@ type Subscriber struct {
 	PagesSeen int
 
 	pageResponseDue bool
+
+	// planSlots and contSlots are per-cycle scratch so planning
+	// allocates nothing: a CyclePlan's DataSlots alias planSlots and
+	// stay valid until the next OnControlFields call replaces the plan.
+	planSlots [frame.ReverseScheduleEntries]int
+	contSlots [frame.ReverseScheduleEntries]int
 }
 
 // NewSubscriber builds a subscriber in the Idle state.
@@ -289,11 +295,16 @@ func (s *Subscriber) OnControlFields(cf *frame.ControlFields, layout Layout, now
 		return plan
 	}
 
-	// Active data user: collect granted slots.
+	// Active data user: collect granted slots (into the scratch array;
+	// an empty plan keeps DataSlots nil).
+	ds := s.planSlots[:0]
 	for i, u := range cf.ReverseSchedule {
 		if u == s.id && i < len(layout.ReverseData) {
-			plan.DataSlots = append(plan.DataSlots, i)
+			ds = append(ds, i)
 		}
+	}
+	if len(ds) > 0 {
+		plan.DataSlots = ds
 	}
 	if n := len(plan.DataSlots); n > 0 && s.requestedOutstanding > 0 {
 		s.requestedOutstanding -= n
@@ -368,8 +379,14 @@ func (s *Subscriber) OnControlFields(cf *frame.ControlFields, layout Layout, now
 // resolveAcks settles last cycle's in-flight transmissions against the
 // received ACK vector (nil = control fields lost: assume failure).
 func (s *Subscriber) resolveAcks(cf *frame.ControlFields) {
-	// Scheduled data slots.
-	for slot, rec := range s.sentSlots {
+	// Scheduled data slots, in ascending slot order: requeue order must
+	// be deterministic (map iteration order would randomize which lost
+	// fragment retransmits first when a cycle loses several slots).
+	for slot := 0; slot < frame.ReverseScheduleEntries; slot++ {
+		rec, ok := s.sentSlots[slot]
+		if !ok {
+			continue
+		}
 		acked := cf != nil && slot < len(cf.ReverseACKs) && cf.ReverseACKs[slot].User == s.id
 		if acked {
 			s.requestedOutstanding += rec.more
@@ -420,9 +437,9 @@ func (s *Subscriber) resolveAcks(cf *frame.ControlFields) {
 // pickContentionSlot chooses uniformly among usable contention slots.
 // A CF2 listener cannot transmit before CF2 ends plus the switch guard.
 func (s *Subscriber) pickContentionSlot(cf *frame.ControlFields, layout Layout, wasCF2 bool) int {
-	var usable []int
-	for _, slot := range cf.ContentionSlots() {
-		if slot >= len(layout.ReverseData) {
+	usable := s.contSlots[:0]
+	for slot, u := range cf.ReverseSchedule {
+		if u != frame.NoUser || slot >= len(layout.ReverseData) {
 			continue
 		}
 		if !s.cfg.SecondControlField && slot == layout.LastDataSlot() {
@@ -448,22 +465,33 @@ func (s *Subscriber) pickContentionSlot(cf *frame.ControlFields, layout Layout, 
 // data slot, piggybacking outstanding demand. It returns nil when the
 // queue is empty (the slot goes idle).
 func (s *Subscriber) MakeDataPacket(slot int) *frame.DataPacket {
+	pkt := &frame.DataPacket{}
+	if !s.MakeDataPacketInto(slot, pkt, make([]byte, frame.MaxPayload)) {
+		return nil
+	}
+	return pkt
+}
+
+// MakeDataPacketInto is the allocation-free form of MakeDataPacket: it
+// fills a caller-owned packet, slicing the payload out of a caller-owned
+// zeroed buffer of at least frame.MaxPayload bytes. It reports false
+// when the queue is empty.
+func (s *Subscriber) MakeDataPacketInto(slot int, pkt *frame.DataPacket, payload []byte) bool {
 	f := s.popFragment()
 	if f == nil {
-		return nil
+		return false
 	}
 	more := s.clampMore(s.unrequested())
 	s.sentSlots[slot] = slotRecord{frag: f, more: more}
-	return &frame.DataPacket{
-		Header: frame.DataHeader{
-			User:      s.id,
-			MoreSlots: uint8(more),
-			MsgID:     f.msgID,
-			Frag:      uint8(f.index),
-			FragTotal: uint8(f.total),
-		},
-		Payload: make([]byte, f.size),
+	pkt.Header = frame.DataHeader{
+		User:      s.id,
+		MoreSlots: uint8(more),
+		MsgID:     f.msgID,
+		Frag:      uint8(f.index),
+		FragTotal: uint8(f.total),
 	}
+	pkt.Payload = payload[:f.size]
+	return true
 }
 
 // MakeContentionPacket builds the packet for the planned contention
@@ -505,18 +533,28 @@ func (s *Subscriber) GPSPendingSince() (time.Duration, bool) {
 // arrival time for access-delay accounting; ok is false when none is
 // pending.
 func (s *Subscriber) MakeGPSReport() (rep *frame.GPSReport, arrival time.Duration, ok bool) {
-	if !s.gpsHave {
+	rep = &frame.GPSReport{}
+	arrival, ok = s.MakeGPSReportInto(rep)
+	if !ok {
 		return nil, 0, false
+	}
+	return rep, arrival, true
+}
+
+// MakeGPSReportInto is the allocation-free form of MakeGPSReport: it
+// fills a caller-owned report struct.
+func (s *Subscriber) MakeGPSReportInto(rep *frame.GPSReport) (arrival time.Duration, ok bool) {
+	if !s.gpsHave {
+		return 0, false
 	}
 	s.gpsHave = false
 	seq := s.gpsSeq
 	s.gpsSeq++
-	return &frame.GPSReport{
-		User:      s.id,
-		Sequence:  seq,
-		Latitude:  uint32(seq*37) % (1 << 24),
-		Longitude: uint32(seq*91) % (1 << 24),
-	}, s.gpsArrival, true
+	rep.User = s.id
+	rep.Sequence = seq
+	rep.Latitude = uint32(seq*37) % (1 << 24)
+	rep.Longitude = uint32(seq*91) % (1 << 24)
+	return s.gpsArrival, true
 }
 
 // ReceiveForward processes a downlink data packet addressed to this
@@ -529,6 +567,7 @@ func (s *Subscriber) ReceiveForward(p *frame.DataPacket) (bool, uint16, int) {
 	}
 	st, ok := s.asm[h.MsgID]
 	if !ok {
+		//lint:ignore hotpathalloc one amortized allocation per downlink message, paid identically by both engines; the idle steady state never reaches it
 		st = &asmState{total: int(h.FragTotal), received: make(map[int]bool)}
 		s.asm[h.MsgID] = st
 	}

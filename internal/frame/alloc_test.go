@@ -129,3 +129,59 @@ func TestCodecSteadyStateAllocFree(t *testing.T) {
 		t.Errorf("TransmitTo: %v allocs/op, want 0", n)
 	}
 }
+
+func TestControlFieldCodecSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	c := NewCodec()
+	cf := NewControlFields()
+	cf.GPSSchedule[0] = 4
+	cf.ReverseSchedule[2] = 17
+	cf.ReverseACKs[0] = ReverseACK{User: 17, EIN: 0xBEEF}
+
+	air := make([]byte, 0, ControlFieldAirBytes)
+	marshaled := make([]byte, 0, ControlFieldBytes)
+	var rx ControlFields
+
+	// Warm the RS decoder scratch pool before measuring.
+	air, err := c.EncodeControlFieldsTo(air, cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DecodeControlFieldsInto(&rx, air); err != nil {
+		t.Fatal(err)
+	}
+	if rx != *cf {
+		t.Fatal("DecodeControlFieldsInto round-trip mismatch")
+	}
+
+	if n := testing.AllocsPerRun(200, func() {
+		if marshaled, err = cf.MarshalTo(marshaled[:0]); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("MarshalTo: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := UnmarshalControlFieldsInto(&rx, marshaled); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("UnmarshalControlFieldsInto: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if air, err = c.EncodeControlFieldsTo(air[:0], cf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("EncodeControlFieldsTo: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := c.DecodeControlFieldsInto(&rx, air); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("clean DecodeControlFieldsInto: %v allocs/op, want 0", n)
+	}
+}

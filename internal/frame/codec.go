@@ -55,15 +55,13 @@ func (c *Codec) EncodeControlFields(cf *ControlFields) ([]byte, error) {
 }
 
 // EncodeControlFieldsTo appends the on-air control-field codewords to
-// dst. The RS encodes are allocation-free with a reused buffer; the
-// Marshal of the schedule itself still allocates its info block.
+// dst. The schedule marshals into stack scratch and the RS encodes
+// append, so with a reused buffer the whole encode is allocation-free.
 func (c *Codec) EncodeControlFieldsTo(dst []byte, cf *ControlFields) ([]byte, error) {
-	info, err := cf.Marshal()
+	var infoArr [ControlFieldBytes]byte
+	info, err := cf.MarshalTo(infoArr[:0])
 	if err != nil {
 		return nil, err
-	}
-	if len(info) != phy.ControlFieldCodewords*phy.CodewordInfoBytes {
-		return nil, fmt.Errorf("frame: control fields marshal to %d bytes", len(info))
 	}
 	for i := 0; i < phy.ControlFieldCodewords; i++ {
 		dst, err = c.code.EncodeTo(dst, info[i*phy.CodewordInfoBytes:(i+1)*phy.CodewordInfoBytes])
@@ -101,6 +99,28 @@ func (c *Codec) DecodeControlFieldsTo(dst, air []byte) (*ControlFields, error) {
 		}
 	}
 	return UnmarshalControlFields(dst[off:])
+}
+
+// DecodeControlFieldsInto decodes two received codewords into a
+// caller-owned struct. The decoded info blocks live in stack scratch,
+// so the clean path (no channel errors) is allocation-free once the RS
+// decoder's scratch pool is warm. On error cf's contents are
+// unspecified.
+func (c *Codec) DecodeControlFieldsInto(cf *ControlFields, air []byte) error {
+	want := phy.ControlFieldCodewords * phy.CodewordBytes
+	if len(air) != want {
+		return fmt.Errorf("%w: control fields air size %d, want %d", ErrBadLength, len(air), want)
+	}
+	var infoArr [ControlFieldBytes]byte
+	dst := infoArr[:0]
+	var err error
+	for i := 0; i < phy.ControlFieldCodewords; i++ {
+		dst, err = c.code.DecodeTo(dst, air[i*phy.CodewordBytes:(i+1)*phy.CodewordBytes])
+		if err != nil {
+			return fmt.Errorf("control field codeword %d: %w", i, err)
+		}
+	}
+	return UnmarshalControlFieldsInto(cf, dst)
 }
 
 // Transmit models one coded transmission through a channel error model:

@@ -161,12 +161,110 @@ func (cf *ControlFields) ContentionSlots() []int {
 	return out
 }
 
+// ContentionSlotCount counts the unassigned reverse data slots without
+// allocating: the hot-path form of len(ContentionSlots()).
+func (cf *ControlFields) ContentionSlotCount() int {
+	n := 0
+	for _, u := range cf.ReverseSchedule {
+		if u == NoUser {
+			n++
+		}
+	}
+	return n
+}
+
+// ControlFieldBytes is the marshaled control-field size: the information
+// bytes of two RS codewords.
+const ControlFieldBytes = phy.ControlFieldCodewords * phy.CodewordInfoBytes
+
+// ControlFieldAirBytes is the on-air control-field size: two full RS
+// codewords as produced by Codec.EncodeControlFields.
+const ControlFieldAirBytes = phy.ControlFieldCodewords * phy.CodewordBytes
+
 // Marshal packs the control fields into the information bytes of two RS
 // codewords (96 bytes); the trailing reserved bits are zero. An entry
 // that does not fit its field width (e.g. a user ID above 6 bits)
 // returns ErrBadPacket.
 func (cf *ControlFields) Marshal() ([]byte, error) {
-	w := bitio.NewWriter(phy.ControlFieldCodewords * phy.CodewordInfoBits)
+	return cf.MarshalTo(nil)
+}
+
+// MarshalTo packs the control fields like Marshal but appends the 96
+// information bytes to dst, so a reused buffer makes the steady-state
+// encode allocation-free. Field widths are validated up front; the
+// rare failure rebuilds the faithful wrapped error with a throwaway
+// Writer off the hot path (a bitio.Writer over caller memory would
+// force the buffer onto the heap — see bitio.PutBitsAt).
+//
+//lint:ignore codecpair UnmarshalControlFieldsInto is the round-trip counterpart; the analyzer pairs by name suffix only
+func (cf *ControlFields) MarshalTo(dst []byte) ([]byte, error) {
+	if !cf.fieldsInRange() {
+		return nil, cf.marshalErr()
+	}
+	off := len(dst)
+	for len(dst) < off+ControlFieldBytes {
+		dst = append(dst, 0)
+	}
+	buf := dst[off:]
+	for i := range buf {
+		buf[i] = 0
+	}
+	nbit := 0
+	for _, u := range cf.GPSSchedule {
+		nbit = bitio.PutBitsAt(buf, nbit, uint64(u), UserIDBits)
+	}
+	for _, u := range cf.ReverseSchedule {
+		nbit = bitio.PutBitsAt(buf, nbit, uint64(u), UserIDBits)
+	}
+	for _, u := range cf.ForwardSchedule {
+		nbit = bitio.PutBitsAt(buf, nbit, uint64(u), UserIDBits)
+	}
+	for _, a := range cf.ReverseACKs {
+		nbit = bitio.PutBitsAt(buf, nbit, uint64(a.User), UserIDBits)
+		nbit = bitio.PutBitsAt(buf, nbit, uint64(a.EIN), EINBits)
+	}
+	for _, u := range cf.Paging {
+		nbit = bitio.PutBitsAt(buf, nbit, uint64(u), UserIDBits)
+	}
+	return dst, nil
+}
+
+// fieldsInRange reports whether every entry fits its declared field
+// width. EINs always fit their 16 bits; user IDs are 8-bit values in
+// 6-bit fields.
+func (cf *ControlFields) fieldsInRange() bool {
+	for _, u := range cf.GPSSchedule {
+		if u > NoUser {
+			return false
+		}
+	}
+	for _, u := range cf.ReverseSchedule {
+		if u > NoUser {
+			return false
+		}
+	}
+	for _, u := range cf.ForwardSchedule {
+		if u > NoUser {
+			return false
+		}
+	}
+	for _, a := range cf.ReverseACKs {
+		if a.User > NoUser {
+			return false
+		}
+	}
+	for _, u := range cf.Paging {
+		if u > NoUser {
+			return false
+		}
+	}
+	return true
+}
+
+// marshalErr reproduces the wrapped field-width error off the hot path,
+// identical to what the strict Writer path has always reported.
+func (cf *ControlFields) marshalErr() error {
+	w := bitio.NewWriter(ControlFieldBytes * 8)
 	for _, u := range cf.GPSSchedule {
 		w.PutBits(uint64(u), UserIDBits)
 	}
@@ -183,39 +281,50 @@ func (cf *ControlFields) Marshal() ([]byte, error) {
 	for _, u := range cf.Paging {
 		w.PutBits(uint64(u), UserIDBits)
 	}
-	if err := w.Err(); err != nil {
-		return nil, fmt.Errorf("%w: control fields: %w", ErrBadPacket, err)
-	}
-	return w.Bytes(), nil
+	return fmt.Errorf("%w: control fields: %w", ErrBadPacket, w.Err())
 }
 
 // UnmarshalControlFields parses the 96 information bytes of a
 // control-field set.
 func UnmarshalControlFields(b []byte) (*ControlFields, error) {
-	want := phy.ControlFieldCodewords * phy.CodewordInfoBytes
-	if len(b) != want {
-		return nil, fmt.Errorf("%w: control fields %d bytes, want %d", ErrBadLength, len(b), want)
-	}
-	r := bitio.NewReader(b)
 	cf := &ControlFields{}
-	for i := range cf.GPSSchedule {
-		cf.GPSSchedule[i] = UserID(r.TakeBits(UserIDBits))
-	}
-	for i := range cf.ReverseSchedule {
-		cf.ReverseSchedule[i] = UserID(r.TakeBits(UserIDBits))
-	}
-	for i := range cf.ForwardSchedule {
-		cf.ForwardSchedule[i] = UserID(r.TakeBits(UserIDBits))
-	}
-	for i := range cf.ReverseACKs {
-		cf.ReverseACKs[i].User = UserID(r.TakeBits(UserIDBits))
-		cf.ReverseACKs[i].EIN = EIN(r.TakeBits(EINBits))
-	}
-	for i := range cf.Paging {
-		cf.Paging[i] = UserID(r.TakeBits(UserIDBits))
-	}
-	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("%w: control fields: %w", ErrBadPacket, err)
+	if err := UnmarshalControlFieldsInto(cf, b); err != nil {
+		return nil, err
 	}
 	return cf, nil
+}
+
+// UnmarshalControlFieldsInto parses like UnmarshalControlFields but
+// fills a caller-owned struct, so the hot path avoids the per-set
+// allocation. After the length check no read can fail: the 630 field
+// bits always fit the 96-byte buffer.
+func UnmarshalControlFieldsInto(cf *ControlFields, b []byte) error {
+	if len(b) != ControlFieldBytes {
+		return fmt.Errorf("%w: control fields %d bytes, want %d", ErrBadLength, len(b), ControlFieldBytes)
+	}
+	nbit := 0
+	var v uint64
+	for i := range cf.GPSSchedule {
+		v, nbit = bitio.TakeBitsAt(b, nbit, UserIDBits)
+		cf.GPSSchedule[i] = UserID(v)
+	}
+	for i := range cf.ReverseSchedule {
+		v, nbit = bitio.TakeBitsAt(b, nbit, UserIDBits)
+		cf.ReverseSchedule[i] = UserID(v)
+	}
+	for i := range cf.ForwardSchedule {
+		v, nbit = bitio.TakeBitsAt(b, nbit, UserIDBits)
+		cf.ForwardSchedule[i] = UserID(v)
+	}
+	for i := range cf.ReverseACKs {
+		v, nbit = bitio.TakeBitsAt(b, nbit, UserIDBits)
+		cf.ReverseACKs[i].User = UserID(v)
+		v, nbit = bitio.TakeBitsAt(b, nbit, EINBits)
+		cf.ReverseACKs[i].EIN = EIN(v)
+	}
+	for i := range cf.Paging {
+		v, nbit = bitio.TakeBitsAt(b, nbit, UserIDBits)
+		cf.Paging[i] = UserID(v)
+	}
+	return nil
 }

@@ -25,18 +25,25 @@ var HotPathAlloc = &Analyzer{
 type hotRoot struct{ pkg, recv, name string }
 
 // hotRoots is the steady-state contract surface. Each present root has
-// (or will have) a matching AllocsPerRun guard; absent roots are
-// skipped, so SimulationCycle — the ROADMAP item 2 compiled-cycle fast
-// path — is audited automatically the day it lands.
+// a matching AllocsPerRun guard; absent roots are skipped.
+// Network.SimulationCycle is the compiled-cycle per-slot dispatcher
+// (fast handlers only; the slow fallback handlers and per-cycle
+// activation are deliberately outside — their allocations are
+// amortized per cycle or per message, not per slot).
 var hotRoots = []hotRoot{
 	{"internal/rs", "Code", "EncodeTo"},
 	{"internal/rs", "Code", "DecodeTo"},
 	{"internal/frame", "Codec", "EncodePayloadTo"},
 	{"internal/frame", "Codec", "DecodePayloadTo"},
+	{"internal/frame", "Codec", "EncodeControlFieldsTo"},
+	{"internal/frame", "Codec", "DecodeControlFieldsInto"},
+	{"internal/frame", "ControlFields", "MarshalTo"},
+	{"internal/frame", "", "UnmarshalControlFieldsInto"},
 	{"internal/frame", "", "TransmitTo"},
 	{"internal/core", "GPSSlotTable", "GrantSchedule"},
 	{"internal/core", "Network", "trace"},
 	{"internal/core", "Network", "SimulationCycle"},
+	{"internal/core", "compiledSource", "PeekAction"},
 	{"internal/obs", "JSONLSink", "Trace"},
 	{"internal/obs", "KindMask", "Has"},
 }

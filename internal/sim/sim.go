@@ -93,6 +93,25 @@ func (q *eventQueue) Pop() any {
 	return ev
 }
 
+// ActionSource feeds pre-sequenced actions into the kernel's main loop
+// without per-action heap events. A source exposes its earliest pending
+// action via PeekAction; the kernel merges it against the event heap on
+// the usual (time, priority, sequence) order and calls FireAction when
+// the source wins. Sequence numbers must come from ReserveSeq so that
+// source actions and heap events share one total order.
+//
+// Sources exist for compiled executors (e.g. the core compiled-cycle
+// fast path) whose action tables are known ahead of time; everything
+// else should keep using At/After.
+type ActionSource interface {
+	// PeekAction returns the source's earliest pending action without
+	// consuming it. ok is false when the source is idle.
+	PeekAction() (at time.Duration, p Priority, seq uint64, ok bool)
+	// FireAction executes the action PeekAction reported and advances
+	// past it. The kernel has already moved the clock to its time.
+	FireAction()
+}
+
 // Simulator is a single-threaded discrete-event simulator.
 //
 // The zero value is not usable; construct with New.
@@ -102,6 +121,7 @@ type Simulator struct {
 	seq     uint64
 	stopped bool
 	fired   uint64
+	sources []ActionSource
 }
 
 // New returns an empty simulator positioned at virtual time zero.
@@ -160,6 +180,47 @@ func (s *Simulator) AfterPriority(delay time.Duration, p Priority, fn func()) *E
 	return ev
 }
 
+// AttachSource registers an ActionSource with the kernel. Sources stay
+// attached for the simulator's lifetime; an idle source costs one
+// PeekAction call per loop iteration.
+func (s *Simulator) AttachSource(src ActionSource) {
+	s.sources = append(s.sources, src)
+}
+
+// ReserveSeq hands out the next scheduling sequence number without
+// queuing a heap event. ActionSources reserve sequences in the exact
+// order the equivalent At calls would have been made, so their actions
+// interleave with heap events deterministically.
+func (s *Simulator) ReserveSeq() uint64 {
+	seq := s.seq
+	s.seq++
+	return seq
+}
+
+// nextUp selects the earliest pending work item — the heap head or an
+// attached source's next action — by (at, priority, seq). src is nil
+// when the heap head wins; ok is false when nothing is pending at all.
+func (s *Simulator) nextUp() (src ActionSource, at time.Duration, ok bool) {
+	var (
+		p   Priority
+		seq uint64
+	)
+	if len(s.queue) > 0 {
+		head := s.queue[0]
+		at, p, seq, ok = head.at, head.priority, head.seq, true
+	}
+	for _, cand := range s.sources {
+		cat, cp, cseq, cok := cand.PeekAction()
+		if !cok {
+			continue
+		}
+		if !ok || cat < at || (cat == at && (cp < p || (cp == p && cseq < seq))) {
+			src, at, p, seq, ok = cand, cat, cp, cseq, true
+		}
+	}
+	return src, at, ok
+}
+
 // Cancel removes a scheduled event. Canceling a nil, fired, or already
 // canceled event is a no-op and reports false.
 func (s *Simulator) Cancel(ev *Event) bool {
@@ -180,19 +241,28 @@ func (s *Simulator) Stop() { s.stopped = true }
 // ErrStopped if Stop was called, otherwise nil.
 func (s *Simulator) Run(horizon time.Duration) error {
 	s.stopped = false
-	for len(s.queue) > 0 {
+	for {
+		src, at, ok := s.nextUp()
+		if !ok {
+			break
+		}
 		if s.stopped {
 			return ErrStopped
 		}
-		next := s.queue[0]
-		if next.at > horizon {
-			// Leave future events queued; advance to the horizon so
+		if at > horizon {
+			// Leave future work queued; advance to the horizon so
 			// repeated Run calls see monotonic time.
 			s.now = horizon
 			return nil
 		}
-		popped, ok := heap.Pop(&s.queue).(*Event)
-		if !ok {
+		if src != nil {
+			s.now = at
+			s.fired++
+			src.FireAction()
+			continue
+		}
+		popped, popOK := heap.Pop(&s.queue).(*Event)
+		if !popOK {
 			return errors.New("sim: corrupt event queue")
 		}
 		s.now = popped.at
@@ -215,12 +285,22 @@ func (s *Simulator) Run(horizon time.Duration) error {
 // processes terminate.
 func (s *Simulator) RunUntilIdle() error {
 	s.stopped = false
-	for len(s.queue) > 0 {
+	for {
+		src, at, ok := s.nextUp()
+		if !ok {
+			break
+		}
 		if s.stopped {
 			return ErrStopped
 		}
-		popped, ok := heap.Pop(&s.queue).(*Event)
-		if !ok {
+		if src != nil {
+			s.now = at
+			s.fired++
+			src.FireAction()
+			continue
+		}
+		popped, popOK := heap.Pop(&s.queue).(*Event)
+		if !popOK {
 			return errors.New("sim: corrupt event queue")
 		}
 		s.now = popped.at

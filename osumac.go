@@ -179,6 +179,11 @@ type Scenario struct {
 	// ROADMAP grant-starvation bug — kept for the autopsy/critical-path
 	// tooling and as an ablation baseline.
 	LegacyGPSGrants bool
+	// DisableCompiledCycle turns off the precompiled slot-action fast
+	// path and runs every cycle through the event-driven kernel. The two
+	// engines are observationally identical; the toggle exists for
+	// differential testing and as an escape hatch.
+	DisableCompiledCycle bool
 	// Conformance attaches the runtime protocol-invariant checker to
 	// the run (see internal/conformance). Run returns a
 	// *ConformanceError when any invariant is breached.
@@ -338,6 +343,7 @@ func Build(scn Scenario) (*Network, error) {
 	}
 	cfg.Tracer = scn.Tracer
 	cfg.CollectSeries = scn.CollectSeries
+	cfg.DisableCompiledCycle = scn.DisableCompiledCycle
 
 	var dist traffic.SizeDist = traffic.PaperFixed
 	if scn.VariableSizes {

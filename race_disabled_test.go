@@ -1,0 +1,5 @@
+//go:build !race
+
+package osumac
+
+const raceEnabled = false
