@@ -14,6 +14,7 @@ import (
 
 	"github.com/osu-netlab/osumac/internal/baseline"
 	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/flight"
 	"github.com/osu-netlab/osumac/internal/frame"
 	"github.com/osu-netlab/osumac/internal/rs"
 	"github.com/osu-netlab/osumac/internal/sim"
@@ -470,6 +471,51 @@ func BenchmarkSimulationCycle(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFlightRecorderOverhead prices the always-on flight recorder
+// against a nil tracer on the BenchmarkSimulationCycle workload. The
+// CI bench gate budgets the recorder sub-benchmark at ≤5% over nil in
+// ns/op with identical allocs/op — the structured lazy-detail trace
+// path plus the ring's slot-store record path must stay cheap enough
+// to leave on in every run.
+func BenchmarkFlightRecorderOverhead(b *testing.B) {
+	run := func(b *testing.B, tracer Tracer) {
+		cfg := NewConfig()
+		cfg.Seed = benchSeed
+		cfg.MeanInterarrival = benchInterarrival(0.9)
+		cfg.Tracer = tracer
+		n, err := NewNetwork(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchPopulate(b, n)
+		if err := n.Run(5); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := n.Run(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("nil", func(b *testing.B) { run(b, nil) })
+	b.Run("recorder", func(b *testing.B) {
+		// The busy cell drops stale GPS reports, which count as
+		// deadline-violation events, so triggers WILL fire here. The
+		// budget prices the per-event record path — what every healthy
+		// cycle pays — so keep the anomaly path (ring snapshot + JSONL
+		// dump) out of the timed region: pre-fire the trigger during
+		// setup and let an effectively infinite cooldown suppress every
+		// in-run firing.
+		rec := flight.NewRecorder(flight.Options{
+			DumpDir: b.TempDir(), Seed: benchSeed,
+			CooldownCycles: 1 << 30,
+		})
+		rec.TriggerNow(flight.TriggerGPSDeadline, 0)
+		run(b, rec)
+	})
 }
 
 // BenchmarkCompiledCycle measures the compiled executor's idle-cell

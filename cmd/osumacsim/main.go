@@ -39,6 +39,8 @@ import (
 	"time"
 
 	osumac "github.com/osu-netlab/osumac"
+	"github.com/osu-netlab/osumac/internal/conformance"
+	"github.com/osu-netlab/osumac/internal/flight"
 	"github.com/osu-netlab/osumac/internal/obs"
 	"github.com/osu-netlab/osumac/internal/phy"
 	"github.com/osu-netlab/osumac/internal/span"
@@ -75,6 +77,12 @@ func run(args []string, out io.Writer) error {
 		exportPath = fs.String("export", "", "write the telemetry snapshot (metrics, series, spans) as JSON to this file")
 		conf       = fs.Bool("conformance", false, "check protocol invariants at runtime and exit nonzero on any breach")
 		legacy     = fs.Bool("legacy-grants", false, "restore the pre-deadline-aware fixed GPS grant ordering (ablation baseline)")
+
+		flightOn       = fs.Bool("flight-recorder", false, "keep an always-on ring of trace events and dump it on anomalies (deadline misses, conformance breaches, fallback storms)")
+		dumpDir        = fs.String("dump-dir", ".", "directory receiving flight-recorder JSONL dumps")
+		flightCap      = fs.Int("flight-cap", 1<<14, "flight ring capacity in events (rounded up to a power of two)")
+		flightCooldown = fs.Int("flight-cooldown", 100, "minimum cycles between two dumps of the same trigger")
+		flightFallback = fs.Float64("flight-fallback-rate", 0, "compiled-cycle fallback rate (0-1] over a 50-cycle window that triggers a dump; 0 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,16 +115,49 @@ func run(args []string, out io.Writer) error {
 		scn.CollectSeries = true
 	}
 
-	// The conformance checker rides the tracer hook ahead of any span
-	// buffer, so both run paths (one-shot and -http chunked) feed it the
-	// same event stream.
-	var chk *osumac.ConformanceChecker
-	build := func() (*osumac.Network, error) {
-		if !*conf {
-			return osumac.Build(scn)
+	// Tracer chain, front to back: flight recorder → conformance
+	// checker → span buffer. The recorder sits at the front so that the
+	// moment a downstream consumer (the checker) flags an event, the
+	// event is already in the ring and lands in the dump.
+	var (
+		chk *osumac.ConformanceChecker
+		rec *flight.Recorder
+	)
+	tail := scn.Tracer // the span buffer, or nil
+	if *conf {
+		opts := osumac.ConformanceOptionsFor(scn)
+		if *flightOn {
+			// rec is assigned below; the hook fires only during the run.
+			opts.OnViolation = func(v conformance.Violation) {
+				if rec != nil {
+					rec.TriggerNow(flight.TriggerConformance, v.Cycle)
+				}
+			}
 		}
-		n, c, err := osumac.BuildChecked(scn)
-		chk = c
+		chk = conformance.New(opts)
+		chk.Next = tail
+		tail = chk
+	}
+	if *flightOn {
+		rec = flight.NewRecorder(flight.Options{
+			RingCap:               *flightCap,
+			DumpDir:               *dumpDir,
+			Seed:                  *seed,
+			CooldownCycles:        *flightCooldown,
+			FallbackRateThreshold: *flightFallback,
+			Next:                  tail,
+		})
+		tail = rec
+	}
+	scn.Tracer = tail
+
+	build := func() (*osumac.Network, error) {
+		n, err := osumac.Build(scn)
+		if err == nil && rec != nil {
+			// The fallback-rate trigger reads the compiled-cycle
+			// counters, which exist only once the network does.
+			rec.SetMetrics(n.Metrics())
+		}
 		return n, err
 	}
 
@@ -132,11 +173,11 @@ func run(args []string, out io.Writer) error {
 		if total <= 0 {
 			return fmt.Errorf("no cycles to run")
 		}
-		if err := serveLive(n, total, *httpAddr, *pubEvery, *hold, out, buf); err != nil {
+		if err := serveLive(n, total, *httpAddr, *pubEvery, *hold, out, buf, rec); err != nil {
 			return err
 		}
 		res = osumac.Summarize(n)
-	} else if *conf {
+	} else if *conf || *flightOn {
 		n, err := build()
 		if err != nil {
 			return err
@@ -162,7 +203,7 @@ func run(args []string, out io.Writer) error {
 		dist = span.NewDistribution(span.Stitch(buf.Events()))
 	}
 	if *exportPath != "" {
-		if err := writeExport(*exportPath, res.Metrics, dist); err != nil {
+		if err := writeExport(*exportPath, res.Metrics, dist, buf, rec); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "telemetry snapshot written to %s\n", *exportPath)
@@ -172,6 +213,19 @@ func run(args []string, out io.Writer) error {
 	}
 	if dist != nil && !*asJSON {
 		reportSpans(out, dist)
+	}
+	if rec != nil {
+		if err := rec.Err(); err != nil {
+			return fmt.Errorf("flight recorder: %w", err)
+		}
+		if dumps := rec.Dumps(); len(dumps) > 0 {
+			fmt.Fprintf(out, "flight recorder: %d anomaly dump(s) — inspect with osumactrace -input FILE -autopsy\n", len(dumps))
+			for _, d := range dumps {
+				fmt.Fprintf(out, "  %s\n", d)
+			}
+		} else {
+			fmt.Fprintf(out, "flight recorder: no anomalies (%d events recorded)\n", rec.Ring().Recorded())
+		}
 	}
 	if chk != nil {
 		rep := chk.Finish()
@@ -187,9 +241,13 @@ func run(args []string, out io.Writer) error {
 }
 
 // writeExport snapshots the registry (plus the span distribution, when
-// captured) into the JSON file osumacdiff consumes.
-func writeExport(path string, m *osumac.Metrics, dist *span.Distribution) error {
+// captured) into the JSON file osumacdiff consumes. Only deterministic
+// gauges may be registered here — the export is the input to the
+// twin-run byte-identity gate. Runtime self-telemetry (heap, GC) is
+// deliberately absent: it is served live-only.
+func writeExport(path string, m *osumac.Metrics, dist *span.Distribution, buf *osumac.TraceBuffer, rec *flight.Recorder) error {
 	reg := obs.NewRegistry(m)
+	addHealthGauges(reg, buf, rec)
 	exp := reg.Export(m.Cycles, time.Duration(m.Cycles)*osumac.CycleLength, true)
 	exp.Spans = dist
 	f, err := os.Create(path)
@@ -203,6 +261,24 @@ func writeExport(path string, m *osumac.Metrics, dist *span.Distribution) error 
 		return err
 	}
 	return f.Close()
+}
+
+// addHealthGauges registers the deterministic tracing-health gauges on
+// a registry: trace-buffer drops and flight-ring accounting. Both are
+// pure functions of the scenario, so they are safe in exports.
+func addHealthGauges(reg *obs.Registry, buf *osumac.TraceBuffer, rec *flight.Recorder) {
+	if buf != nil {
+		reg.AddGauge("osumac_trace_buffer_dropped", "events dropped by the span trace buffer (raise its Cap if nonzero)",
+			func() float64 { return float64(buf.Dropped()) })
+	}
+	if rec != nil {
+		reg.AddGauge("osumac_flight_ring_recorded", "events recorded by the flight ring",
+			func() float64 { return float64(rec.Ring().Recorded()) })
+		reg.AddGauge("osumac_flight_ring_overwritten", "flight-ring events lost to the fixed capacity",
+			func() float64 { return float64(rec.Ring().Overwritten()) })
+		reg.AddGauge("osumac_flight_dumps", "anomaly dumps written by the flight recorder",
+			func() float64 { return float64(len(rec.Dumps())) })
+	}
 }
 
 // reportSpans appends the critical-path phase summary to the report.
@@ -225,7 +301,7 @@ func reportSpans(out io.Writer, dist *span.Distribution) {
 // pauses to publish differ — so results are byte-for-byte the same.
 // With span capture on, each snapshot carries the phase distribution of
 // the traces stitched so far, serving /spans live.
-func serveLive(n *osumac.Network, total int, addr string, every int, hold time.Duration, out io.Writer, buf *osumac.TraceBuffer) error {
+func serveLive(n *osumac.Network, total int, addr string, every int, hold time.Duration, out io.Writer, buf *osumac.TraceBuffer, rec *flight.Recorder) error {
 	if every <= 0 {
 		every = 1
 	}
@@ -240,16 +316,22 @@ func serveLive(n *osumac.Network, total int, addr string, every int, hold time.D
 	defer func() { _ = srv.Close() }()
 	fmt.Fprintf(out, "telemetry: http://%s/metrics /series /spans /healthz /debug/pprof/\n", ln.Addr())
 
+	kernel := n.Sim()
 	reg := obs.NewRegistry(n.Metrics())
+	addHealthGauges(reg, buf, rec)
+	reg.AddGauge("osumac_event_queue_depth", "pending actions in the kernel event queue",
+		func() float64 { return float64(kernel.Pending()) })
 	publish := func(cycle int, at time.Duration, done bool) {
 		exp := reg.Export(cycle, at, done)
 		if buf != nil {
 			exp.Spans = span.NewDistribution(span.Stitch(buf.Events()))
 		}
+		// Go runtime self-telemetry is live-only: it never enters the
+		// written export (wall-clock facts would break osumacdiff).
+		exp.Runtime = obs.GatherRuntime()
 		live.Publish(exp)
 	}
 
-	kernel := n.Sim()
 	start := kernel.Now()
 	if err := n.ScheduleCycles(total, start); err != nil {
 		return err

@@ -63,6 +63,7 @@ func run(args []string, out io.Writer) error {
 		slowest   = fs.Int("slowest", 5, "with -critical-path and no violations, how many slowest lifecycles to break down")
 		window    = fs.Int("window", obs.DefaultAutopsyWindow, "autopsy context window, in cycles")
 		capEvents = fs.Int("cap", 1<<20, "in-memory trace capacity in events")
+		input     = fs.String("input", "", "read events from a JSONL trace/flight-recorder dump instead of simulating (scenario flags are ignored)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,50 +82,87 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	// The buffer retains everything the autopsy and text paths need; in
-	// jsonl mode a streaming sink writes filtered events as they happen.
-	buf := &osumac.TraceBuffer{Cap: *capEvents}
-	var sink *obs.JSONLSink
-	tracer := osumac.Tracer(buf)
-	if *format == "jsonl" && !*autopsy && !*critPath {
-		sink = obs.NewJSONLSink(out).FilterKinds(mask)
-		if *user >= 0 {
-			sink.FilterUser(osumac.UserID(*user))
+	// Event source: either a recorded dump (-input) or a fresh
+	// simulation. Both paths end with the same []TraceEvent plus a
+	// truncation count, so every output mode works on dumps too.
+	var (
+		events  []core.TraceEvent
+		dropped uint64
+		sink    *obs.JSONLSink
+	)
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
 		}
-		tracer = obs.Tee(buf, sink)
-	}
+		decoded, err := obs.DecodeJSONL(f)
+		closeErr := f.Close()
+		if err != nil {
+			return err
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		events = decoded
+		// A bounded recorder (the flight ring, a capped TraceBuffer)
+		// eats events from the front; the Seq gaps betray it.
+		tr := span.DetectTruncation(events)
+		dropped = tr.Total()
+		if tr.Truncated() {
+			fmt.Fprintf(out, "warning: dump is truncated — %d events lost (%d overwritten before the snapshot, %d interior gaps); spans crossing the gap may be incomplete\n",
+				tr.Total(), tr.LeadingLost, tr.InteriorLost)
+		}
+	} else {
+		// The buffer retains everything the autopsy and text paths
+		// need; in jsonl mode a streaming sink writes filtered events
+		// as they happen.
+		buf := &osumac.TraceBuffer{Cap: *capEvents}
+		tracer := osumac.Tracer(buf)
+		if *format == "jsonl" && !*autopsy && !*critPath {
+			sink = obs.NewJSONLSink(out).FilterKinds(mask)
+			if *user >= 0 {
+				sink.FilterUser(osumac.UserID(*user))
+			}
+			tracer = obs.Tee(buf, sink)
+		}
 
-	scn := osumac.Scenario{
-		Seed:            *seed,
-		GPSUsers:        *gps,
-		DataUsers:       *data,
-		Load:            *load,
-		VariableSizes:   true,
-		Cycles:          *cycles,
-		ReverseLoss:     *loss,
-		LegacyGPSGrants: *legacy,
-		Tracer:          tracer,
-	}
-	n, err := osumac.Build(scn)
-	if err != nil {
-		return err
-	}
-	if err := n.Run(*cycles); err != nil {
-		return err
+		scn := osumac.Scenario{
+			Seed:            *seed,
+			GPSUsers:        *gps,
+			DataUsers:       *data,
+			Load:            *load,
+			VariableSizes:   true,
+			Cycles:          *cycles,
+			ReverseLoss:     *loss,
+			LegacyGPSGrants: *legacy,
+			Tracer:          tracer,
+		}
+		n, err := osumac.Build(scn)
+		if err != nil {
+			return err
+		}
+		if err := n.Run(*cycles); err != nil {
+			return err
+		}
+		events = buf.Events()
+		dropped = uint64(buf.Dropped())
 	}
 
 	switch {
 	case *critPath:
-		return writeCriticalPaths(out, buf.Events(), *format, *slowest)
+		if dropped > 0 {
+			fmt.Fprintf(out, "warning: stitching a truncated stream (%d events lost); spans crossing the gap may be incomplete\n", dropped)
+		}
+		return writeCriticalPaths(out, events, *format, *slowest)
 	case *format == "perfetto":
-		return span.WritePerfetto(out, buf.Events())
+		return span.WritePerfetto(out, events)
 	case *autopsy:
-		rep := obs.RunAutopsy(buf.Events(), *window)
+		rep := obs.RunAutopsy(events, *window)
 		if *format == "jsonl" {
 			return json.NewEncoder(out).Encode(rep)
 		}
-		if d := buf.Dropped(); d > 0 {
-			fmt.Fprintf(out, "warning: %d oldest events evicted (raise -cap for full coverage)\n", d)
+		if dropped > 0 {
+			fmt.Fprintf(out, "warning: %d oldest events evicted (raise -cap for full coverage)\n", dropped)
 		}
 		return rep.WriteText(out)
 	case sink != nil:
@@ -132,8 +170,21 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		return sink.Err()
+	case *format == "jsonl":
+		// -input with jsonl output: re-encode the (filtered) dump.
+		resink := obs.NewJSONLSink(out).FilterKinds(mask)
+		if *user >= 0 {
+			resink.FilterUser(osumac.UserID(*user))
+		}
+		for _, e := range events {
+			resink.Trace(e)
+		}
+		if err := resink.Flush(); err != nil {
+			return err
+		}
+		return resink.Err()
 	default:
-		for _, e := range buf.Events() {
+		for _, e := range events {
 			if !mask.Has(e.Kind) {
 				continue
 			}
@@ -142,8 +193,8 @@ func run(args []string, out io.Writer) error {
 			}
 			fmt.Fprintln(out, e)
 		}
-		if d := buf.Dropped(); d > 0 {
-			fmt.Fprintf(out, "... (%d older events dropped)\n", d)
+		if dropped > 0 {
+			fmt.Fprintf(out, "... (%d older events dropped)\n", dropped)
 		}
 		return nil
 	}

@@ -1,0 +1,179 @@
+package osumac_test
+
+// End-to-end flight-recorder coverage over the pinned ROADMAP scenario
+// (see gps_deadline_regression_test.go): with the recorder installed at
+// the front of the tracer chain, the two historical GPS deadline misses
+// under Scenario.LegacyGPSGrants must produce a dump file that is
+// byte-identical across same-seed runs and that internal/span stitching
+// and the GPS-deadline autopsy consume unchanged.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	osumac "github.com/osu-netlab/osumac"
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/flight"
+	"github.com/osu-netlab/osumac/internal/obs"
+	"github.com/osu-netlab/osumac/internal/span"
+)
+
+// runRoadmapWithRecorder runs the pinned legacy-grants scenario with a
+// flight recorder in front of a trace buffer and returns the recorder.
+func runRoadmapWithRecorder(t *testing.T, dir string) *flight.Recorder {
+	t.Helper()
+	scn := roadmapScenario()
+	scn.LegacyGPSGrants = true
+	buf := &osumac.TraceBuffer{Cap: 1 << 20}
+	rec := flight.NewRecorder(flight.Options{
+		RingCap: 1 << 14,
+		DumpDir: dir,
+		Seed:    scn.Seed,
+		Next:    buf,
+	})
+	scn.Tracer = rec
+	n, err := osumac.Build(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(scn.WarmupCycles + scn.Cycles); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestFlightRecorderRoadmapDump(t *testing.T) {
+	dir := t.TempDir()
+	rec := runRoadmapWithRecorder(t, dir)
+	dumps := rec.Dumps()
+	if len(dumps) == 0 {
+		t.Fatal("legacy-grants scenario produced no flight dump; the gps-deadline trigger never fired")
+	}
+
+	f, err := os.Open(dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.DecodeJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("dump decoded to zero events")
+	}
+
+	// The triggering violation is the newest event in the ring.
+	if k := events[len(events)-1].Kind; k != core.EventGPSDeadlineViolation {
+		t.Fatalf("last dumped event is %v, want gps-deadline-violation", k)
+	}
+
+	// The autopsy consumes the decoded dump unchanged and attributes
+	// the violation.
+	report := obs.RunAutopsy(events, 3)
+	if report.Empty() {
+		t.Fatal("autopsy over the dump found no violations")
+	}
+	var text bytes.Buffer
+	if err := report.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(text.Bytes(), []byte("deadline")) {
+		t.Fatalf("autopsy text does not mention the deadline:\n%s", text.String())
+	}
+
+	// Span stitching consumes the decoded dump unchanged.
+	set := span.Stitch(events)
+	if len(set.Traces) == 0 {
+		t.Fatal("span.Stitch over the dump produced no traces")
+	}
+}
+
+// TestFlightRecorderInlineFastPathMatchesSlowPath pins the inline-ring
+// contract: when the recorder is the terminal tracer, core's trace
+// emitter claims the ring and stores events itself (no interface call);
+// the resulting ring must be indistinguishable from the unclaimed path
+// where every event flows through Recorder.Trace. A drift between the
+// two event-construction sites would silently corrupt dumps.
+func TestFlightRecorderInlineFastPathMatchesSlowPath(t *testing.T) {
+	run := func(next osumac.Tracer) *flight.Recorder {
+		scn := roadmapScenario()
+		scn.LegacyGPSGrants = true
+		rec := flight.NewRecorder(flight.Options{
+			RingCap: 1 << 14,
+			DumpDir: t.TempDir(),
+			Seed:    scn.Seed,
+			Next:    next,
+		})
+		scn.Tracer = rec
+		n, err := osumac.Build(scn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Run(scn.WarmupCycles + scn.Cycles); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	fast := run(nil) // no Next: core claims the ring store
+	slow := run(core.FuncTracer(func(core.TraceEvent) {}))
+
+	if fast.Ring().Recorded() != slow.Ring().Recorded() {
+		t.Fatalf("recorded counts differ: fast=%d slow=%d",
+			fast.Ring().Recorded(), slow.Ring().Recorded())
+	}
+	fs, ss := fast.Ring().Snapshot(), slow.Ring().Snapshot()
+	if len(fs) != len(ss) {
+		t.Fatalf("snapshot lengths differ: fast=%d slow=%d", len(fs), len(ss))
+	}
+	for i := range fs {
+		if fs[i] != ss[i] {
+			t.Fatalf("event %d differs between fast and slow paths:\nfast: %+v\nslow: %+v", i, fs[i], ss[i])
+		}
+	}
+	// Both paths must have seen the same triggers and written the same
+	// dump names.
+	if len(fast.Dumps()) == 0 || len(fast.Dumps()) != len(slow.Dumps()) {
+		t.Fatalf("dump counts differ: fast=%d slow=%d", len(fast.Dumps()), len(slow.Dumps()))
+	}
+	for i := range fast.Dumps() {
+		if filepath.Base(fast.Dumps()[i]) != filepath.Base(slow.Dumps()[i]) {
+			t.Fatalf("dump %d names differ: %s vs %s",
+				i, filepath.Base(fast.Dumps()[i]), filepath.Base(slow.Dumps()[i]))
+		}
+	}
+}
+
+func TestFlightRecorderDumpsByteIdenticalAcrossRuns(t *testing.T) {
+	d1, d2 := t.TempDir(), t.TempDir()
+	r1 := runRoadmapWithRecorder(t, d1)
+	r2 := runRoadmapWithRecorder(t, d2)
+	if len(r1.Dumps()) == 0 || len(r1.Dumps()) != len(r2.Dumps()) {
+		t.Fatalf("dump counts differ: %d vs %d", len(r1.Dumps()), len(r2.Dumps()))
+	}
+	for i := range r1.Dumps() {
+		n1, n2 := filepath.Base(r1.Dumps()[i]), filepath.Base(r2.Dumps()[i])
+		if n1 != n2 {
+			t.Fatalf("dump %d names differ: %s vs %s", i, n1, n2)
+		}
+		b1, err := os.ReadFile(r1.Dumps()[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := os.ReadFile(r2.Dumps()[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("dump %s differs between same-seed runs", n1)
+		}
+	}
+}

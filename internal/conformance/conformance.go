@@ -75,6 +75,11 @@ type Options struct {
 	// MaxViolations caps the violations retained (0 = 256); excess
 	// breaches are counted in Report.Truncated.
 	MaxViolations int
+	// OnViolation, when set, is called synchronously for every breach —
+	// including breaches past the MaxViolations cap. It is the anomaly
+	// hook the flight recorder uses to trigger a ring dump the moment an
+	// invariant breaks, while the offending events are still retained.
+	OnViolation func(Violation)
 }
 
 // Violation is one observed invariant breach.
@@ -282,7 +287,7 @@ func (c *Checker) consume(e core.TraceEvent) {
 		if c.opts.DeadlineMustHold {
 			c.violate(Violation{
 				Invariant: InvGPSDeadline, Cycle: e.Cycle, At: e.At,
-				User: e.User, Slot: e.Slot, Detail: e.Detail,
+				User: e.User, Slot: e.Slot, Detail: e.DetailText(),
 			})
 		}
 	}
@@ -485,6 +490,9 @@ func (c *Checker) finalizeCycle() {
 }
 
 func (c *Checker) violate(v Violation) {
+	if c.opts.OnViolation != nil {
+		c.opts.OnViolation(v)
+	}
 	if len(c.violations) >= c.opts.MaxViolations {
 		c.truncated++
 		return
@@ -516,6 +524,12 @@ func (c *Checker) Finish() *Report {
 	}
 	sort.Strings(rep.Checked)
 	if c.opts.KeepEvents && c.deadlineEvents > 0 {
+		// Kept events are stored raw off the hot path; render their lazy
+		// detail operands before handing them to the stitcher, which
+		// parses Detail strings.
+		for i := range c.kept {
+			c.kept[i] = c.kept[i].Materialized()
+		}
 		set := span.Stitch(c.kept)
 		for _, tr := range set.Violations() {
 			rep.CriticalPaths = append(rep.CriticalPaths, tr.CriticalPath())

@@ -2,6 +2,7 @@ package conformance
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -407,5 +408,59 @@ func TestRealRunLegacyPolicyBreachesDeadline(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "[gps-deadline]") || !strings.Contains(out.String(), "slot-wait") {
 		t.Fatalf("report text lacks the violation story:\n%s", out.String())
+	}
+}
+
+// TestReportWriteTextTruncated covers the suppressed-tail rendering:
+// the headline must count every breach (kept + truncated) and the
+// suppression line must name the overflow.
+func TestReportWriteTextTruncated(t *testing.T) {
+	events := []core.TraceEvent{ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format1.String())}
+	for i := 0; i < 7; i++ {
+		events = append(events, ev(core.EventGPSSlotGrant, 1, frame.UserID(10+i), 0, ""))
+	}
+	rep := feed(Options{MaxViolations: 3}, events...)
+	if len(rep.Violations) != 3 || rep.Truncated == 0 {
+		t.Fatalf("fixture broken: %d kept, %d truncated", len(rep.Violations), rep.Truncated)
+	}
+	var out bytes.Buffer
+	if err := rep.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	total := fmt.Sprintf("%d violation(s)", len(rep.Violations)+rep.Truncated)
+	if !strings.Contains(text, total) {
+		t.Fatalf("headline does not count suppressed breaches, want %q in:\n%s", total, text)
+	}
+	suppressed := fmt.Sprintf("(%d more suppressed)", rep.Truncated)
+	if !strings.Contains(text, suppressed) {
+		t.Fatalf("missing %q in:\n%s", suppressed, text)
+	}
+	if got := strings.Count(text, "[slot-disjoint]"); got != 3 {
+		t.Fatalf("rendered %d violation lines, want the 3 kept ones:\n%s", got, text)
+	}
+}
+
+// TestOnViolationFiresPastCap: the anomaly hook must see every breach,
+// including the ones MaxViolations drops from the report — the flight
+// recorder relies on this to trigger dumps even in violation storms.
+func TestOnViolationFiresPastCap(t *testing.T) {
+	var hooked []Violation
+	opts := Options{MaxViolations: 2, OnViolation: func(v Violation) { hooked = append(hooked, v) }}
+	events := []core.TraceEvent{ev(core.EventCycleStart, 1, frame.NoUser, -1, core.Format1.String())}
+	for i := 0; i < 6; i++ {
+		events = append(events, ev(core.EventGPSSlotGrant, 1, frame.UserID(10+i), 0, ""))
+	}
+	rep := feed(opts, events...)
+	if len(rep.Violations) != 2 {
+		t.Fatalf("report kept %d violations, want 2", len(rep.Violations))
+	}
+	if len(hooked) != len(rep.Violations)+rep.Truncated {
+		t.Fatalf("hook saw %d breaches, want all %d", len(hooked), len(rep.Violations)+rep.Truncated)
+	}
+	for i, v := range hooked[:2] {
+		if v != rep.Violations[i] {
+			t.Fatalf("hooked violation %d differs from the report's: %+v vs %+v", i, v, rep.Violations[i])
+		}
 	}
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
@@ -430,13 +429,13 @@ func (n *Network) fastGPSSlot(ci *compiledInstance, slot int, txStart time.Durat
 	if delay > phy.GPSAccessDeadline {
 		n.metrics.GPSDeadlineViolations.Inc()
 		if n.tracing() {
-			n.trace(EventGPSDeadlineViolation, holder, slot,
-				fmt.Sprintf("late: access delay %v exceeds the %v deadline", delay, phy.GPSAccessDeadline))
+			n.traceD(EventGPSDeadlineViolation, holder, slot,
+				DetailGPSLate, int64(delay), int64(phy.GPSAccessDeadline), 0)
 		}
 	}
 	if n.base.RecordGPSDirect(&n.scratchGPS) {
 		if n.tracing() {
-			n.trace(EventGPSRx, holder, slot, fmt.Sprintf("delay=%v", delay))
+			n.traceD(EventGPSRx, holder, slot, DetailGPSDelay, int64(delay), 0, 0)
 		}
 	}
 }
@@ -492,7 +491,7 @@ func (n *Network) fastForwardSlot(ci *compiledInstance, slot int) {
 	}
 	n.metrics.ForwardPktsDelivered.Inc()
 	if n.tracing() {
-		n.trace(EventForwardTx, user, slot, fmt.Sprintf("msg=%d frag=%d", pkt.Header.MsgID, pkt.Header.Frag))
+		n.traceD(EventForwardTx, user, slot, DetailForwardFrag, int64(pkt.Header.MsgID), int64(pkt.Header.Frag), 0)
 	}
 	if done, msgID, _ := e.sub.ReceiveForward(pkt); done {
 		delete(n.fwdMeta, fwdKey(user, msgID))

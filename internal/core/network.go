@@ -44,6 +44,8 @@ type Network struct {
 	byEIN      map[frame.EIN]*subEntry
 	cycle      int    // cycles started so far
 	traceSeq   uint64 // monotone trace-event sequence (see trace.go)
+	inlineRing *Ring  // non-nil when cfg.Tracer claimed the inline store (see ring.go)
+	inlineFwd  uint64 // EventKind bitmask still forwarded through cfg.Tracer
 	prevSnap   seriesSnap
 	seriesNext int // first cycle index without a recorded series point
 
@@ -138,6 +140,14 @@ func NewNetworkOnSim(cfg Config, kernel *sim.Simulator) (*Network, error) {
 		fwdMeta:   make(map[uint32]msgMeta),
 		nextFwdID: make(map[frame.UserID]uint16),
 		allIdeal:  true,
+	}
+	if ir, ok := cfg.Tracer.(inlineRecorder); ok {
+		// A ring-fronted terminal tracer (the flight recorder) hands the
+		// per-event store to emitTrace; only the kinds in the mask still
+		// travel through the Tracer interface.
+		if ring, fwd := ir.ClaimInlineRing(); ring != nil {
+			n.inlineRing, n.inlineFwd = ring, fwd
+		}
 	}
 	n.base = NewBaseStation(&n.cfg, n.metrics, root.Fork("base"))
 	if !n.cfg.DisableCompiledCycle {
@@ -311,7 +321,7 @@ func (n *Network) TrackMessage(user frame.UserID, msgID uint16, bytes int, creat
 	n.metrics.PerUserGenerated[user] += uint64(bytes)
 	n.msgMeta[msgKey(user, msgID)] = msgMeta{createdAt: createdAt, bytes: bytes}
 	if n.tracing() {
-		n.trace(EventMessageQueued, user, -1, fmt.Sprintf("msg=%d bytes=%d", msgID, bytes))
+		n.traceD(EventMessageQueued, user, -1, DetailMsgBytes, int64(msgID), int64(bytes), 0)
 	}
 }
 
@@ -330,8 +340,8 @@ func (n *Network) beginCycle(k int) {
 	if n.tracing() {
 		n.trace(EventCycleStart, frame.NoUser, -1, layout.Format.String())
 		if prevFormat != 0 && prevFormat != layout.Format {
-			n.trace(EventFormatSwitch, frame.NoUser, -1,
-				fmt.Sprintf("%v→%v", prevFormat, layout.Format))
+			n.traceD(EventFormatSwitch, frame.NoUser, -1,
+				DetailFormatSwitch, int64(prevFormat), int64(layout.Format), 0)
 		}
 		// Announce this cycle's slot schedule so offline tools (the
 		// deadline autopsy in particular) can reconstruct scheduling
@@ -571,14 +581,14 @@ func (n *Network) maybeStartSources(e *subEntry) {
 				n.metrics.PerUserGenerated[e.sub.ID()] += uint64(msg.Bytes)
 				n.msgMeta[msgKey(e.sub.ID(), uint16(msg.ID))] = msgMeta{createdAt: now, bytes: msg.Bytes}
 				if n.tracing() {
-					n.trace(EventMessageQueued, e.sub.ID(), -1,
-						fmt.Sprintf("msg=%d bytes=%d", macID, msg.Bytes))
+					n.traceD(EventMessageQueued, e.sub.ID(), -1,
+						DetailMsgBytes, int64(macID), int64(msg.Bytes), 0)
 				}
 			} else {
 				n.metrics.MessagesDropped.Inc()
 				if n.tracing() {
-					n.trace(EventMessageDropped, e.sub.ID(), -1,
-						fmt.Sprintf("bytes=%d queue full", msg.Bytes))
+					n.traceD(EventMessageDropped, e.sub.ID(), -1,
+						DetailQueueFull, int64(msg.Bytes), 0, 0)
 				}
 			}
 			n.sim.After(e.traffic.NextGap(), arrive)
@@ -610,8 +620,8 @@ func (n *Network) gpsSlotStart(cf *frame.ControlFields, slot int, txStart time.D
 	if delay > phy.GPSAccessDeadline {
 		n.metrics.GPSDeadlineViolations.Inc()
 		if n.tracing() {
-			n.trace(EventGPSDeadlineViolation, holder, slot,
-				fmt.Sprintf("late: access delay %v exceeds the %v deadline", delay, phy.GPSAccessDeadline))
+			n.traceD(EventGPSDeadlineViolation, holder, slot,
+				DetailGPSLate, int64(delay), int64(phy.GPSAccessDeadline), 0)
 		}
 	}
 	body, err := rep.Marshal()
@@ -634,7 +644,7 @@ func (n *Network) gpsSlotStart(cf *frame.ControlFields, slot int, txStart time.D
 		return
 	}
 	if _, ok := n.base.RecordGPS(body); ok && n.tracing() {
-		n.trace(EventGPSRx, holder, slot, fmt.Sprintf("delay=%v", delay))
+		n.traceD(EventGPSRx, holder, slot, DetailGPSDelay, int64(delay), 0, 0)
 	}
 }
 
@@ -701,7 +711,7 @@ func (n *Network) dataSlotEnd(cycle, slot int, isLast, contention bool) {
 
 	out := n.base.RecordReverse(slot, intoPrev, isLast, payloads, contention)
 	if out.Collision && n.tracing() {
-		n.trace(EventCollision, frame.NoUser, slot, fmt.Sprintf("%d stations", len(payloads)))
+		n.traceD(EventCollision, frame.NoUser, slot, DetailCollision, int64(len(payloads)), 0, 0)
 	}
 	if out.Received == nil && !out.Collision && len(payloads) == 1 && !contention {
 		n.trace(EventDataLost, frame.NoUser, slot, "rs decode failure")
@@ -721,9 +731,9 @@ func (n *Network) handleOutcome(out ReverseOutcome, cycle, slot int) {
 	case frame.TypeData:
 		h := out.Received.Data.Header
 		if n.tracing() {
-			n.trace(EventDataRx, h.User, slot, fmt.Sprintf("msg=%d frag=%d/%d", h.MsgID, h.Frag+1, h.FragTotal))
+			n.traceD(EventDataRx, h.User, slot, DetailDataFrag, int64(h.MsgID), int64(h.Frag)+1, int64(h.FragTotal))
 			if h.MoreSlots > 0 {
-				n.trace(EventPiggybackRx, h.User, slot, fmt.Sprintf("+%d slots", h.MoreSlots))
+				n.traceD(EventPiggybackRx, h.User, slot, DetailPiggyback, int64(h.MoreSlots), 0, 0)
 			}
 		}
 		n.noteDemandHeard(h.User, now)
@@ -733,8 +743,8 @@ func (n *Network) handleOutcome(out ReverseOutcome, cycle, slot int) {
 				n.metrics.MessagesDelivered.Inc()
 				n.metrics.MessageDelay.AddDuration(now - meta.createdAt)
 				if n.tracing() {
-					n.trace(EventMessageComplete, out.User, slot,
-						fmt.Sprintf("msg=%d %dB in %v", out.MsgID, out.Bytes, now-meta.createdAt))
+					n.traceD(EventMessageComplete, out.User, slot,
+						DetailMsgComplete, int64(out.MsgID), int64(out.Bytes), int64(now-meta.createdAt))
 				}
 				delete(n.msgMeta, key)
 			}
@@ -748,20 +758,20 @@ func (n *Network) handleOutcome(out ReverseOutcome, cycle, slot int) {
 			if r.Slots == 0 {
 				n.trace(EventPageResponse, r.User, slot, "")
 			} else {
-				n.trace(EventReservationRx, r.User, slot, fmt.Sprintf("%d slots", r.Slots))
+				n.traceD(EventReservationRx, r.User, slot, DetailSlots, int64(r.Slots), 0, 0)
 			}
 		}
 		n.noteDemandHeard(r.User, now)
 	case frame.TypeRegistration:
 		if n.tracing() {
-			n.trace(EventRegistrationRx, frame.NoUser, slot, fmt.Sprintf("ein=%d", out.Received.Register.EIN))
+			n.traceD(EventRegistrationRx, frame.NoUser, slot, DetailEIN, int64(out.Received.Register.EIN), 0, 0)
 		}
 		if out.NewRegistration {
 			if n.tracing() {
-				n.trace(EventRegistered, out.AssignedID, slot, fmt.Sprintf("ein=%d", out.Received.Register.EIN))
+				n.traceD(EventRegistered, out.AssignedID, slot, DetailEIN, int64(out.Received.Register.EIN), 0, 0)
 				if out.Received.Register.WantGPS {
-					n.trace(EventGPSAdmitted, out.AssignedID, n.base.GPSTable().SlotOf(out.AssignedID),
-						fmt.Sprintf("ein=%d", out.Received.Register.EIN))
+					n.traceD(EventGPSAdmitted, out.AssignedID, n.base.GPSTable().SlotOf(out.AssignedID),
+						DetailEIN, int64(out.Received.Register.EIN), 0, 0)
 				}
 			}
 			if e, ok := n.byEIN[out.Received.Register.EIN]; ok {
@@ -818,7 +828,7 @@ func (n *Network) forwardSlotEnd(slot int, user frame.UserID) {
 	}
 	n.metrics.ForwardPktsDelivered.Inc()
 	if n.tracing() {
-		n.trace(EventForwardTx, user, slot, fmt.Sprintf("msg=%d frag=%d", parsed.Data.Header.MsgID, parsed.Data.Header.Frag))
+		n.traceD(EventForwardTx, user, slot, DetailForwardFrag, int64(parsed.Data.Header.MsgID), int64(parsed.Data.Header.Frag), 0)
 	}
 	if done, msgID, _ := e.sub.ReceiveForward(parsed.Data); done {
 		delete(n.fwdMeta, fwdKey(user, msgID))

@@ -1,0 +1,91 @@
+package core
+
+// Ring is a fixed-capacity power-of-two ring buffer implementing
+// Tracer. Trace overwrites the oldest event once full; the record path
+// allocates nothing. It is the storage half of the flight recorder
+// (internal/flight); it lives in core so the trace emitter can store
+// events into the ring inline — no interface call, no extra struct
+// copy — when a ring-fronted tracer is the terminal consumer (see
+// Network.emitTrace and the inlineRecorder interface).
+type Ring struct {
+	slots []TraceEvent
+	mask  uint64
+	head  uint64 // events recorded ever; next write lands at head&mask
+}
+
+var _ Tracer = (*Ring)(nil)
+
+// NewRing builds a ring with at least capacity slots, rounded up to a
+// power of two. capacity <= 0 selects the default 4096.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &Ring{slots: make([]TraceEvent, size), mask: uint64(size - 1)}
+}
+
+// Trace implements Tracer: one slot store, zero allocations.
+func (r *Ring) Trace(e TraceEvent) {
+	r.slots[r.head&r.mask] = e
+	r.head++
+}
+
+// Cap returns the ring capacity in events (a power of two).
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Len returns how many events the ring currently retains.
+func (r *Ring) Len() int {
+	if r.head < uint64(len(r.slots)) {
+		return int(r.head)
+	}
+	return len(r.slots)
+}
+
+// Recorded returns the total number of events ever recorded.
+func (r *Ring) Recorded() uint64 { return r.head }
+
+// Overwritten returns how many events have been overwritten (lost to
+// the fixed capacity). A reader can detect the same truncation from a
+// dump alone via the sequence-number gap before the first event.
+func (r *Ring) Overwritten() uint64 {
+	if r.head <= uint64(len(r.slots)) {
+		return 0
+	}
+	return r.head - uint64(len(r.slots))
+}
+
+// Snapshot copies the retained events oldest-to-newest, materialized
+// (lazy detail operands rendered into Detail), ready for span
+// stitching, the autopsy, or a JSONL dump.
+func (r *Ring) Snapshot() []TraceEvent {
+	n := r.Len()
+	//lint:ignore hotpathalloc snapshotting is the dump path, which fires on anomalies only; the per-event record path (Trace) stays allocation-free
+	out := make([]TraceEvent, n)
+	start := r.head - uint64(n)
+	for i := 0; i < n; i++ {
+		out[i] = r.slots[(start+uint64(i))&r.mask].Materialized()
+	}
+	return out
+}
+
+// Reset empties the ring without releasing its slots.
+func (r *Ring) Reset() { r.head = 0 }
+
+// inlineRecorder is implemented by tracers that front a Ring and can
+// hand the per-event store to the trace emitter. When the configured
+// tracer implements it and Claim returns a non-nil ring, emitTrace
+// stores every event straight into the ring — no interface call, no
+// extra copy — and forwards through the Tracer interface only the
+// kinds whose bit is set in the returned mask (bit k = EventKind k),
+// so the tracer still sees the events its trigger logic needs.
+//
+// Claiming is a contract: the claimer must NOT store forwarded events
+// into the ring again (the emitter already has), and must return a nil
+// ring when it has a downstream consumer that needs the full stream.
+type inlineRecorder interface {
+	ClaimInlineRing() (ring *Ring, forward uint64)
+}

@@ -2,13 +2,17 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/osu-netlab/osumac/internal/frame"
 )
 
-// EventKind classifies protocol trace events.
-type EventKind int
+// EventKind classifies protocol trace events. The narrow underlying
+// type keeps TraceEvent small: the struct is copied by value through
+// every Tracer in the chain on the simulation hot path, so its size is
+// part of the tracing overhead budget (see BenchmarkFlightRecorderOverhead).
+type EventKind int32
 
 // Trace event kinds, roughly in a cycle's chronological order.
 const (
@@ -145,6 +149,51 @@ func ParseEventKind(s string) (k EventKind, ok bool) {
 	return 0, false
 }
 
+// DetailKind selects a lazy renderer for TraceEvent.Detail. Hot trace
+// sites used to build their human-readable annotation eagerly with
+// fmt.Sprintf, which made even a no-op tracer cost ~34 allocs and ~20 %
+// of a simulation cycle. Instead they now record the integer operands
+// (Arg0..Arg2) plus a DetailKind, and the string is rendered by
+// DetailText only when an event is materialized — at dump, stitch, or
+// export time. DetailVerbatim (the zero value) means Detail already
+// carries the final string; constant annotations ("cf2-amend", "channel
+// burst") stay verbatim because string constants are free to record.
+type DetailKind uint8
+
+// Detail renderers, one per legacy fmt.Sprintf template. The rendered
+// strings are byte-identical to the historical eager forms, so span
+// stitching, the autopsy, and JSONL round-trips see no difference.
+const (
+	// DetailVerbatim: Detail is final (possibly empty).
+	DetailVerbatim DetailKind = iota
+	// DetailMsgBytes: "msg=<Arg0> bytes=<Arg1>".
+	DetailMsgBytes
+	// DetailQueueFull: "bytes=<Arg0> queue full".
+	DetailQueueFull
+	// DetailFormatSwitch: "<Arg0>→<Arg1>" with ReverseFormat names.
+	DetailFormatSwitch
+	// DetailGPSLate: "late: access delay <Arg0> exceeds the <Arg1>
+	// deadline" with both args as time.Duration.
+	DetailGPSLate
+	// DetailGPSDelay: "delay=<Arg0>" with Arg0 as time.Duration.
+	DetailGPSDelay
+	// DetailCollision: "<Arg0> stations".
+	DetailCollision
+	// DetailDataFrag: "msg=<Arg0> frag=<Arg1>/<Arg2>" (Arg1 1-based).
+	DetailDataFrag
+	// DetailPiggyback: "+<Arg0> slots".
+	DetailPiggyback
+	// DetailMsgComplete: "msg=<Arg0> <Arg1>B in <Arg2>" with Arg2 as
+	// time.Duration.
+	DetailMsgComplete
+	// DetailSlots: "<Arg0> slots".
+	DetailSlots
+	// DetailEIN: "ein=<Arg0>".
+	DetailEIN
+	// DetailForwardFrag: "msg=<Arg0> frag=<Arg1>" (Arg1 0-based).
+	DetailForwardFrag
+)
+
 // TraceEvent is one protocol occurrence.
 type TraceEvent struct {
 	// At is the virtual time of the event.
@@ -160,11 +209,22 @@ type TraceEvent struct {
 	Kind EventKind
 	// User is the subscriber involved (frame.NoUser when none).
 	User frame.UserID
+	// DK selects the lazy Detail renderer (DetailVerbatim: none). It
+	// sits next to User so the two single-byte fields share Kind's
+	// padding — TraceEvent is copied per tracer on the hot path, so
+	// layout is part of the overhead budget.
+	DK DetailKind
 	// Slot is the slot index involved (reverse for reverse-channel
 	// events, forward for EventForwardTx), or -1.
 	Slot int
-	// Detail carries a short human-readable annotation.
+	// Detail carries a short human-readable annotation. When DK is not
+	// DetailVerbatim the final string is produced lazily by DetailText
+	// from Arg0..Arg2; events leaving the hot path (TraceBuffer.Events,
+	// flight-recorder dumps, JSONL encoding) are materialized so every
+	// downstream consumer still reads a plain string.
 	Detail string
+	// Arg0, Arg1, Arg2 are DK's integer operands (durations in ns).
+	Arg0, Arg1, Arg2 int64
 }
 
 // String implements fmt.Stringer.
@@ -176,10 +236,90 @@ func (e TraceEvent) String() string {
 	if e.Slot >= 0 {
 		s += fmt.Sprintf(" slot=%d", e.Slot)
 	}
-	if e.Detail != "" {
-		s += " " + e.Detail
+	if d := e.DetailText(); d != "" {
+		s += " " + d
 	}
 	return s
+}
+
+// DetailText renders the event's Detail annotation, applying the lazy
+// DK renderer when one is set. The output is byte-identical to the
+// historical eager fmt.Sprintf forms.
+func (e TraceEvent) DetailText() string {
+	if e.DK == DetailVerbatim {
+		return e.Detail
+	}
+	//lint:ignore hotpathalloc detail rendering is lazy by design — record paths store operands and never call this; only materialization (dump, stitch, export) pays
+	buf := make([]byte, 0, 64)
+	switch e.DK {
+	case DetailMsgBytes:
+		buf = append(buf, "msg="...)
+		buf = strconv.AppendInt(buf, e.Arg0, 10)
+		buf = append(buf, " bytes="...)
+		buf = strconv.AppendInt(buf, e.Arg1, 10)
+	case DetailQueueFull:
+		buf = append(buf, "bytes="...)
+		buf = strconv.AppendInt(buf, e.Arg0, 10)
+		buf = append(buf, " queue full"...)
+	case DetailFormatSwitch:
+		buf = append(buf, ReverseFormat(e.Arg0).String()...)
+		buf = append(buf, "→"...)
+		buf = append(buf, ReverseFormat(e.Arg1).String()...)
+	case DetailGPSLate:
+		buf = append(buf, "late: access delay "...)
+		buf = append(buf, time.Duration(e.Arg0).String()...)
+		buf = append(buf, " exceeds the "...)
+		buf = append(buf, time.Duration(e.Arg1).String()...)
+		buf = append(buf, " deadline"...)
+	case DetailGPSDelay:
+		buf = append(buf, "delay="...)
+		buf = append(buf, time.Duration(e.Arg0).String()...)
+	case DetailCollision:
+		buf = strconv.AppendInt(buf, e.Arg0, 10)
+		buf = append(buf, " stations"...)
+	case DetailDataFrag:
+		buf = append(buf, "msg="...)
+		buf = strconv.AppendInt(buf, e.Arg0, 10)
+		buf = append(buf, " frag="...)
+		buf = strconv.AppendInt(buf, e.Arg1, 10)
+		buf = append(buf, '/')
+		buf = strconv.AppendInt(buf, e.Arg2, 10)
+	case DetailPiggyback:
+		buf = append(buf, '+')
+		buf = strconv.AppendInt(buf, e.Arg0, 10)
+		buf = append(buf, " slots"...)
+	case DetailMsgComplete:
+		buf = append(buf, "msg="...)
+		buf = strconv.AppendInt(buf, e.Arg0, 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, e.Arg1, 10)
+		buf = append(buf, "B in "...)
+		buf = append(buf, time.Duration(e.Arg2).String()...)
+	case DetailSlots:
+		buf = strconv.AppendInt(buf, e.Arg0, 10)
+		buf = append(buf, " slots"...)
+	case DetailEIN:
+		buf = append(buf, "ein="...)
+		buf = strconv.AppendInt(buf, e.Arg0, 10)
+	case DetailForwardFrag:
+		buf = append(buf, "msg="...)
+		buf = strconv.AppendInt(buf, e.Arg0, 10)
+		buf = append(buf, " frag="...)
+		buf = strconv.AppendInt(buf, e.Arg1, 10)
+	}
+	//lint:ignore hotpathalloc see above — materialization is off the record path
+	return string(buf)
+}
+
+// Materialized returns the event with its Detail string rendered and
+// the lazy fields cleared, so the result compares and serializes like a
+// historical eagerly-rendered event.
+func (e TraceEvent) Materialized() TraceEvent {
+	if e.DK != DetailVerbatim {
+		e.Detail = e.DetailText()
+		e.DK, e.Arg0, e.Arg1, e.Arg2 = DetailVerbatim, 0, 0, 0
+	}
+	return e
 }
 
 // Tracer receives protocol events. Implementations must be cheap: the
@@ -216,22 +356,25 @@ func (b *TraceBuffer) Trace(e TraceEvent) {
 	b.events = append(b.events, e)
 }
 
-// Events returns the retained events in order.
+// Events returns the retained events in order, materialized (lazy
+// detail operands rendered into Detail).
 func (b *TraceBuffer) Events() []TraceEvent {
 	out := make([]TraceEvent, len(b.events))
-	copy(out, b.events)
+	for i, e := range b.events {
+		out[i] = e.Materialized()
+	}
 	return out
 }
 
 // Dropped returns how many old events were evicted.
 func (b *TraceBuffer) Dropped() int { return b.dropped }
 
-// Filter returns the retained events of one kind.
+// Filter returns the retained events of one kind, materialized.
 func (b *TraceBuffer) Filter(kind EventKind) []TraceEvent {
 	var out []TraceEvent
 	for _, e := range b.events {
 		if e.Kind == kind {
-			out = append(out, e)
+			out = append(out, e.Materialized())
 		}
 	}
 	return out
@@ -250,8 +393,20 @@ func (f FuncTracer) Trace(e TraceEvent) { f(e) }
 // disabled path stays allocation-free.
 func (n *Network) tracing() bool { return n.cfg.Tracer != nil }
 
-// trace emits an event if tracing is enabled.
+// trace emits an event with a verbatim (constant or empty) detail
+// string if tracing is enabled.
 func (n *Network) trace(kind EventKind, user frame.UserID, slot int, detail string) {
+	n.emitTrace(kind, user, slot, detail, DetailVerbatim, 0, 0, 0)
+}
+
+// traceD emits an event whose detail renders lazily from dk and the
+// integer operands — the zero-allocation form the hot call sites use
+// instead of an eager fmt.Sprintf.
+func (n *Network) traceD(kind EventKind, user frame.UserID, slot int, dk DetailKind, a0, a1, a2 int64) {
+	n.emitTrace(kind, user, slot, "", dk, a0, a1, a2)
+}
+
+func (n *Network) emitTrace(kind EventKind, user frame.UserID, slot int, detail string, dk DetailKind, a0, a1, a2 int64) {
 	if n.cfg.Tracer == nil {
 		return
 	}
@@ -270,6 +425,34 @@ func (n *Network) trace(kind EventKind, user frame.UserID, slot int, detail stri
 		slot = -1
 	}
 	n.traceSeq++
+	if r := n.inlineRing; r != nil {
+		// Inline fast path: the flight recorder claimed the store, so
+		// the event is written straight into its ring slot — no
+		// interface call, no intermediate copy. Only trigger-relevant
+		// kinds still go through the Tracer interface (and the claimer
+		// must not ring-store them again).
+		p := &r.slots[r.head&r.mask]
+		r.head++
+		// Field stores rather than a composite literal: the literal
+		// form builds a stack temp and copies it through the write
+		// barrier wholesale; stored field-by-field only the Detail
+		// string crosses the barrier.
+		p.At = n.sim.Now()
+		p.Seq = n.traceSeq
+		p.Cycle = cycle
+		p.Kind = kind
+		p.User = user
+		p.DK = dk
+		p.Slot = slot
+		p.Detail = detail
+		p.Arg0 = a0
+		p.Arg1 = a1
+		p.Arg2 = a2
+		if n.inlineFwd&(1<<uint(kind)) != 0 {
+			n.cfg.Tracer.Trace(*p)
+		}
+		return
+	}
 	n.cfg.Tracer.Trace(TraceEvent{
 		At:     n.sim.Now(),
 		Seq:    n.traceSeq,
@@ -278,5 +461,9 @@ func (n *Network) trace(kind EventKind, user frame.UserID, slot int, detail stri
 		User:   user,
 		Slot:   slot,
 		Detail: detail,
+		DK:     dk,
+		Arg0:   a0,
+		Arg1:   a1,
+		Arg2:   a2,
 	})
 }

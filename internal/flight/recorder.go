@@ -1,0 +1,239 @@
+package flight
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/obs"
+)
+
+// Trigger names an anomaly class that can fire a flight dump. The name
+// is embedded in the dump filename, so it must stay filesystem-safe.
+type Trigger string
+
+const (
+	// TriggerConformance fires from a conformance Checker violation
+	// (wire Options.OnViolation to Recorder.TriggerNow).
+	TriggerConformance Trigger = "conformance"
+	// TriggerGPSDeadline fires on a gps-deadline-violation trace event.
+	TriggerGPSDeadline Trigger = "gps-deadline"
+	// TriggerFallbackRate fires when the compiled-cycle executor's
+	// fallback rate over the trailing window crosses the threshold.
+	TriggerFallbackRate Trigger = "fallback-rate"
+)
+
+// Options configures a Recorder. The zero value is usable: a 4096-slot
+// ring, dumps into the current directory, a 100-cycle per-trigger
+// cooldown, at most 16 dumps per run, and the fallback-rate trigger
+// disabled (it needs Metrics).
+type Options struct {
+	// RingCap is the ring capacity in events, rounded up to a power of
+	// two; <= 0 selects 4096.
+	RingCap int
+	// DumpDir receives the JSONL dump files; "" means the current
+	// directory. It must already exist.
+	DumpDir string
+	// Seed is the scenario seed, embedded in dump filenames so
+	// same-seed runs name their dumps identically.
+	Seed uint64
+	// CooldownCycles is the minimum number of notification cycles
+	// between two dumps of the same trigger; <= 0 selects 100.
+	CooldownCycles int
+	// MaxDumps caps dump files per run; <= 0 selects 16.
+	MaxDumps int
+	// FallbackWindow is the trailing cycle-count window for the
+	// fallback-rate trigger; <= 0 selects 50.
+	FallbackWindow int
+	// FallbackRateThreshold in [0,1]: the fallback trigger fires when
+	// fallbacks/cycles over the window reaches it. <= 0 disables the
+	// trigger (as does a nil Metrics).
+	FallbackRateThreshold float64
+	// Metrics supplies the compiled-cycle counters the fallback-rate
+	// trigger watches. Nil disables that trigger.
+	Metrics *core.Metrics
+	// Next receives every event after the ring records it, so the
+	// recorder composes with the existing tracer chain (conformance
+	// checker, TraceBuffer, JSONL sink...). Leaving Next nil lets
+	// core's trace emitter claim the ring store (ClaimInlineRing),
+	// which is the cheapest always-on configuration.
+	Next core.Tracer
+}
+
+// Recorder is the flight-recorder trigger pipeline: a Ring that
+// records every event plus anomaly detection that snapshots the ring
+// into a deterministic JSONL dump file. It implements core.Tracer and
+// belongs at the FRONT of the tracer chain, so that when a downstream
+// consumer (e.g. the conformance checker) flags the current event, the
+// event is already in the ring.
+type Recorder struct {
+	ring *Ring
+	opts Options
+
+	// claimed is set when core's trace emitter took over the ring store
+	// (ClaimInlineRing): Trace then only sees the trigger-relevant
+	// kinds and must not store them into the ring a second time.
+	claimed   bool
+	lastFired map[Trigger]int
+	dumps     []string
+	ordinal   int
+	err       error
+
+	// fallback-rate window anchors, sampled at window boundaries.
+	windowStart     int
+	cyclesAnchor    uint64
+	fallbacksAnchor uint64
+}
+
+var _ core.Tracer = (*Recorder)(nil)
+
+// NewRecorder builds a Recorder. The returned recorder is ready to be
+// installed as the scenario tracer.
+func NewRecorder(opts Options) *Recorder {
+	if opts.CooldownCycles <= 0 {
+		opts.CooldownCycles = 100
+	}
+	if opts.MaxDumps <= 0 {
+		opts.MaxDumps = 16
+	}
+	if opts.FallbackWindow <= 0 {
+		opts.FallbackWindow = 50
+	}
+	return &Recorder{
+		ring:        NewRing(opts.RingCap),
+		opts:        opts,
+		lastFired:   make(map[Trigger]int),
+		windowStart: -1,
+	}
+}
+
+// Ring exposes the underlying ring (for Snapshot, Recorded, ...).
+func (r *Recorder) Ring() *Ring { return r.ring }
+
+// SetMetrics attaches the run's metric bundle for the fallback-rate
+// trigger. Callers that build the tracer chain before the network
+// exists (cmd/osumacsim) use this once the network is up.
+func (r *Recorder) SetMetrics(m *core.Metrics) { r.opts.Metrics = m }
+
+// ClaimInlineRing implements core's inline-recorder contract: when the
+// recorder is the terminal tracer (no Next), it hands the per-event
+// ring store to the trace emitter and asks that only the kinds its
+// trigger logic inspects still travel through the Tracer interface.
+// With a downstream consumer attached the claim is refused — Next
+// needs the full stream, so every event must flow through Trace.
+func (r *Recorder) ClaimInlineRing() (*Ring, uint64) {
+	if r.opts.Next != nil {
+		return nil, 0
+	}
+	r.claimed = true
+	return r.ring, 1<<uint(core.EventGPSDeadlineViolation) | 1<<uint(core.EventCycleStart)
+}
+
+// Trace implements core.Tracer: record into the ring, forward to the
+// next tracer, then check triggers. The record path itself allocates
+// nothing; allocation happens only when a trigger fires and a dump is
+// written. When the ring store is claimed by core's emitter, Trace
+// receives only trigger-relevant kinds, already ring-stored.
+func (r *Recorder) Trace(e core.TraceEvent) {
+	if !r.claimed {
+		r.ring.Trace(e)
+		if r.opts.Next != nil {
+			r.opts.Next.Trace(e)
+		}
+	}
+	switch e.Kind {
+	case core.EventGPSDeadlineViolation:
+		r.TriggerNow(TriggerGPSDeadline, e.Cycle)
+	case core.EventCycleStart:
+		r.checkFallbackRate(e.Cycle)
+	}
+}
+
+// checkFallbackRate evaluates the compiled-cycle fallback rate over
+// the trailing window at each window boundary.
+func (r *Recorder) checkFallbackRate(cycle int) {
+	m := r.opts.Metrics
+	if m == nil || r.opts.FallbackRateThreshold <= 0 {
+		return
+	}
+	if r.windowStart < 0 {
+		r.windowStart = cycle
+		r.cyclesAnchor = m.CompiledCycles.Value() + m.CompiledFallbacks.Value()
+		r.fallbacksAnchor = m.CompiledFallbacks.Value()
+		return
+	}
+	if cycle-r.windowStart < r.opts.FallbackWindow {
+		return
+	}
+	total := m.CompiledCycles.Value() + m.CompiledFallbacks.Value()
+	dTotal := total - r.cyclesAnchor
+	dFall := m.CompiledFallbacks.Value() - r.fallbacksAnchor
+	r.windowStart = cycle
+	r.cyclesAnchor = total
+	r.fallbacksAnchor = m.CompiledFallbacks.Value()
+	if dTotal == 0 {
+		return
+	}
+	if float64(dFall)/float64(dTotal) >= r.opts.FallbackRateThreshold {
+		r.TriggerNow(TriggerFallbackRate, cycle)
+	}
+}
+
+// TriggerNow requests a dump for the given trigger at the given cycle,
+// subject to the per-trigger cooldown and the MaxDumps cap. It is the
+// public anomaly hook: wire conformance.Options.OnViolation to
+//
+//	func(v conformance.Violation) { rec.TriggerNow(flight.TriggerConformance, v.Cycle) }
+//
+// Returns the dump file path, or "" when suppressed.
+func (r *Recorder) TriggerNow(t Trigger, cycle int) string {
+	if r.err != nil || len(r.dumps) >= r.opts.MaxDumps {
+		return ""
+	}
+	if last, ok := r.lastFired[t]; ok && cycle-last < r.opts.CooldownCycles {
+		return ""
+	}
+	r.lastFired[t] = cycle
+	path, err := r.dump(t, cycle)
+	if err != nil {
+		r.err = err
+		return ""
+	}
+	r.dumps = append(r.dumps, path)
+	return path
+}
+
+// dump writes the current ring snapshot as a JSONL file with a
+// deterministic name: flight-<seed>-c<cycle>-<trigger>-<ordinal>.jsonl.
+// Every field in the file derives from virtual time, so same-seed runs
+// produce byte-identical dumps under identical names.
+func (r *Recorder) dump(t Trigger, cycle int) (string, error) {
+	//lint:ignore hotpathalloc dump naming runs on the anomaly path only (a fired trigger), never per event
+	name := fmt.Sprintf("flight-%d-c%05d-%s-%03d.jsonl", r.opts.Seed, cycle, t, r.ordinal)
+	r.ordinal++
+	path := filepath.Join(r.opts.DumpDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	sink := obs.NewJSONLSink(f)
+	for _, e := range r.ring.Snapshot() {
+		sink.Trace(e)
+	}
+	if err := sink.Flush(); err != nil {
+		_ = f.Close() // the flush error is the one worth reporting
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Dumps returns the dump file paths written so far, in order.
+func (r *Recorder) Dumps() []string { return r.dumps }
+
+// Err returns the first dump-write error, if any. After an error the
+// recorder keeps recording but writes no further dumps.
+func (r *Recorder) Err() error { return r.err }

@@ -1,0 +1,225 @@
+package flight
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/obs"
+)
+
+// feed pushes n ordinary events at the given cycle through the recorder.
+func feed(rec *Recorder, startSeq uint64, n int, cycle int) uint64 {
+	for i := 0; i < n; i++ {
+		e := ev(startSeq, cycle)
+		rec.Trace(e)
+		startSeq++
+	}
+	return startSeq
+}
+
+func deadlineEvent(seq uint64, cycle int) core.TraceEvent {
+	return core.TraceEvent{
+		At:    time.Duration(seq) * time.Millisecond,
+		Seq:   seq,
+		Cycle: cycle,
+		Kind:  core.EventGPSDeadlineViolation,
+		User:  3,
+		Slot:  2,
+		DK:    core.DetailGPSLate,
+		Arg0:  int64(5 * time.Second),
+		Arg1:  int64(4 * time.Second),
+	}
+}
+
+func TestRecorderGPSDeadlineTriggerWritesDump(t *testing.T) {
+	dir := t.TempDir()
+	rec := NewRecorder(Options{RingCap: 64, DumpDir: dir, Seed: 42})
+	seq := feed(rec, 1, 10, 5)
+	rec.Trace(deadlineEvent(seq, 5))
+
+	dumps := rec.Dumps()
+	if len(dumps) != 1 {
+		t.Fatalf("got %d dumps, want 1 (err=%v)", len(dumps), rec.Err())
+	}
+	want := filepath.Join(dir, "flight-42-c00005-gps-deadline-000.jsonl")
+	if dumps[0] != want {
+		t.Fatalf("dump path %q, want %q", dumps[0], want)
+	}
+
+	// The dump must contain the triggering event itself (recorder sits
+	// in front of the chain, so the event is in the ring before the
+	// trigger fires) and round-trip losslessly through DecodeJSONL.
+	f, err := os.Open(dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	decoded, err := obs.DecodeJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Ring().Snapshot()
+	if len(decoded) != len(snap) {
+		t.Fatalf("dump has %d events, ring snapshot %d", len(decoded), len(snap))
+	}
+	last := decoded[len(decoded)-1]
+	if last.Kind != core.EventGPSDeadlineViolation {
+		t.Fatalf("last dumped event is %v, want the triggering violation", last.Kind)
+	}
+	if last.Detail != "late: access delay 5s exceeds the 4s deadline" {
+		t.Fatalf("violation detail %q not materialized as expected", last.Detail)
+	}
+	for i := range snap {
+		if decoded[i] != snap[i] {
+			t.Fatalf("event %d round-trip mismatch:\n got %+v\nwant %+v", i, decoded[i], snap[i])
+		}
+	}
+}
+
+func TestRecorderCooldownSuppressesRepeatTrigger(t *testing.T) {
+	dir := t.TempDir()
+	rec := NewRecorder(Options{RingCap: 64, DumpDir: dir, Seed: 1, CooldownCycles: 10})
+	seq := feed(rec, 1, 5, 0)
+	rec.Trace(deadlineEvent(seq, 0))
+	seq++
+	// Within the cooldown window: suppressed.
+	rec.Trace(deadlineEvent(seq, 5))
+	seq++
+	if len(rec.Dumps()) != 1 {
+		t.Fatalf("cooldown failed: %d dumps, want 1", len(rec.Dumps()))
+	}
+	// Past the cooldown: fires again.
+	rec.Trace(deadlineEvent(seq, 10))
+	if len(rec.Dumps()) != 2 {
+		t.Fatalf("post-cooldown trigger suppressed: %d dumps, want 2", len(rec.Dumps()))
+	}
+}
+
+func TestRecorderIndependentCooldownPerTrigger(t *testing.T) {
+	dir := t.TempDir()
+	rec := NewRecorder(Options{RingCap: 64, DumpDir: dir, Seed: 1, CooldownCycles: 100})
+	feed(rec, 1, 5, 0)
+	if rec.TriggerNow(TriggerGPSDeadline, 0) == "" {
+		t.Fatal("first gps-deadline trigger suppressed")
+	}
+	// A different trigger class is on its own cooldown clock.
+	if rec.TriggerNow(TriggerConformance, 1) == "" {
+		t.Fatal("conformance trigger suppressed by gps-deadline cooldown")
+	}
+	if rec.TriggerNow(TriggerGPSDeadline, 50) != "" {
+		t.Fatal("gps-deadline trigger not suppressed within its cooldown")
+	}
+}
+
+func TestRecorderMaxDumpsCap(t *testing.T) {
+	dir := t.TempDir()
+	rec := NewRecorder(Options{RingCap: 64, DumpDir: dir, Seed: 1, CooldownCycles: 1, MaxDumps: 2})
+	feed(rec, 1, 3, 0)
+	for c := 0; c < 10; c++ {
+		rec.TriggerNow(TriggerConformance, c*10)
+	}
+	if len(rec.Dumps()) != 2 {
+		t.Fatalf("MaxDumps=2 but %d dumps written", len(rec.Dumps()))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d files on disk, want 2", len(entries))
+	}
+}
+
+func TestRecorderFallbackRateTrigger(t *testing.T) {
+	dir := t.TempDir()
+	m := &core.Metrics{}
+	rec := NewRecorder(Options{
+		RingCap: 64, DumpDir: dir, Seed: 9,
+		FallbackWindow: 10, FallbackRateThreshold: 0.5, Metrics: m,
+	})
+	cycleStart := func(seq uint64, cycle int) core.TraceEvent {
+		return core.TraceEvent{Seq: seq, Cycle: cycle, Kind: core.EventCycleStart, User: frame.NoUser, Slot: -1, Detail: core.Format2.String()}
+	}
+	seq := uint64(1)
+	// Anchor window at cycle 0, then a healthy window: 10 compiled cycles.
+	rec.Trace(cycleStart(seq, 0))
+	seq++
+	for c := 1; c <= 10; c++ {
+		m.CompiledCycles.Inc()
+		rec.Trace(cycleStart(seq, c))
+		seq++
+	}
+	if len(rec.Dumps()) != 0 {
+		t.Fatalf("healthy window fired a dump: %v", rec.Dumps())
+	}
+	// A stormy window: 10 fallbacks out of 10 cycles.
+	for c := 11; c <= 20; c++ {
+		m.CompiledFallbacks.Inc()
+		rec.Trace(cycleStart(seq, c))
+		seq++
+	}
+	if len(rec.Dumps()) != 1 {
+		t.Fatalf("fallback storm did not fire: %d dumps (err=%v)", len(rec.Dumps()), rec.Err())
+	}
+	if filepath.Base(rec.Dumps()[0]) != "flight-9-c00020-fallback-rate-000.jsonl" {
+		t.Fatalf("unexpected dump name %s", filepath.Base(rec.Dumps()[0]))
+	}
+}
+
+// TestRecorderDumpsByteIdentical replays the same synthetic event
+// stream into two recorders and asserts the dump files match byte for
+// byte under identical names — the determinism contract CI relies on.
+func TestRecorderDumpsByteIdentical(t *testing.T) {
+	run := func(dir string) string {
+		rec := NewRecorder(Options{RingCap: 32, DumpDir: dir, Seed: 77})
+		seq := feed(rec, 1, 40, 3) // overflow the 32-slot ring
+		rec.Trace(deadlineEvent(seq, 4))
+		if rec.Err() != nil {
+			t.Fatal(rec.Err())
+		}
+		if len(rec.Dumps()) != 1 {
+			t.Fatalf("%d dumps, want 1", len(rec.Dumps()))
+		}
+		return rec.Dumps()[0]
+	}
+	p1 := run(t.TempDir())
+	p2 := run(t.TempDir())
+	if filepath.Base(p1) != filepath.Base(p2) {
+		t.Fatalf("dump names differ: %s vs %s", filepath.Base(p1), filepath.Base(p2))
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("twin dumps differ byte-for-byte")
+	}
+	if len(b1) == 0 {
+		t.Fatal("dump is empty")
+	}
+}
+
+// TestRecorderStickyError: an unwritable dump dir records one error
+// and disables further dumps without disturbing recording.
+func TestRecorderStickyError(t *testing.T) {
+	rec := NewRecorder(Options{RingCap: 16, DumpDir: filepath.Join(t.TempDir(), "missing"), Seed: 1, CooldownCycles: 1})
+	seq := feed(rec, 1, 3, 0)
+	rec.Trace(deadlineEvent(seq, 0))
+	if rec.Err() == nil {
+		t.Fatal("expected a dump-write error for a missing directory")
+	}
+	if got := rec.TriggerNow(TriggerConformance, 100); got != "" {
+		t.Fatalf("trigger after sticky error wrote %q", got)
+	}
+	if rec.Ring().Recorded() == 0 {
+		t.Fatal("recording stopped after dump error")
+	}
+}

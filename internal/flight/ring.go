@@ -1,0 +1,40 @@
+// Package flight is the always-on flight recorder of the osumac
+// simulator: a fixed-capacity, zero-allocation ring buffer that records
+// every trace event of a run, and a trigger pipeline that snapshots the
+// ring into a JSONL dump the moment an anomaly fires — a conformance
+// violation, a GPS deadline miss, or a compiled-cycle fallback storm.
+//
+// Unlike core.TraceBuffer (which drops the oldest half when full and
+// costs an amortized copy) the ring overwrites one slot per event, so
+// the record path performs no allocation and no bulk copies and is
+// cheap enough to leave attached in every run. Events are stored in
+// their raw structured form (lazy detail operands, see
+// core.DetailKind); Snapshot materializes them, so a dump feeds
+// internal/span stitching and the GPS-deadline autopsy unchanged.
+//
+// When the Recorder is the terminal tracer (Options.Next is nil) the
+// trace emitter in core stores events into the ring inline — no
+// interface call, no intermediate copy — and forwards only the
+// trigger-relevant kinds through the Tracer interface (see core.Ring
+// and Recorder.ClaimInlineRing). That keeps the always-on overhead
+// within the BenchmarkFlightRecorderOverhead budget.
+//
+// Everything in a dump is derived from virtual time and the scenario
+// seed — no wall-clock, hostname, or pointer values — so two same-seed
+// runs produce byte-identical dump files with deterministic names.
+package flight
+
+import (
+	"github.com/osu-netlab/osumac/internal/core"
+)
+
+// Ring is a fixed-capacity power-of-two ring buffer implementing
+// core.Tracer. Trace overwrites the oldest event once full; the record
+// path allocates nothing. The storage lives in core (core.Ring) so the
+// trace emitter can store into it inline; this alias keeps the flight
+// API self-contained.
+type Ring = core.Ring
+
+// NewRing builds a ring with at least capacity slots, rounded up to a
+// power of two. capacity <= 0 selects the default 4096.
+func NewRing(capacity int) *Ring { return core.NewRing(capacity) }

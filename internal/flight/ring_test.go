@@ -1,0 +1,113 @@
+package flight
+
+import (
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+)
+
+func ev(seq uint64, cycle int) core.TraceEvent {
+	return core.TraceEvent{
+		At:    time.Duration(seq) * time.Millisecond,
+		Seq:   seq,
+		Cycle: cycle,
+		Kind:  core.EventDataRx,
+		User:  frame.UserID(int(seq) % 10),
+		Slot:  int(seq) % 5,
+		DK:    core.DetailMsgBytes,
+		Arg0:  int64(seq),
+		Arg1:  int64(seq) * 3,
+	}
+}
+
+func TestRingRoundsCapacityToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 4096}, {-5, 4096}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {4096, 4096}, {5000, 8192},
+	} {
+		if got := NewRing(tc.in).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRingSnapshotUnderCapacity(t *testing.T) {
+	r := NewRing(8)
+	for i := uint64(1); i <= 5; i++ {
+		r.Trace(ev(i, 0))
+	}
+	if r.Len() != 5 || r.Recorded() != 5 || r.Overwritten() != 0 {
+		t.Fatalf("Len=%d Recorded=%d Overwritten=%d", r.Len(), r.Recorded(), r.Overwritten())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot has %d events, want 5", len(snap))
+	}
+	for i, e := range snap {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewRing(8)
+	for i := uint64(1); i <= 20; i++ {
+		r.Trace(ev(i, 0))
+	}
+	if r.Len() != 8 || r.Recorded() != 20 || r.Overwritten() != 12 {
+		t.Fatalf("Len=%d Recorded=%d Overwritten=%d", r.Len(), r.Recorded(), r.Overwritten())
+	}
+	snap := r.Snapshot()
+	for i, e := range snap {
+		if e.Seq != uint64(13+i) {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d (oldest retained must be 13)", i, e.Seq, 13+i)
+		}
+	}
+}
+
+// TestRingSnapshotMaterializes asserts the snapshot renders lazy
+// detail operands into Detail, so dumps feed span/autopsy unchanged.
+func TestRingSnapshotMaterializes(t *testing.T) {
+	r := NewRing(4)
+	r.Trace(ev(1, 0))
+	snap := r.Snapshot()
+	if snap[0].Detail != "msg=1 bytes=3" {
+		t.Fatalf("Detail = %q, want %q", snap[0].Detail, "msg=1 bytes=3")
+	}
+	if snap[0].DK != core.DetailVerbatim || snap[0].Arg0 != 0 {
+		t.Fatalf("snapshot event not materialized: %+v", snap[0])
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(4)
+	for i := uint64(1); i <= 6; i++ {
+		r.Trace(ev(i, 0))
+	}
+	r.Reset()
+	if r.Len() != 0 || len(r.Snapshot()) != 0 {
+		t.Fatal("Reset did not empty the ring")
+	}
+}
+
+// TestRingTraceZeroAlloc is the zero-allocation guard on the record
+// path — the property that makes the recorder safe to leave always-on.
+func TestRingTraceZeroAlloc(t *testing.T) {
+	r := NewRing(1024)
+	e := ev(7, 3)
+	if allocs := testing.AllocsPerRun(1000, func() { r.Trace(e) }); allocs != 0 {
+		t.Fatalf("Ring.Trace allocates %.1f times per event, want 0", allocs)
+	}
+}
+
+// TestRecorderTraceZeroAlloc covers the full recorder record path (ring
+// store + forward + trigger checks) when no trigger fires.
+func TestRecorderTraceZeroAlloc(t *testing.T) {
+	rec := NewRecorder(Options{RingCap: 1024, Next: core.FuncTracer(func(core.TraceEvent) {})})
+	e := ev(9, 2)
+	if allocs := testing.AllocsPerRun(1000, func() { rec.Trace(e) }); allocs != 0 {
+		t.Fatalf("Recorder.Trace allocates %.1f times per event, want 0", allocs)
+	}
+}

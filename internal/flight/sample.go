@@ -1,0 +1,73 @@
+package flight
+
+import (
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+)
+
+// SampledTracer is a deterministic head-sampling wrapper: it forwards
+// events for a seeded hash-selected subset of users, so span stitching
+// still sees every lifecycle event of a sampled user (head sampling —
+// the keep/drop decision is a pure function of (seed, user), decided
+// "at the head" rather than per event). Events that name no user
+// (cycle starts, collisions, format switches) always pass, because
+// stitching and the autopsy need them for context.
+//
+// The decision is splitmix64-style hashing, not modulo of the raw ID,
+// so adjacent user IDs land in different buckets; and it depends only
+// on the scenario seed, so twin runs sample identical user sets.
+type SampledTracer struct {
+	next  core.Tracer
+	seed  int64
+	rate  int // keep ~1/rate users; <= 1 keeps everyone
+	cycLo int
+	cycHi int // -1: unbounded
+}
+
+var _ core.Tracer = (*SampledTracer)(nil)
+
+// NewSampledTracer wraps next, keeping roughly one in rate users.
+// rate <= 1 keeps every user (the wrapper becomes a pass-through).
+func NewSampledTracer(next core.Tracer, seed int64, rate int) *SampledTracer {
+	return &SampledTracer{next: next, seed: seed, rate: rate, cycHi: -1}
+}
+
+// FilterCycles additionally restricts forwarded events to cycles in
+// [lo, hi]; hi < 0 means unbounded above. No-user events outside the
+// window are dropped too.
+func (s *SampledTracer) FilterCycles(lo, hi int) *SampledTracer {
+	s.cycLo, s.cycHi = lo, hi
+	return s
+}
+
+// SampledUser reports whether the given user is in the sampled subset
+// for (seed, rate). Exported so tests and tools can predict which
+// users a sampled run retains.
+func SampledUser(seed int64, u frame.UserID, rate int) bool {
+	if rate <= 1 {
+		return true
+	}
+	h := uint64(seed) ^ (uint64(u)+1)*0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h%uint64(rate) == 0
+}
+
+// Trace implements core.Tracer. The rejecting path allocates nothing;
+// what the downstream tracer does with an accepted event is its own
+// hot-path contract (the nil guard marks the tracer seam for the
+// hotpathalloc reachability analysis).
+func (s *SampledTracer) Trace(e core.TraceEvent) {
+	if e.Cycle < s.cycLo || (s.cycHi >= 0 && e.Cycle > s.cycHi) {
+		return
+	}
+	if e.User != frame.NoUser && !SampledUser(s.seed, e.User, s.rate) {
+		return
+	}
+	if s.next != nil {
+		s.next.Trace(e)
+	}
+}

@@ -42,8 +42,12 @@ var hotRoots = []hotRoot{
 	{"internal/frame", "", "TransmitTo"},
 	{"internal/core", "GPSSlotTable", "GrantSchedule"},
 	{"internal/core", "Network", "trace"},
+	{"internal/core", "Network", "traceD"},
 	{"internal/core", "Network", "SimulationCycle"},
 	{"internal/core", "compiledSource", "PeekAction"},
+	{"internal/core", "Ring", "Trace"},
+	{"internal/flight", "Recorder", "Trace"},
+	{"internal/flight", "SampledTracer", "Trace"},
 	{"internal/obs", "JSONLSink", "Trace"},
 	{"internal/obs", "KindMask", "Has"},
 }

@@ -86,6 +86,7 @@ var _ core.Tracer = (*JSONLSink)(nil)
 // NewJSONLSink wraps w. Call Flush when the run is over.
 func NewJSONLSink(w io.Writer) *JSONLSink {
 	bw := bufio.NewWriter(w)
+	//lint:ignore hotpathalloc constructing a sink is setup or anomaly-path work (e.g. a flight-recorder dump), never per-event work
 	return &JSONLSink{w: bw, enc: json.NewEncoder(bw), maxCycle: -1}
 }
 
@@ -130,7 +131,7 @@ func (s *JSONLSink) Trace(e core.TraceEvent) {
 		Kind:   e.Kind.String(),
 		User:   int(e.User),
 		Slot:   e.Slot,
-		Detail: e.Detail,
+		Detail: e.DetailText(),
 	}); err != nil && s.err == nil {
 		s.err = err
 	}

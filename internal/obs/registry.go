@@ -130,11 +130,27 @@ func (h *HistogramSnapshot) Quantile(p float64) float64 {
 // the live bundle, so it must be called from the simulation goroutine
 // (or after the run); see Live for serving scrapes concurrently.
 type Registry struct {
-	m *core.Metrics
+	m      *core.Metrics
+	extras []extraGauge
 }
 
 // NewRegistry wraps a metric bundle.
 func NewRegistry(m *core.Metrics) *Registry { return &Registry{m: m} }
+
+// extraGauge is a caller-registered gauge outside core.Metrics —
+// simulator health signals like event-queue depth, trace-buffer drops,
+// or flight-ring overwrites.
+type extraGauge struct {
+	name, help string
+	get        func() float64
+}
+
+// AddGauge registers a gauge read from fn at each Gather, appended
+// after the built-in metrics in registration order. fn is called from
+// the gathering goroutine; it must be safe to call between cycles.
+func (r *Registry) AddGauge(name, help string, fn func() float64) {
+	r.extras = append(r.extras, extraGauge{name: name, help: help, get: fn})
+}
 
 type counterDesc struct {
 	name, help string
@@ -186,6 +202,19 @@ var counterDescs = []counterDesc{
 	{"osumac_cf2_listens_total", "subscribers listening to the second control-field set", func(m *core.Metrics) uint64 { return m.CF2Listens.Value() }},
 	{"osumac_forward_packets_sent_total", "forward-channel data packets sent", func(m *core.Metrics) uint64 { return m.ForwardPktsSent.Value() }},
 	{"osumac_forward_packets_delivered_total", "forward-channel data packets delivered", func(m *core.Metrics) uint64 { return m.ForwardPktsDelivered.Value() }},
+	// Compiled-cycle executor accounting. These live outside
+	// core.Snapshot on purpose (the compiled path must be
+	// observationally identical to the event kernel, so run artifacts
+	// may not differ between engines) but they ARE deterministic for a
+	// fixed scenario + engine choice, so exposing them on /metrics and
+	// in -export keeps the twin-run byte-identity gate intact.
+	{"osumac_compiled_cycles_total", "cycles driven by the compiled fast path", func(m *core.Metrics) uint64 { return m.CompiledCycles.Value() }},
+	{"osumac_compiled_fallbacks_total", "cycles whose compiled fast path deactivated", func(m *core.Metrics) uint64 { return m.CompiledFallbacks.Value() }},
+	{"osumac_compiled_fallback_loss_total", "fallbacks due to a lossy channel model", func(m *core.Metrics) uint64 { return m.CompiledFallbackLoss.Value() }},
+	{"osumac_compiled_fallback_contention_total", "fallbacks due to planned contention transmissions", func(m *core.Metrics) uint64 { return m.CompiledFallbackContention.Value() }},
+	{"osumac_compiled_fallback_amendment_total", "fallbacks due to CF2 schedule amendments", func(m *core.Metrics) uint64 { return m.CompiledFallbackAmendment.Value() }},
+	{"osumac_compiled_fallback_format_total", "fallbacks due to reverse format switches", func(m *core.Metrics) uint64 { return m.CompiledFallbackFormat.Value() }},
+	{"osumac_compiled_recompiles_total", "slot-action template re-selections on format switch", func(m *core.Metrics) uint64 { return m.CompiledRecompiles.Value() }},
 }
 
 // gaugeDescs covers the derived figures of the paper's evaluation.
@@ -200,6 +229,14 @@ var gaugeDescs = []gaugeDesc{
 	{"osumac_fairness_bytes", "Jain's index over raw per-user delivered bytes", (*core.Metrics).FairnessBytes},
 	{"osumac_registration_within_2_cycles", "fraction of registrations completing within 2 cycles", func(m *core.Metrics) float64 { return m.RegistrationWithin(2) }},
 	{"osumac_registration_within_10_cycles", "fraction of registrations completing within 10 cycles", func(m *core.Metrics) float64 { return m.RegistrationWithin(10) }},
+	{"osumac_compiled_cycle_hit_ratio", "fraction of cycles the compiled fast path drove", func(m *core.Metrics) float64 {
+		hit := m.CompiledCycles.Value()
+		total := hit + m.CompiledFallbacks.Value()
+		if total == 0 {
+			return 0
+		}
+		return float64(hit) / float64(total)
+	}},
 }
 
 // Fixed histogram buckets. The GPS buckets straddle the 4 s deadline so
@@ -230,7 +267,7 @@ const GPSDeadlineSeconds = float64(phy.GPSAccessDeadline) / 1e9
 // Gather snapshots every registered metric in stable order. The result
 // shares no state with the live bundle.
 func (r *Registry) Gather() []Metric {
-	out := make([]Metric, 0, len(counterDescs)+len(gaugeDescs)+len(histDescs))
+	out := make([]Metric, 0, len(counterDescs)+len(gaugeDescs)+len(histDescs)+len(r.extras))
 	for _, d := range counterDescs {
 		out = append(out, Metric{Name: d.name, Help: d.help, Kind: KindCounter, Value: float64(d.get(r.m))})
 	}
@@ -240,6 +277,9 @@ func (r *Registry) Gather() []Metric {
 	for _, d := range histDescs {
 		out = append(out, Metric{Name: d.name, Help: d.help, Kind: KindHistogram,
 			Hist: snapshotHistogram(d.sample(r.m), d.bounds)})
+	}
+	for _, d := range r.extras {
+		out = append(out, Metric{Name: d.name, Help: d.help, Kind: KindGauge, Value: d.get()})
 	}
 	return out
 }

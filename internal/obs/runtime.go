@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"math"
+	rm "runtime/metrics"
+)
+
+// runtimeDesc maps one runtime/metrics sample onto an exported Metric.
+type runtimeDesc struct {
+	sample, name, help string
+	kind               Kind
+}
+
+// runtimeDescs is the fixed set of Go runtime signals the self-telemetry
+// bridge polls. Samples the running toolchain does not know (KindBad)
+// are skipped at gather time, so the set can name metrics from newer
+// runtimes without breaking older ones.
+var runtimeDescs = []runtimeDesc{
+	{"/memory/classes/heap/objects:bytes", "osumac_runtime_heap_alloc_bytes", "bytes of allocated heap objects", KindGauge},
+	{"/gc/heap/objects:objects", "osumac_runtime_heap_objects", "number of allocated heap objects", KindGauge},
+	{"/memory/classes/total:bytes", "osumac_runtime_memory_total_bytes", "total memory mapped by the Go runtime", KindGauge},
+	{"/sched/goroutines:goroutines", "osumac_runtime_goroutines", "live goroutines", KindGauge},
+	{"/gc/cycles/total:gc-cycles", "osumac_runtime_gc_cycles_total", "completed GC cycles", KindCounter},
+	{"/gc/pauses:seconds", "osumac_runtime_gc_pause_p99_seconds", "p99 stop-the-world GC pause", KindGauge},
+}
+
+// GatherRuntime polls runtime/metrics and renders the fixed signal set
+// as Metrics. Unlike Registry.Gather, the values here are wall-clock
+// process facts — heap size, GC activity, goroutine count — so they are
+// NOT deterministic across runs and must never flow into the exported
+// run artifact (osumacdiff compares those byte for byte). They are
+// served live-only: Live publishes them on /metrics between cycles.
+func GatherRuntime() []Metric {
+	samples := make([]rm.Sample, len(runtimeDescs))
+	for i := range samples {
+		samples[i].Name = runtimeDescs[i].sample
+	}
+	rm.Read(samples)
+	out := make([]Metric, 0, len(samples))
+	for i, s := range samples {
+		d := runtimeDescs[i]
+		var v float64
+		switch s.Value.Kind() {
+		case rm.KindUint64:
+			v = float64(s.Value.Uint64())
+		case rm.KindFloat64:
+			v = s.Value.Float64()
+		case rm.KindFloat64Histogram:
+			v = runtimeHistQuantile(s.Value.Float64Histogram(), 0.99)
+		default: // KindBad: unknown to this toolchain
+			continue
+		}
+		out = append(out, Metric{Name: d.name, Help: d.help, Kind: d.kind, Value: v})
+	}
+	return out
+}
+
+// runtimeHistQuantile estimates the p-quantile of a runtime/metrics
+// histogram: the lowest bucket boundary below which at least p of the
+// observations fall. Returns 0 for an empty histogram.
+func runtimeHistQuantile(h *rm.Float64Histogram, p float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := p * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			// Buckets[i+1] is bucket i's upper bound; the last bucket's
+			// bound may be +Inf, in which case report its lower bound.
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) {
+				return h.Buckets[i]
+			}
+			return ub
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

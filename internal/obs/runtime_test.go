@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+)
+
+func TestGatherRuntimeSignals(t *testing.T) {
+	runtime.GC() // make the GC counters non-trivial
+	ms := GatherRuntime()
+	if len(ms) == 0 {
+		t.Fatal("GatherRuntime returned nothing")
+	}
+	byName := map[string]Metric{}
+	for _, m := range ms {
+		if m.Name == "" || m.Help == "" {
+			t.Fatalf("runtime metric without name/help: %+v", m)
+		}
+		if !strings.HasPrefix(m.Name, "osumac_runtime_") {
+			t.Fatalf("runtime metric %q outside the osumac_runtime_ namespace", m.Name)
+		}
+		byName[m.Name] = m
+	}
+	// The core signals exist on every supported toolchain.
+	for _, name := range []string{
+		"osumac_runtime_heap_alloc_bytes",
+		"osumac_runtime_goroutines",
+		"osumac_runtime_gc_cycles_total",
+	} {
+		m, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if m.Value <= 0 {
+			t.Fatalf("%s = %v, want > 0", name, m.Value)
+		}
+	}
+}
+
+// TestCompiledCountersExported asserts the PR 7 compiled-cycle counters
+// reach the registry (and therefore /metrics) ...
+func TestCompiledCountersExported(t *testing.T) {
+	m := &core.Metrics{}
+	m.CompiledCycles.Addn(30)
+	m.CompiledFallbacks.Addn(10)
+	m.CompiledRecompiles.Addn(2)
+	got := map[string]float64{}
+	for _, mm := range NewRegistry(m).Gather() {
+		got[mm.Name] = mm.Value
+	}
+	for name, want := range map[string]float64{
+		"osumac_compiled_cycles_total":     30,
+		"osumac_compiled_fallbacks_total":  10,
+		"osumac_compiled_recompiles_total": 2,
+		"osumac_compiled_cycle_hit_ratio":  0.75,
+	} {
+		if got[name] != want {
+			t.Fatalf("%s = %v, want %v", name, got[name], want)
+		}
+	}
+}
+
+// ... while staying out of core.Snapshot, so metric-snapshot equality
+// between the compiled and event engines cannot see them.
+func TestCompiledCountersExcludedFromSnapshot(t *testing.T) {
+	a, b := &core.Metrics{}, &core.Metrics{}
+	a.CompiledCycles.Addn(100)
+	a.CompiledFallbacks.Addn(50)
+	a.CompiledRecompiles.Addn(7)
+	if a.Snapshot() != b.Snapshot() {
+		t.Fatal("compiled counters leaked into core.Snapshot — twin-engine equality would break")
+	}
+}
+
+func TestRegistryAddGauge(t *testing.T) {
+	m := &core.Metrics{}
+	reg := NewRegistry(m)
+	depth := 17.0
+	reg.AddGauge("osumac_event_queue_depth", "pending kernel events", func() float64 { return depth })
+	found := false
+	for _, mm := range reg.Gather() {
+		if mm.Name == "osumac_event_queue_depth" {
+			found = true
+			if mm.Kind != KindGauge || mm.Value != 17 {
+				t.Fatalf("extra gauge gathered wrong: %+v", mm)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("AddGauge gauge missing from Gather")
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "osumac_event_queue_depth 17") {
+		t.Fatal("extra gauge missing from Prometheus exposition")
+	}
+}
+
+// TestLiveServesRuntimeMetrics: a publish carrying Runtime metrics
+// appends them to the /metrics exposition.
+func TestLiveServesRuntimeMetrics(t *testing.T) {
+	live := NewLive()
+	srv := httptest.NewServer(live.Handler())
+	defer srv.Close()
+
+	reg := NewRegistry(&core.Metrics{})
+	exp := reg.Export(1, time.Second, false)
+	exp.Runtime = GatherRuntime()
+	live.Publish(exp)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "osumac_runtime_goroutines") {
+		t.Fatal("/metrics does not carry the runtime self-telemetry")
+	}
+	if !strings.Contains(string(body), "osumac_cycles_total") {
+		t.Fatal("/metrics lost the simulator metrics")
+	}
+}
+
+// TestLiveConcurrentPublish hammers Publish from one goroutine while
+// scraping every endpoint from others; the atomic-snapshot design must
+// never tear (each response reflects one complete Export). Run with
+// -race to make this decisive.
+func TestLiveConcurrentPublish(t *testing.T) {
+	live := NewLive()
+	srv := httptest.NewServer(live.Handler())
+	defer srv.Close()
+
+	reg := NewRegistry(&core.Metrics{})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			exp := reg.Export(i, time.Duration(i)*time.Millisecond, false)
+			exp.Runtime = GatherRuntime()
+			live.Publish(exp)
+		}
+	}()
+
+	for _, path := range []string{"/metrics", "/series", "/healthz"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("%s: %v", path, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("%s read: %v", path, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+					t.Errorf("%s = %d body %q", path, resp.StatusCode, body[:min(len(body), 80)])
+					return
+				}
+			}
+		}(path)
+	}
+	// Let the scrapers run against a moving publisher, then stop it.
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

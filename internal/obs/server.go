@@ -21,9 +21,14 @@ type Export struct {
 	// Spans is the critical-path phase distribution of the stitched
 	// lifecycle traces, when the run captured spans (nil otherwise).
 	Spans *span.Distribution `json:"spans,omitempty"`
-	Cycle int                `json:"cycle"`
-	Done  bool               `json:"done"`
-	AtNS  int64              `json:"atNs"`
+	// Runtime holds the Go runtime self-telemetry (GatherRuntime) for
+	// LIVE serving only. Writers of run artifacts must leave it nil:
+	// heap sizes and GC pauses are wall-clock facts that would break
+	// the osumacdiff byte-identity gate between twin runs.
+	Runtime []Metric `json:"runtime,omitempty"`
+	Cycle   int      `json:"cycle"`
+	Done    bool     `json:"done"`
+	AtNS    int64    `json:"atNs"`
 }
 
 // Export builds a snapshot for publishing. It copies the series slice
@@ -88,6 +93,9 @@ func (l *Live) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	// A broken scrape connection is the client's problem; nothing to
 	// recover here.
 	_ = WritePrometheus(w, exp.Metrics)
+	if len(exp.Runtime) > 0 {
+		_ = WritePrometheus(w, exp.Runtime)
+	}
 }
 
 func (l *Live) serveSeries(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,48 @@
+package span
+
+import "github.com/osu-netlab/osumac/internal/core"
+
+// Truncation summarizes sequence-number evidence that a recorded event
+// stream lost events before it was stitched. Every event leaving the
+// core tracer carries a contiguous per-run Seq (starting at 1), so a
+// bounded recorder that discards events — the flight ring overwriting
+// its oldest slots, or TraceBuffer dropping its oldest half — leaves
+// detectable gaps: a missing prefix before the first retained event,
+// or holes between retained ones.
+type Truncation struct {
+	// LeadingLost counts events lost before the first retained one
+	// (ring overwrite / drop-half both eat from the front).
+	LeadingLost uint64
+	// InteriorLost counts events missing between retained ones.
+	InteriorLost uint64
+}
+
+// Total returns all detectably lost events.
+func (t Truncation) Total() uint64 { return t.LeadingLost + t.InteriorLost }
+
+// Truncated reports whether any loss was detected.
+func (t Truncation) Truncated() bool { return t.Total() > 0 }
+
+// DetectTruncation inspects a stream's Seq numbers. Streams without
+// sequence numbers (synthetic fixtures, captures predating Seq) carry
+// no evidence and yield the zero Truncation. Events are expected in
+// recording order (ascending Seq), which ring snapshots, TraceBuffer
+// contents, and JSONL dumps all satisfy.
+func DetectTruncation(events []core.TraceEvent) Truncation {
+	var tr Truncation
+	prev := uint64(0)
+	seen := false
+	for _, e := range events {
+		if e.Seq == 0 {
+			continue
+		}
+		if !seen {
+			seen = true
+			tr.LeadingLost = e.Seq - 1
+		} else if e.Seq > prev+1 {
+			tr.InteriorLost += e.Seq - prev - 1
+		}
+		prev = e.Seq
+	}
+	return tr
+}

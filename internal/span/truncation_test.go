@@ -1,0 +1,45 @@
+package span
+
+import (
+	"testing"
+
+	"github.com/osu-netlab/osumac/internal/core"
+)
+
+func seqEvents(seqs ...uint64) []core.TraceEvent {
+	out := make([]core.TraceEvent, len(seqs))
+	for i, s := range seqs {
+		out[i] = core.TraceEvent{Seq: s, Kind: core.EventDataRx}
+	}
+	return out
+}
+
+func TestDetectTruncation(t *testing.T) {
+	cases := []struct {
+		name     string
+		events   []core.TraceEvent
+		leading  uint64
+		interior uint64
+	}{
+		{"empty", nil, 0, 0},
+		{"contiguous from start", seqEvents(1, 2, 3, 4), 0, 0},
+		{"leading loss", seqEvents(13, 14, 15), 12, 0},
+		{"interior hole", seqEvents(1, 2, 6, 7), 0, 3},
+		{"both", seqEvents(5, 6, 10), 4, 3},
+		{"no seq evidence", seqEvents(0, 0, 0), 0, 0},
+		{"mixed legacy zero seqs skipped", seqEvents(0, 3, 4, 0, 5), 2, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := DetectTruncation(tc.events)
+			if tr.LeadingLost != tc.leading || tr.InteriorLost != tc.interior {
+				t.Fatalf("got leading=%d interior=%d, want leading=%d interior=%d",
+					tr.LeadingLost, tr.InteriorLost, tc.leading, tc.interior)
+			}
+			wantTrunc := tc.leading+tc.interior > 0
+			if tr.Truncated() != wantTrunc || tr.Total() != tc.leading+tc.interior {
+				t.Fatalf("Truncated/Total inconsistent: %+v", tr)
+			}
+		})
+	}
+}
