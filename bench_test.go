@@ -518,6 +518,39 @@ func BenchmarkFlightRecorderOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkBaselineTraceOverhead prices baseline trace emission: a
+// PRMA run with tracing off (the nil-tracer gated fast path) against
+// the identical run feeding a ring tracer. Two CI gates hang off it.
+// The benchdiff baseline (BENCH_3.json) pins the nil run's ns/op and
+// allocs/op, so instrumentation never taxes tracing-off runs — the
+// ≤5% nil-tracer overhead contract. The budget step then requires the
+// ring run's allocs/op to equal the nil run's exactly (emission must
+// not allocate) and bounds the ring/nil ns ratio. The abstract frame
+// model simulates a frame in well under a microsecond while emitting
+// ~18 events, so the ring's ~30ns/event store reads as a large
+// relative cost here by construction; the ratio budget guards the
+// per-event price against regression rather than claiming tracing is
+// free on a workload this small.
+func BenchmarkBaselineTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, tracer core.Tracer) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.Run(baseline.Config{
+				Protocol: baseline.NewPRMA(),
+				Users:    12,
+				Frames:   100,
+				Load:     0.7,
+				Seed:     benchSeed,
+				Tracer:   tracer,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("nil", func(b *testing.B) { run(b, nil) })
+	b.Run("ring", func(b *testing.B) { run(b, core.NewRing(1<<14)) })
+}
+
 // BenchmarkCompiledCycle measures the compiled executor's idle-cell
 // steady state: active data users, no queued traffic, no GPS. Every
 // cycle activates fast and every slot action is a table dispatch, so

@@ -36,10 +36,22 @@ func run(args []string, out io.Writer) error {
 		reps     = fs.Int("reps", 1, "independent seeds per point (mean ± std when > 1)")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation runs (results are identical at any setting)")
 		only     = fs.String("only", "", "comma-separated subset: table1,table2,fig8,fig9,fig10,fig11,fig12a,fig12b,registration,gps,comparison,ablation,robustness")
+
+		tournament  = fs.Bool("tournament", false, "run the protocol tournament instead of the paper artifacts")
+		tourDir     = fs.String("tournament-dir", ".", "directory for tournament_<protocol>.json snapshots")
+		tourLoads   = fs.String("tournament-loads", "", "comma-separated tournament load grid (default 0.3,0.5,0.7,0.9)")
+		tourProtoes = fs.String("protocols", "", "comma-separated tournament contenders (default osu-mac plus every baseline)")
 	)
 	fs.IntVar(reps, "replications", 1, "alias for -reps")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *tournament {
+		return runTournament(out, tournamentArgs{
+			seed: *seed, users: *data, frames: *cycles,
+			loads: *tourLoads, protocols: *tourProtoes,
+			dir: *tourDir, workers: *parallel,
+		})
 	}
 	want := map[string]bool{}
 	if *only != "" {

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/osu-netlab/osumac/internal/experiments"
+	"github.com/osu-netlab/osumac/internal/obs"
+)
+
+// tournamentArgs carries the -tournament flag values into runTournament.
+type tournamentArgs struct {
+	seed      uint64
+	users     int
+	frames    int
+	loads     string
+	protocols string
+	dir       string
+	workers   int
+}
+
+// runTournament runs the protocols × loads grid and writes one
+// tournament_<protocol>.json snapshot per contender, plus a short
+// scoreboard on stdout. The snapshots feed osumacdiff -league.
+func runTournament(out io.Writer, a tournamentArgs) error {
+	cfg := experiments.TournamentConfig{
+		Seed:    a.seed,
+		Users:   a.users,
+		Frames:  a.frames,
+		Workers: a.workers,
+	}
+	if a.loads != "" {
+		for _, s := range strings.Split(a.loads, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("bad -tournament-loads entry %q: %w", s, err)
+			}
+			cfg.Loads = append(cfg.Loads, v)
+		}
+	}
+	if a.protocols != "" {
+		for _, s := range strings.Split(a.protocols, ",") {
+			cfg.Protocols = append(cfg.Protocols, strings.TrimSpace(s))
+		}
+	}
+
+	entries, err := experiments.Tournament(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(a.dir, 0o755); err != nil {
+		return err
+	}
+
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "protocol\tutil\tfairness\tmiss ratio\tsnapshot")
+	for _, e := range entries {
+		path := filepath.Join(a.dir, "tournament_"+e.Protocol+".json")
+		b, err := json.MarshalIndent(e.Export, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.4f\t%s\n",
+			e.Protocol,
+			metricValue(e.Export.Metrics, "osumac_baseline_utilization"),
+			metricValue(e.Export.Metrics, "osumac_baseline_fairness"),
+			metricValue(e.Export.Metrics, "osumac_baseline_deadline_miss_ratio"),
+			path)
+	}
+	return w.Flush()
+}
+
+func metricValue(ms []obs.Metric, name string) float64 {
+	for i := range ms {
+		if ms[i].Name == name {
+			return ms[i].Value
+		}
+	}
+	return 0
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/osu-netlab/osumac/internal/obs"
+)
+
+// League mode: instead of diffing two snapshots, rank N of them. Each
+// file is one protocol's tournament export (cmd/experiments
+// -tournament); the table lines up the shared baseline descriptors so
+// PRMA, D-TDMA, RAMA, DRMA, FAMA and OSU-MAC itself read as rows of one
+// scoreboard. Output order follows the input file order and every
+// number is formatted with fixed precision, so the same snapshots
+// always render byte-identical tables.
+
+// LeagueEntry is one snapshot's row of the league table.
+type LeagueEntry struct {
+	File              string  `json:"file"`
+	Label             string  `json:"label"`
+	Utilization       float64 `json:"utilization"`
+	MeanDelaySeconds  float64 `json:"meanDelaySeconds"`
+	P99DelaySeconds   float64 `json:"p99DelaySeconds"`
+	Fairness          float64 `json:"fairness"`
+	DeadlineMissRatio float64 `json:"deadlineMissRatio"`
+	CollisionRate     float64 `json:"collisionRate"`
+	// Phases is the span critical-path share per phase, in the
+	// distribution's canonical phase order.
+	Phases []LeaguePhase `json:"phases"`
+}
+
+// LeaguePhase is one phase's slice of the critical path.
+type LeaguePhase struct {
+	Phase   string  `json:"phase"`
+	Seconds float64 `json:"seconds"`
+	Share   float64 `json:"share"`
+}
+
+// LeagueTable is the machine-readable league output.
+type LeagueTable struct {
+	Entries []LeagueEntry `json:"entries"`
+}
+
+func runLeague(paths []string, asJSON bool, out io.Writer) (bool, error) {
+	if len(paths) < 2 {
+		return false, fmt.Errorf("-league wants at least two snapshot files, got %d", len(paths))
+	}
+	table := &LeagueTable{Entries: make([]LeagueEntry, 0, len(paths))}
+	for _, p := range paths {
+		exp, err := loadExport(p)
+		if err != nil {
+			return false, err
+		}
+		table.Entries = append(table.Entries, leagueEntry(p, exp))
+	}
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return true, enc.Encode(table)
+	}
+	writeLeague(out, table)
+	return true, nil
+}
+
+func leagueEntry(path string, exp *obs.Export) LeagueEntry {
+	e := LeagueEntry{File: path, Label: exp.Label}
+	if e.Label == "" {
+		// Plain snapshots carry no label; fall back to the file name so
+		// the row is still identifiable.
+		e.Label = strings.TrimSuffix(filepath.Base(path), ".json")
+	}
+	for i := range exp.Metrics {
+		m := &exp.Metrics[i]
+		switch m.Name {
+		case "osumac_baseline_utilization":
+			e.Utilization = m.Value
+		case "osumac_baseline_fairness":
+			e.Fairness = m.Value
+		case "osumac_baseline_deadline_miss_ratio":
+			e.DeadlineMissRatio = m.Value
+		case "osumac_baseline_collision_rate":
+			e.CollisionRate = m.Value
+		case "osumac_baseline_message_delay_seconds":
+			if m.Hist != nil {
+				if m.Hist.Count > 0 {
+					e.MeanDelaySeconds = m.Hist.Sum / float64(m.Hist.Count)
+				}
+				e.P99DelaySeconds = m.Hist.P99
+			}
+		}
+	}
+	if exp.Spans != nil {
+		var total float64
+		for i := range exp.Spans.Phases {
+			total += exp.Spans.Phases[i].TotalSeconds
+		}
+		for i := range exp.Spans.Phases {
+			p := &exp.Spans.Phases[i]
+			share := 0.0
+			if total > 0 {
+				share = p.TotalSeconds / total
+			}
+			e.Phases = append(e.Phases, LeaguePhase{Phase: p.Phase, Seconds: p.TotalSeconds, Share: share})
+		}
+	}
+	return e
+}
+
+func writeLeague(out io.Writer, table *LeagueTable) {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "protocol\tutil\tdelay mean (s)\tdelay p99 (s)\tfairness\tmiss ratio\tcollisions/frame")
+	for i := range table.Entries {
+		e := &table.Entries[i]
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+			e.Label, e.Utilization, e.MeanDelaySeconds, e.P99DelaySeconds,
+			e.Fairness, e.DeadlineMissRatio, e.CollisionRate)
+	}
+	w.Flush()
+
+	// Phase breakdown as a second block: rows are protocols, columns the
+	// union of phases in first-seen order.
+	var phases []string
+	seen := map[string]bool{}
+	for i := range table.Entries {
+		for _, p := range table.Entries[i].Phases {
+			if !seen[p.Phase] {
+				seen[p.Phase] = true
+				phases = append(phases, p.Phase)
+			}
+		}
+	}
+	if len(phases) == 0 {
+		return
+	}
+	fmt.Fprintln(out, "\ncritical-path share by phase:")
+	w = tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "protocol\t%s\n", strings.Join(phases, "\t"))
+	for i := range table.Entries {
+		e := &table.Entries[i]
+		byName := map[string]float64{}
+		for _, p := range e.Phases {
+			byName[p.Phase] = p.Share
+		}
+		cells := make([]string, len(phases))
+		for j, ph := range phases {
+			cells[j] = fmt.Sprintf("%.3f", byName[ph])
+		}
+		fmt.Fprintf(w, "%s\t%s\n", e.Label, strings.Join(cells, "\t"))
+	}
+	w.Flush()
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/osu-netlab/osumac/internal/experiments"
+)
+
+// writeTournament runs a small tournament and writes one snapshot per
+// protocol, the way experiments -tournament does.
+func writeTournament(t *testing.T, dir string, protocols []string) []string {
+	t.Helper()
+	entries, err := experiments.Tournament(experiments.TournamentConfig{
+		Seed: 11, Users: 8, Frames: 60,
+		Loads:     []float64{0.4, 0.8},
+		Protocols: protocols,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := make([]string, len(entries))
+	for i, e := range entries {
+		paths[i] = filepath.Join(dir, "tournament_"+e.Protocol+".json")
+		b, err := json.Marshal(e.Export)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(paths[i], b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return paths
+}
+
+func TestLeagueTableText(t *testing.T) {
+	paths := writeTournament(t, t.TempDir(), []string{"prma", "rama", "drma"})
+
+	var out bytes.Buffer
+	ok, err := run(append([]string{"-league"}, paths...), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("league mode reported failure")
+	}
+	text := out.String()
+	for _, want := range []string{"prma", "rama", "drma", "miss ratio", "critical-path share by phase", "cf-wait"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("league table misses %q:\n%s", want, text)
+		}
+	}
+	// Same snapshots must render the identical table, byte for byte.
+	var again bytes.Buffer
+	if _, err := run(append([]string{"-league"}, paths...), &again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Fatal("league table not deterministic across renders")
+	}
+}
+
+func TestLeagueTableJSON(t *testing.T) {
+	paths := writeTournament(t, t.TempDir(), []string{"rama", "prma"})
+
+	var out bytes.Buffer
+	if _, err := run(append([]string{"-league", "-json"}, paths...), &out); err != nil {
+		t.Fatal(err)
+	}
+	var table LeagueTable
+	if err := json.Unmarshal(out.Bytes(), &table); err != nil {
+		t.Fatalf("league output not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(table.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(table.Entries))
+	}
+	// Rows follow the input file order, not alphabetical or ranked.
+	if table.Entries[0].Label != "rama" || table.Entries[1].Label != "prma" {
+		t.Fatalf("entry order = %q, %q; want input order rama, prma",
+			table.Entries[0].Label, table.Entries[1].Label)
+	}
+	for _, e := range table.Entries {
+		if e.Utilization <= 0 {
+			t.Errorf("%s: utilization %v not extracted", e.Label, e.Utilization)
+		}
+		if len(e.Phases) == 0 {
+			t.Errorf("%s: no span phases", e.Label)
+		}
+	}
+}
+
+func TestLeagueUsageErrors(t *testing.T) {
+	if _, err := run([]string{"-league", "only-one.json"}, io.Discard); err == nil {
+		t.Fatal("one file accepted")
+	}
+	if _, err := run([]string{"-league", "/nonexistent/a.json", "/nonexistent/b.json"}, io.Discard); err == nil {
+		t.Fatal("missing files accepted")
+	}
+}

@@ -15,6 +15,15 @@
 //	osumacsim -seed 7 -cycles 200 -spans -export b.json
 //	osumacdiff a.json b.json
 //	osumacdiff -json a.json b.json | jq .identical
+//
+// With -league the tool switches from diffing to ranking: it takes two
+// or more tournament snapshots (experiments -tournament) and renders a
+// per-protocol league table of delay, fairness, deadline misses and the
+// span critical-path phase split. Same snapshots, same table, byte for
+// byte:
+//
+//	experiments -tournament -tournament-dir snaps
+//	osumacdiff -league snaps/tournament_*.json
 package main
 
 import (
@@ -72,13 +81,18 @@ func run(args []string, out io.Writer) (bool, error) {
 		asJSON = fs.Bool("json", false, "emit the verdict as JSON")
 		tol    = fs.Float64("tol", 0, "relative tolerance for float comparisons (0 = exact)")
 		limit  = fs.Int("limit", 20, "max differences to print per section in text mode (0 = all)")
+		league = fs.Bool("league", false, "render a league table over two or more tournament snapshots instead of diffing")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: osumacdiff [flags] a.json b.json")
+		fmt.Fprintln(fs.Output(), "       osumacdiff -league snap.json snap.json...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return false, err
+	}
+	if *league {
+		return runLeague(fs.Args(), *asJSON, out)
 	}
 	if fs.NArg() != 2 {
 		return false, fmt.Errorf("want exactly two snapshot files, got %d", fs.NArg())
@@ -137,6 +151,9 @@ func (c *comparer) diff(section, name string, a, b string) {
 func (c *comparer) run(a, b *obs.Export) {
 	if a.Cycle != b.Cycle {
 		c.diff("run", "cycles", strconv.Itoa(a.Cycle), strconv.Itoa(b.Cycle))
+	}
+	if a.Label != b.Label {
+		c.diff("run", "label", a.Label, b.Label)
 	}
 	c.metrics(a.Metrics, b.Metrics)
 	c.series(a.Series, b.Series)

@@ -17,7 +17,9 @@ package baseline
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"github.com/osu-netlab/osumac/internal/core"
 	"github.com/osu-netlab/osumac/internal/frame"
 	"github.com/osu-netlab/osumac/internal/phy"
 	"github.com/osu-netlab/osumac/internal/sim"
@@ -25,9 +27,15 @@ import (
 	"github.com/osu-netlab/osumac/internal/traffic"
 )
 
-// packet is one slot-sized fragment queued at a user.
+// packet is one slot-sized fragment queued at a user, tagged with its
+// parent message's identity so trace emission can report fragment
+// progress and message completion.
 type packet struct {
 	arrivalFrame int
+	msgID        int
+	frag         int // 1-based fragment index within the message
+	total        int // fragment count of the message
+	bytes        int // message size in bytes (same on every fragment)
 }
 
 // user is one subscriber's protocol-independent state.
@@ -36,6 +44,7 @@ type user struct {
 	reserved bool // PRMA: holds a periodic slot reservation
 	demand   int  // D-TDMA/RAMA/DRMA: slots booked at the base
 	backoff  int
+	nextMsg  int // per-user message ID counter for tracing
 }
 
 // Cell is the shared per-frame simulation state handed to protocols.
@@ -49,13 +58,19 @@ type Cell struct {
 
 	users []*user
 
-	// Per-run accounting.
-	delivered  int
-	collisions int
-	slotsUsed  int
-	slotsTotal int
-	delay      stats.Sample
-	perUser    []int
+	// Trace emission state (see trace.go). frameAt/frameDur/slotDur
+	// synthesize virtual time from the frame grid.
+	tracer   core.Tracer
+	seq      uint64
+	frameAt  time.Duration
+	frameDur time.Duration
+	slotDur  time.Duration
+
+	// Per-run accounting. delay samples per-fragment delay in frames
+	// (the legacy Result unit); m carries the observability bundle.
+	m       Metrics
+	delay   stats.Sample
+	perUser []int
 }
 
 // Users returns the user count.
@@ -92,8 +107,11 @@ func (c *Cell) TickBackoffs() {
 }
 
 // Deliver removes the head packet of user u as successfully transmitted
-// in one slot, consuming any booked demand.
-func (c *Cell) Deliver(u int) {
+// in data slot `slot`, consuming any booked demand. It emits the
+// fragment's lifecycle events (slot grant at slot start, fragment
+// receipt at slot end, message completion on the final fragment) and
+// records access/message delay against the synthesized clock.
+func (c *Cell) Deliver(u, slot int) {
 	us := c.users[u]
 	if len(us.queue) == 0 {
 		return
@@ -103,15 +121,32 @@ func (c *Cell) Deliver(u int) {
 	if us.demand > 0 {
 		us.demand--
 	}
-	c.delivered++
-	c.slotsUsed++
+	c.m.FragmentsDelivered++
+	c.m.SlotsUsed++
 	c.perUser[u]++
 	c.delay.Add(float64(c.Frame - pkt.arrivalFrame))
-}
 
-// Collide records a slot destroyed by collision.
-func (c *Cell) Collide() {
-	c.collisions++
+	slotStart := c.SlotStart(slot)
+	slotEnd := slotStart + c.slotDur
+	arrivalAt := time.Duration(pkt.arrivalFrame) * c.frameDur
+	if pkt.frag == 1 {
+		// First fragment on air: the access-delay sample the paper's
+		// 4-second GPS bound constrains on the OSU-MAC side.
+		access := slotStart - arrivalAt
+		c.m.AccessDelay.Add(access.Seconds())
+		if access > phy.GPSAccessDeadline {
+			c.m.DeadlineMisses++
+		}
+	}
+	c.trace(core.EventDataSlotGrant, u, slot, slotStart, "")
+	c.traceD(core.EventDataRx, u, slot, slotEnd, core.DetailDataFrag,
+		int64(pkt.msgID), int64(pkt.frag), int64(pkt.total))
+	if pkt.frag == pkt.total {
+		c.m.MessagesDelivered++
+		c.m.MessageDelay.Add((slotEnd - arrivalAt).Seconds())
+		c.traceD(core.EventMessageComplete, u, -1, slotEnd, core.DetailMsgComplete,
+			int64(pkt.msgID), int64(pkt.bytes), int64(slotEnd-arrivalAt))
+	}
 }
 
 // Protocol is one medium access control discipline.
@@ -140,6 +175,11 @@ type Config struct {
 	Seed uint64
 	// QueueCap bounds per-user backlog in fragments.
 	QueueCap int
+	// Tracer, when non-nil, receives the run's message-lifecycle events
+	// (frame starts, queue/drop, contention, grants, fragment receipts,
+	// completions) on the synthesized frame-grid clock. Tracing requires
+	// Users < frame.NoUser so user IDs fit the TraceEvent schema.
+	Tracer core.Tracer
 }
 
 // Result summarizes a baseline run.
@@ -154,6 +194,9 @@ type Result struct {
 	Generated       int
 	Dropped         int
 	Fairness        float64
+	// Metrics is the run's full observability bundle (counters plus
+	// delay/deadline samples), feeding obs.NewBaselineRegistry.
+	Metrics *Metrics
 }
 
 // Run executes a baseline scenario.
@@ -173,13 +216,20 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 128
 	}
+	if cfg.Tracer != nil && cfg.Users >= int(frame.NoUser) {
+		return nil, fmt.Errorf("baseline: tracing supports at most %d users (frame.UserID space)",
+			int(frame.NoUser)-1)
+	}
 
 	rng := sim.NewRNG(cfg.Seed).Fork("baseline:" + cfg.Protocol.Name())
 	cell := &Cell{
-		Slots:   cfg.Slots,
-		RNG:     rng.Fork("cell"),
-		users:   make([]*user, cfg.Users),
-		perUser: make([]int, cfg.Users),
+		Slots:    cfg.Slots,
+		RNG:      rng.Fork("cell"),
+		users:    make([]*user, cfg.Users),
+		perUser:  make([]int, cfg.Users),
+		tracer:   cfg.Tracer,
+		frameDur: phy.CycleLength,
+		slotDur:  phy.CycleLength / time.Duration(cfg.Slots),
 	}
 	for i := range cell.users {
 		cell.users[i] = &user{}
@@ -191,9 +241,15 @@ func Run(cfg Config) (*Result, error) {
 	msgRate := cfg.Load * float64(cfg.Slots) / fragsPerMsg // msgs per frame, all users
 	arrRNG := rng.Fork("arrivals")
 
-	generated, dropped := 0, 0
+	name := cfg.Protocol.Name()
 	for f := 0; f < cfg.Frames; f++ {
 		cell.Frame = f
+		cell.frameAt = time.Duration(f) * cell.frameDur
+		cell.m.Frames++
+		// Frame boundary announcement: Slot carries the data-slot count
+		// so span stitching can reconstruct slot intervals, Detail names
+		// the protocol.
+		cell.trace(core.EventFrameStart, -1, cfg.Slots, cell.frameAt, name)
 		// Poisson arrivals this frame (thinning by per-user assignment).
 		nArr := poisson(arrRNG, msgRate)
 		for a := 0; a < nArr; a++ {
@@ -203,16 +259,29 @@ func Run(cfg Config) (*Result, error) {
 			if frags < 1 {
 				frags = 1
 			}
-			if len(cell.users[u].queue)+frags > cfg.QueueCap {
-				dropped++
+			us := cell.users[u]
+			if len(us.queue)+frags > cfg.QueueCap {
+				cell.m.MessagesDropped++
+				cell.traceD(core.EventMessageDropped, u, -1, cell.frameAt,
+					core.DetailQueueFull, int64(size), 0, 0)
 				continue
 			}
-			generated++
+			cell.m.MessagesGenerated++
+			us.nextMsg++
+			msgID := us.nextMsg
+			cell.traceD(core.EventMessageQueued, u, -1, cell.frameAt,
+				core.DetailMsgBytes, int64(msgID), int64(size), 0)
 			for k := 0; k < frags; k++ {
-				cell.users[u].queue = append(cell.users[u].queue, packet{arrivalFrame: f})
+				us.queue = append(us.queue, packet{
+					arrivalFrame: f,
+					msgID:        msgID,
+					frag:         k + 1,
+					total:        frags,
+					bytes:        size,
+				})
 			}
 		}
-		cell.slotsTotal += cfg.Slots
+		cell.m.SlotsOffered += uint64(cfg.Slots)
 		cell.TickBackoffs()
 		cfg.Protocol.RunFrame(cell)
 	}
@@ -221,17 +290,19 @@ func Run(cfg Config) (*Result, error) {
 	for i, v := range cell.perUser {
 		perUser[i] = float64(v)
 	}
+	cell.m.FairnessIndex = stats.JainFairness(perUser)
 	return &Result{
-		Protocol:        cfg.Protocol.Name(),
+		Protocol:        name,
 		Load:            cfg.Load,
-		Throughput:      stats.Ratio(float64(cell.slotsUsed), float64(cell.slotsTotal)),
+		Throughput:      cell.m.Throughput(),
 		MeanDelayFrames: cell.delay.Mean(),
 		P95DelayFrames:  cell.delay.Percentile(95),
-		CollisionRate:   stats.Ratio(float64(cell.collisions), float64(cfg.Frames)),
-		Delivered:       cell.delivered,
-		Generated:       generated,
-		Dropped:         dropped,
-		Fairness:        stats.JainFairness(perUser),
+		CollisionRate:   cell.m.CollisionRate(),
+		Delivered:       int(cell.m.FragmentsDelivered),
+		Generated:       int(cell.m.MessagesGenerated),
+		Dropped:         int(cell.m.MessagesDropped),
+		Fairness:        cell.m.FairnessIndex,
+		Metrics:         &cell.m,
 	}, nil
 }
 

@@ -1,0 +1,82 @@
+package baseline
+
+import (
+	"github.com/osu-netlab/osumac/internal/stats"
+)
+
+// Metrics is a baseline run's observability bundle, the frame-level
+// counterpart of core.Metrics. It is accumulated unconditionally (the
+// counters are integer increments on paths that already do comparable
+// bookkeeping) and exported through obs.NewBaselineRegistry with the
+// same delay/deadline histogram bounds as the OSU-MAC registry, so
+// osumacdiff and the tournament league table can compare protocols on
+// one metric vocabulary.
+type Metrics struct {
+	// Frames counts simulated frames; SlotsOffered and SlotsUsed count
+	// the data-slot budget and the slots that carried a fragment.
+	Frames       uint64
+	SlotsOffered uint64
+	SlotsUsed    uint64
+
+	// Message lifecycle counts.
+	MessagesGenerated  uint64
+	MessagesDelivered  uint64
+	MessagesDropped    uint64
+	FragmentsDelivered uint64
+
+	// Contention accounting: reservation attempts, destroyed contention
+	// opportunities, and base-side demand bookings.
+	ContentionTx      uint64
+	Collisions        uint64
+	ReservationGrants uint64
+
+	// DeadlineMisses counts messages whose first fragment reached the
+	// air later than phy.GPSAccessDeadline after arrival — the
+	// baseline-side analogue of the paper's 4 s access-delay bound.
+	DeadlineMisses uint64
+
+	// MessageDelay samples end-to-end delay (arrival to last fragment
+	// on air) in seconds; AccessDelay samples arrival to first fragment
+	// on air, the distribution the deadline bound constrains.
+	MessageDelay stats.Sample
+	AccessDelay  stats.Sample
+
+	// FairnessIndex is Jain's index over per-user delivered fragments,
+	// set once at run end. Merge does not combine it — aggregate
+	// fairness across runs is the consumer's policy (the tournament
+	// reports the per-load mean).
+	FairnessIndex float64
+}
+
+// Throughput returns delivered slots over offered slots.
+func (m *Metrics) Throughput() float64 {
+	return stats.Ratio(float64(m.SlotsUsed), float64(m.SlotsOffered))
+}
+
+// CollisionRate returns collisions per frame.
+func (m *Metrics) CollisionRate() float64 {
+	return stats.Ratio(float64(m.Collisions), float64(m.Frames))
+}
+
+// Merge folds another run's counters and delay samples into m (the
+// tournament aggregates one bundle per protocol across the load grid).
+// FairnessIndex is left untouched; see its doc.
+func (m *Metrics) Merge(o *Metrics) {
+	m.Frames += o.Frames
+	m.SlotsOffered += o.SlotsOffered
+	m.SlotsUsed += o.SlotsUsed
+	m.MessagesGenerated += o.MessagesGenerated
+	m.MessagesDelivered += o.MessagesDelivered
+	m.MessagesDropped += o.MessagesDropped
+	m.FragmentsDelivered += o.FragmentsDelivered
+	m.ContentionTx += o.ContentionTx
+	m.Collisions += o.Collisions
+	m.ReservationGrants += o.ReservationGrants
+	m.DeadlineMisses += o.DeadlineMisses
+	for _, v := range o.MessageDelay.Values() {
+		m.MessageDelay.Add(v)
+	}
+	for _, v := range o.AccessDelay.Values() {
+		m.AccessDelay.Add(v)
+	}
+}

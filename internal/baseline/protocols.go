@@ -33,7 +33,7 @@ func (p *PRMA) RunFrame(c *Cell) {
 		own := p.owner[slot]
 		if own >= 0 {
 			if c.Queue(own) > 0 {
-				c.Deliver(own)
+				c.Deliver(own, slot)
 				continue
 			}
 			// Backlog drained: reservation released.
@@ -55,12 +55,18 @@ func (p *PRMA) RunFrame(c *Cell) {
 		case 0:
 		case 1:
 			u := contenders[0]
-			c.Deliver(u)
-			// Winner reserves the slot for subsequent frames.
+			c.ContendReservation(u, slot)
+			// Winner reserves the slot for subsequent frames: a PRMA
+			// slot capture is a one-slot-per-frame grant.
+			c.GrantReservation(u, slot, 1)
+			c.Deliver(u, slot)
 			p.owner[slot] = u
 			c.SetReserved(u, true)
 		default:
-			c.Collide()
+			for _, u := range contenders {
+				c.ContendReservation(u, slot)
+			}
+			c.Collide(slot, len(contenders))
 		}
 	}
 }
@@ -91,6 +97,7 @@ func (d *DTDMA) RunFrame(c *Cell) {
 		if c.Queue(u) > c.Demand(u) {
 			ms := c.RNG.Intn(d.ReservationSlots)
 			minislots[ms] = append(minislots[ms], u)
+			c.ContendReservation(u, -1)
 		}
 	}
 	for _, reqs := range minislots {
@@ -98,9 +105,11 @@ func (d *DTDMA) RunFrame(c *Cell) {
 		case 0:
 		case 1:
 			u := reqs[0]
-			c.AddDemand(u, c.Queue(u)-c.Demand(u))
+			n := c.Queue(u) - c.Demand(u)
+			c.AddDemand(u, n)
+			c.GrantReservation(u, -1, n)
 		default:
-			c.Collide()
+			c.Collide(-1, len(reqs))
 			// Unsuccessful users retry after a reservation
 			// retransmission backoff (paper §4).
 			for _, u := range reqs {
@@ -144,8 +153,16 @@ func (r *RAMA) RunFrame(c *Cell) {
 		if len(contenders) == 0 {
 			break
 		}
+		// Every contender transmits its ID into the auction; the
+		// deterministic bit-by-bit resolution means none of these
+		// attempts is destroyed — RAMA records zero collisions.
+		for _, u := range contenders {
+			c.ContendReservation(u, -1)
+		}
 		u := contenders[c.RNG.Intn(len(contenders))]
-		c.AddDemand(u, c.Queue(u)-c.Demand(u))
+		n := c.Queue(u) - c.Demand(u)
+		c.AddDemand(u, n)
+		c.GrantReservation(u, -1, n)
 		won[u] = true
 	}
 	serveRoundRobin(c, &r.rrCursor, c.Slots)
@@ -172,6 +189,7 @@ func (d *DRMA) RunFrame(c *Cell) {
 	used := serveRoundRobin(c, &d.rrCursor, c.Slots)
 	idle := c.Slots - used
 	for i := 0; i < idle; i++ {
+		slot := used + i // round-robin fills slots 0..used-1, so idles follow
 		var contenders []int
 		for u := 0; u < c.Users(); u++ {
 			if c.Backoff(u) > 0 || c.Queue(u) <= c.Demand(u) {
@@ -184,11 +202,20 @@ func (d *DRMA) RunFrame(c *Cell) {
 		case len(contenders) == 1 || c.RNG.Float64() < selectivity(len(contenders)):
 			u := contenders[c.RNG.Intn(len(contenders))]
 			// The reservation rides in a data packet: the slot carries
-			// payload and books the rest of the backlog.
-			c.Deliver(u)
-			c.AddDemand(u, c.Queue(u)-c.Demand(u))
+			// payload and books the rest of the backlog. Under the
+			// selectivity model exactly one station transmitted, so only
+			// the winner's attempt is observable.
+			c.ContendReservation(u, slot)
+			c.Deliver(u, slot)
+			if n := c.Queue(u) - c.Demand(u); n > 0 {
+				c.AddDemand(u, n)
+				c.GrantReservation(u, slot, n)
+			}
 		default:
-			c.Collide()
+			for _, u := range contenders {
+				c.ContendReservation(u, slot)
+			}
+			c.Collide(slot, len(contenders))
 			for _, u := range contenders {
 				if c.RNG.Bool(0.5) {
 					c.SetBackoff(u, c.RNG.UniformInt(1, 3))
@@ -224,7 +251,7 @@ func serveRoundRobin(c *Cell, cursor *int, slots int) int {
 		for k := 0; k < c.Users(); k++ {
 			u := (*cursor + k) % c.Users()
 			if c.Demand(u) > 0 && c.Queue(u) > 0 {
-				c.Deliver(u)
+				c.Deliver(u, s)
 				*cursor = (u + 1) % c.Users()
 				granted = true
 				used++
@@ -241,6 +268,18 @@ func serveRoundRobin(c *Cell, cursor *int, slots int) int {
 // All returns a fresh instance of every baseline protocol.
 func All() []Protocol {
 	return []Protocol{NewPRMA(), NewDTDMA(), NewRAMA(), NewDRMA(), NewFAMA()}
+}
+
+// ByName returns a fresh instance of the named protocol, or nil if the
+// name matches no baseline. Names are the Protocol.Name() strings
+// ("prma", "d-tdma", "rama", "drma", "fama").
+func ByName(name string) Protocol {
+	for _, p := range All() {
+		if p.Name() == name {
+			return p
+		}
+	}
+	return nil
 }
 
 // FAMA is Floor Acquisition Multiple Access (Fullmer, Garcia-Luna-Aceves
@@ -265,7 +304,7 @@ func (f *FAMA) RunFrame(c *Cell) {
 		if f.holder >= 0 {
 			if c.Queue(f.holder) > 0 {
 				// Floor held: transmit collision-free.
-				c.Deliver(f.holder)
+				c.Deliver(f.holder, slot)
 				continue
 			}
 			f.holder = -1 // backlog drained: floor released
@@ -285,11 +324,18 @@ func (f *FAMA) RunFrame(c *Cell) {
 		case 0:
 		case 1:
 			// Acquisition costs the control exchange: the slot carries
-			// the RTS/CTS, data starts next slot.
-			f.holder = contenders[0]
+			// the RTS/CTS, data starts next slot. Holding the floor is
+			// a grant for the station's whole backlog.
+			u := contenders[0]
+			c.ContendReservation(u, slot)
+			f.holder = u
+			c.GrantReservation(u, slot, c.Queue(u))
 		default:
 			// Control packets collided; the floor stays free.
-			c.Collide()
+			for _, u := range contenders {
+				c.ContendReservation(u, slot)
+			}
+			c.Collide(slot, len(contenders))
 			for _, u := range contenders {
 				c.SetBackoff(u, c.RNG.UniformInt(1, 2))
 			}

@@ -1,0 +1,108 @@
+package baseline
+
+import (
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+)
+
+// This file is the baseline protocols' trace-emission seam, mirroring
+// the discipline of core.Network.trace: every event funnels through
+// emitTrace, whose nil-tracer gate keeps the disabled path free of
+// allocations and interface calls (the hotpathalloc analyzer audits
+// Cell.trace/Cell.traceD as zero-alloc roots, and
+// BenchmarkBaselineTraceOverhead pins the attached-ring overhead).
+//
+// Baselines have no event-driven clock, so virtual time is synthesized
+// from the frame grid: frame f spans [f·phy.CycleLength,
+// (f+1)·phy.CycleLength) and its data slots divide the frame evenly.
+// Span stitching reconstructs the same intervals from the
+// EventFrameStart announcement (which carries the slot count in Slot),
+// so baseline traces tile into the six lifecycle phases exactly like
+// OSU-MAC traces do.
+
+// tracing reports whether a tracer is attached. The protocol hooks that
+// pay anything beyond integer accounting must check it (or rely on the
+// emitTrace gate) so an untraced run stays on the pure simulation path.
+func (c *Cell) tracing() bool { return c.tracer != nil }
+
+// SlotStart returns the synthesized start time of data slot s in the
+// current frame.
+func (c *Cell) SlotStart(s int) time.Duration {
+	return c.frameAt + time.Duration(s)*c.slotDur
+}
+
+// slotOrFrameAt places an event at its slot start, or at the frame
+// start for the minislot/auction phases that precede the data slots
+// (slot < 0).
+func (c *Cell) slotOrFrameAt(slot int) time.Duration {
+	if slot < 0 {
+		return c.frameAt
+	}
+	return c.SlotStart(slot)
+}
+
+// trace emits an event with a verbatim (constant or empty) detail
+// string if tracing is enabled.
+func (c *Cell) trace(kind core.EventKind, user, slot int, at time.Duration, detail string) {
+	c.emitTrace(kind, user, slot, at, detail, core.DetailVerbatim, 0, 0, 0)
+}
+
+// traceD emits an event whose detail renders lazily from dk and the
+// integer operands — the zero-allocation form matching Network.traceD.
+func (c *Cell) traceD(kind core.EventKind, user, slot int, at time.Duration, dk core.DetailKind, a0, a1, a2 int64) {
+	c.emitTrace(kind, user, slot, at, "", dk, a0, a1, a2)
+}
+
+func (c *Cell) emitTrace(kind core.EventKind, user, slot int, at time.Duration, detail string, dk core.DetailKind, a0, a1, a2 int64) {
+	if c.tracer == nil {
+		return
+	}
+	uid := frame.NoUser
+	if user >= 0 && user < int(frame.NoUser) {
+		uid = frame.UserID(user)
+	}
+	if slot < 0 {
+		// Same -1 sentinel contract as Network.emitTrace: span stitching
+		// and the JSONL schema promise Slot >= -1.
+		slot = -1
+	}
+	c.seq++
+	c.tracer.Trace(core.TraceEvent{
+		At:     at,
+		Seq:    c.seq,
+		Cycle:  c.Frame,
+		Kind:   kind,
+		User:   uid,
+		Slot:   slot,
+		Detail: detail,
+		DK:     dk,
+		Arg0:   a0,
+		Arg1:   a1,
+		Arg2:   a2,
+	})
+}
+
+// ContendReservation records user u transmitting a reservation attempt
+// in the contention opportunity at data slot `slot`, or in the frame's
+// reservation minislot/auction phase when slot is -1.
+func (c *Cell) ContendReservation(u, slot int) {
+	c.m.ContentionTx++
+	c.trace(core.EventContentionTx, u, slot, c.slotOrFrameAt(slot), frame.TypeReservation.String())
+}
+
+// GrantReservation records the base station booking n slots of demand
+// for user u — a PRMA slot capture, a D-TDMA/RAMA booking, a DRMA
+// piggybacked reservation, or a FAMA floor acquisition.
+func (c *Cell) GrantReservation(u, slot, n int) {
+	c.m.ReservationGrants++
+	c.traceD(core.EventReservationGrant, u, slot, c.slotOrFrameAt(slot), core.DetailSlots, int64(n), 0, 0)
+}
+
+// Collide records a contention opportunity destroyed by a collision
+// among n stations (slot -1 for minislot/auction phases).
+func (c *Cell) Collide(slot, n int) {
+	c.m.Collisions++
+	c.traceD(core.EventCollision, -1, slot, c.slotOrFrameAt(slot), core.DetailCollision, int64(n), 0, 0)
+}

@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/phy"
+)
+
+// TestTraceEmitsProtocolTaggedLifecycle is the emission contract: every
+// baseline protocol's event stream opens each frame with a
+// protocol-tagged frame-start, keeps Seq strictly monotonic, and the
+// per-kind event counts agree exactly with the run's metric bundle.
+func TestTraceEmitsProtocolTaggedLifecycle(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			buf := &core.TraceBuffer{Cap: 1 << 20}
+			res, err := Run(Config{
+				Protocol: p, Users: 10, Frames: 300, Load: 0.7, Seed: 11, Tracer: buf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if buf.Dropped() != 0 {
+				t.Fatalf("buffer dropped %d events; grow Cap", buf.Dropped())
+			}
+			events := buf.Events()
+			if len(events) == 0 {
+				t.Fatal("no events emitted")
+			}
+			first := events[0]
+			if first.Kind != core.EventFrameStart || first.Detail != p.Name() || first.Slot != phy.Format1DataSlots {
+				t.Fatalf("first event = %+v, want protocol-tagged frame-start with %d slots",
+					first, phy.Format1DataSlots)
+			}
+			counts := map[core.EventKind]int{}
+			var lastSeq uint64
+			for i, e := range events {
+				if i > 0 && e.Seq <= lastSeq {
+					t.Fatalf("event %d: Seq %d not strictly increasing after %d", i, e.Seq, lastSeq)
+				}
+				lastSeq = e.Seq
+				if e.At < 0 || e.Cycle < 0 || e.Slot < -1 {
+					t.Fatalf("malformed event %+v", e)
+				}
+				counts[e.Kind]++
+			}
+			m := res.Metrics
+			for _, c := range []struct {
+				kind core.EventKind
+				want uint64
+			}{
+				{core.EventFrameStart, m.Frames},
+				{core.EventMessageQueued, m.MessagesGenerated},
+				{core.EventMessageDropped, m.MessagesDropped},
+				{core.EventMessageComplete, m.MessagesDelivered},
+				{core.EventDataRx, m.FragmentsDelivered},
+				{core.EventDataSlotGrant, m.FragmentsDelivered},
+				{core.EventContentionTx, m.ContentionTx},
+				{core.EventCollision, m.Collisions},
+				{core.EventReservationGrant, m.ReservationGrants},
+			} {
+				if uint64(counts[c.kind]) != c.want {
+					t.Errorf("%v events = %d, metrics say %d", c.kind, counts[c.kind], c.want)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceSynthesizedClockOnSlotGrid checks the virtual timestamps:
+// frame-starts land on the frame grid and every fragment's grant/rx
+// pair brackets exactly one slot interval inside its frame.
+func TestTraceSynthesizedClockOnSlotGrid(t *testing.T) {
+	buf := &core.TraceBuffer{Cap: 1 << 20}
+	if _, err := Run(Config{
+		Protocol: NewPRMA(), Users: 10, Frames: 200, Load: 0.6, Seed: 4, Tracer: buf,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	slotDur := phy.CycleLength / time.Duration(phy.Format1DataSlots)
+	var frameAt time.Duration
+	grantAt := map[int]time.Duration{} // slot -> last grant time
+	for _, e := range buf.Events() {
+		switch e.Kind {
+		case core.EventFrameStart:
+			if want := time.Duration(e.Cycle) * phy.CycleLength; e.At != want {
+				t.Fatalf("frame %d starts at %v, want %v", e.Cycle, e.At, want)
+			}
+			frameAt = e.At
+		case core.EventDataSlotGrant:
+			if want := frameAt + time.Duration(e.Slot)*slotDur; e.At != want {
+				t.Fatalf("grant in slot %d at %v, want slot start %v", e.Slot, e.At, want)
+			}
+			grantAt[e.Slot] = e.At
+		case core.EventDataRx:
+			if want := grantAt[e.Slot] + slotDur; e.At != want {
+				t.Fatalf("data-rx in slot %d at %v, want slot end %v", e.Slot, e.At, want)
+			}
+		}
+	}
+}
+
+// TestTracedRunResultUnchanged proves emission is pure observation: the
+// same config with and without a tracer yields the identical Result.
+func TestTracedRunResultUnchanged(t *testing.T) {
+	for _, p := range All() {
+		name := p.Name()
+		cfg := Config{Protocol: ByName(name), Users: 10, Frames: 400, Load: 0.8, Seed: 17}
+		plain, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Protocol = ByName(name) // fresh protocol state
+		cfg.Tracer = &core.TraceBuffer{Cap: 1 << 20}
+		traced, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := *plain, *traced
+		a.Metrics, b.Metrics = nil, nil
+		if a != b {
+			t.Errorf("%s: traced run result %+v differs from untraced %+v", name, b, a)
+		}
+	}
+}
+
+// TestTraceNilTracerZeroAlloc pins the gated fast path: with no tracer
+// attached the emission helpers must not allocate (matching the
+// hotpathalloc lint roots for Cell.trace/traceD).
+func TestTraceNilTracerZeroAlloc(t *testing.T) {
+	c := &Cell{
+		Slots:    phy.Format1DataSlots,
+		frameDur: phy.CycleLength,
+		slotDur:  phy.CycleLength / time.Duration(phy.Format1DataSlots),
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		c.trace(core.EventFrameStart, -1, c.Slots, c.frameAt, "prma")
+		c.traceD(core.EventDataRx, 3, 2, c.frameAt, core.DetailDataFrag, 1, 1, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer emission allocates %.1f/op, want 0", allocs)
+	}
+}

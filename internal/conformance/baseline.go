@@ -1,0 +1,296 @@
+package conformance
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+)
+
+// Baseline invariant names, as reported in Violation.Invariant.
+const (
+	// InvBaselineSlotDisjoint: within one baseline frame no data slot
+	// carries two fragments, and every slot index stays inside the
+	// frame's announced data-slot count.
+	InvBaselineSlotDisjoint = "baseline-slot-disjoint"
+	// InvBaselineLifecycle: fragments of a message arrive in order
+	// (1..total) for a previously queued message, and message-complete
+	// fires only after the final fragment.
+	InvBaselineLifecycle = "baseline-lifecycle"
+	// InvRAMACollisionFree: RAMA's deterministic ID auction never
+	// collides — any collision event in a RAMA run is a breach (the
+	// paper's §4 claim for resource auction multiple access).
+	InvRAMACollisionFree = "rama-collision-free"
+	// InvPRMAReservedOnce: a PRMA reservation is one slot per frame — no
+	// user is granted two data slots within a frame.
+	InvPRMAReservedOnce = "prma-reserved-once"
+	// InvDTDMADataCollisionFree: D-TDMA contention lives entirely in the
+	// reservation minislots; a collision attributed to a data slot
+	// (Slot >= 0) breaks the schedule's collision-freedom.
+	InvDTDMADataCollisionFree = "d-tdma-data-collision-free"
+)
+
+// baselineIgnored lists the event kinds the baseline checker passes
+// through unexamined: contention attempts and grants are bookkeeping
+// for span stitching, drops happen before a message enters the traced
+// lifecycle, and the remaining kinds are OSU-MAC-only and never appear
+// in a baseline stream.
+var baselineIgnored = [...]core.EventKind{
+	core.EventContentionTx,
+	core.EventReservationGrant,
+	core.EventMessageDropped,
+}
+
+// baselineMsg tracks one queued message's fragment progress.
+type baselineMsg struct {
+	total    int // fragment count, -1 until the first fragment names it
+	nextFrag int // 1-based index the next fragment must carry
+}
+
+// BaselineChecker verifies the per-protocol invariants of a baseline
+// run (internal/baseline) over its trace-event stream. Like Checker it
+// is a core.Tracer: attach it as (or chain it in front of) the run's
+// tracer from the start of the run — fragment lifecycle checks assume
+// the stream contains each message's queue event.
+//
+// Only Options.MaxViolations and Options.OnViolation apply; the
+// OSU-MAC-specific toggles are ignored. Protocol-specific invariants
+// (RAMA collision-freedom, PRMA one-slot-per-frame, D-TDMA data-slot
+// collision-freedom) arm themselves from the protocol name carried in
+// the frame-start events.
+type BaselineChecker struct {
+	// Next, when non-nil, receives every event after the checker.
+	Next core.Tracer
+
+	opts  Options
+	proto string
+
+	frames int
+	events int
+
+	violations []Violation
+	truncated  int
+
+	// Per-frame state, reset at each frame-start event.
+	open     bool
+	frame    int
+	slots    int
+	slotUser []frame.UserID // granted fragment carrier per slot, NoUser when free
+	grants   [int(frame.NoUser) + 1]uint8
+
+	msgs map[frame.UserID]map[int]*baselineMsg
+}
+
+var _ core.Tracer = (*BaselineChecker)(nil)
+
+// NewBaseline builds a baseline checker for the given option set.
+func NewBaseline(opts Options) *BaselineChecker {
+	if opts.MaxViolations <= 0 {
+		opts.MaxViolations = 256
+	}
+	return &BaselineChecker{
+		opts: opts,
+		msgs: make(map[frame.UserID]map[int]*baselineMsg),
+	}
+}
+
+// Trace implements core.Tracer: it verifies the event, then forwards it
+// to Next.
+func (c *BaselineChecker) Trace(e core.TraceEvent) {
+	c.consume(e)
+	if c.Next != nil {
+		c.Next.Trace(e)
+	}
+}
+
+func (c *BaselineChecker) consume(e core.TraceEvent) {
+	c.events++
+	switch e.Kind {
+	case core.EventFrameStart:
+		c.frames++
+		c.open = true
+		c.frame = e.Cycle
+		c.slots = e.Slot
+		if e.Detail != "" {
+			c.proto = e.Detail
+		}
+		if cap(c.slotUser) < c.slots {
+			c.slotUser = make([]frame.UserID, c.slots)
+		}
+		c.slotUser = c.slotUser[:c.slots]
+		for i := range c.slotUser {
+			c.slotUser[i] = frame.NoUser
+		}
+		for i := range c.grants {
+			c.grants[i] = 0
+		}
+	case core.EventMessageQueued:
+		msgID, ok := msgDetail(e)
+		if !ok {
+			return
+		}
+		byUser := c.msgs[e.User]
+		if byUser == nil {
+			byUser = make(map[int]*baselineMsg)
+			c.msgs[e.User] = byUser
+		}
+		byUser[msgID] = &baselineMsg{total: -1, nextFrag: 1}
+	case core.EventDataSlotGrant:
+		c.onGrant(e)
+	case core.EventDataRx:
+		c.onFragment(e)
+	case core.EventMessageComplete:
+		msgID, ok := msgDetail(e)
+		if !ok {
+			return
+		}
+		m := c.msgs[e.User][msgID]
+		switch {
+		case m == nil:
+			c.violate(Violation{
+				Invariant: InvBaselineLifecycle, Cycle: e.Cycle, At: e.At, User: e.User, Slot: e.Slot,
+				Detail: fmt.Sprintf("msg %d completed but never queued", msgID),
+			})
+		case m.total < 0 || m.nextFrag <= m.total:
+			c.violate(Violation{
+				Invariant: InvBaselineLifecycle, Cycle: e.Cycle, At: e.At, User: e.User, Slot: e.Slot,
+				Detail: fmt.Sprintf("msg %d completed with fragments missing (next=%d total=%d)",
+					msgID, m.nextFrag, m.total),
+			})
+		}
+		delete(c.msgs[e.User], msgID)
+	case core.EventCollision:
+		if c.proto == "rama" {
+			c.violate(Violation{
+				Invariant: InvRAMACollisionFree, Cycle: e.Cycle, At: e.At, User: e.User, Slot: e.Slot,
+				Detail: "collision in a rama run (auction must be deterministic)",
+			})
+		}
+		if c.proto == "d-tdma" && e.Slot >= 0 {
+			c.violate(Violation{
+				Invariant: InvDTDMADataCollisionFree, Cycle: e.Cycle, At: e.At, User: e.User, Slot: e.Slot,
+				Detail: "collision in a scheduled d-tdma data slot",
+			})
+		}
+	}
+}
+
+func (c *BaselineChecker) onGrant(e core.TraceEvent) {
+	if !c.open {
+		return
+	}
+	if e.Slot < 0 || e.Slot >= c.slots {
+		c.violate(Violation{
+			Invariant: InvBaselineSlotDisjoint, Cycle: c.frame, At: e.At, User: e.User, Slot: e.Slot,
+			Detail: fmt.Sprintf("data grant outside the frame's %d slots", c.slots),
+		})
+		return
+	}
+	if prev := c.slotUser[e.Slot]; prev != frame.NoUser {
+		c.violate(Violation{
+			Invariant: InvBaselineSlotDisjoint, Cycle: c.frame, At: e.At, User: e.User, Slot: e.Slot,
+			Detail: fmt.Sprintf("data slot granted twice (already held by u%d)", prev),
+		})
+		return
+	}
+	c.slotUser[e.Slot] = e.User
+	if e.User != frame.NoUser {
+		c.grants[e.User]++
+		if c.proto == "prma" && c.grants[e.User] > 1 {
+			c.violate(Violation{
+				Invariant: InvPRMAReservedOnce, Cycle: c.frame, At: e.At, User: e.User, Slot: e.Slot,
+				Detail: fmt.Sprintf("user granted %d data slots this frame (reservation is one slot/frame)",
+					c.grants[e.User]),
+			})
+		}
+	}
+}
+
+func (c *BaselineChecker) onFragment(e core.TraceEvent) {
+	msgID, frag, total, ok := fragDetail(e)
+	if !ok {
+		return
+	}
+	m := c.msgs[e.User][msgID]
+	if m == nil {
+		c.violate(Violation{
+			Invariant: InvBaselineLifecycle, Cycle: e.Cycle, At: e.At, User: e.User, Slot: e.Slot,
+			Detail: fmt.Sprintf("fragment %d/%d of msg %d received but the message was never queued",
+				frag, total, msgID),
+		})
+		return
+	}
+	if m.total < 0 {
+		m.total = total
+	}
+	if total != m.total || frag != m.nextFrag {
+		c.violate(Violation{
+			Invariant: InvBaselineLifecycle, Cycle: e.Cycle, At: e.At, User: e.User, Slot: e.Slot,
+			Detail: fmt.Sprintf("msg %d fragment out of order: got %d/%d, want %d/%d",
+				msgID, frag, total, m.nextFrag, m.total),
+		})
+		return
+	}
+	m.nextFrag++
+}
+
+func (c *BaselineChecker) violate(v Violation) {
+	if c.opts.OnViolation != nil {
+		c.opts.OnViolation(v)
+	}
+	if len(c.violations) >= c.opts.MaxViolations {
+		c.truncated++
+		return
+	}
+	c.violations = append(c.violations, v)
+}
+
+// Finish builds the report. Cycles counts baseline frames.
+func (c *BaselineChecker) Finish() *Report {
+	rep := &Report{
+		Cycles:     c.frames,
+		Events:     c.events,
+		Violations: append([]Violation(nil), c.violations...),
+		Truncated:  c.truncated,
+		Checked:    []string{InvBaselineSlotDisjoint, InvBaselineLifecycle},
+	}
+	switch c.proto {
+	case "prma":
+		rep.Checked = append(rep.Checked, InvPRMAReservedOnce)
+	case "rama":
+		rep.Checked = append(rep.Checked, InvRAMACollisionFree)
+	case "d-tdma":
+		rep.Checked = append(rep.Checked, InvDTDMADataCollisionFree)
+	}
+	sort.Strings(rep.Checked)
+	return rep
+}
+
+// msgDetail extracts the message ID from a message-queued or
+// message-complete event, handling both raw (lazy detail-kind) and
+// materialized streams.
+func msgDetail(e core.TraceEvent) (msgID int, ok bool) {
+	switch e.DK {
+	case core.DetailMsgBytes, core.DetailMsgComplete:
+		return int(e.Arg0), true
+	}
+	var m int
+	if _, err := fmt.Sscanf(e.Detail, "msg=%d", &m); err != nil {
+		return 0, false
+	}
+	return m, true
+}
+
+// fragDetail extracts (msg, frag, total) from a data-receipt event,
+// handling both raw and materialized streams.
+func fragDetail(e core.TraceEvent) (msgID, frag, total int, ok bool) {
+	if e.DK == core.DetailDataFrag {
+		return int(e.Arg0), int(e.Arg1), int(e.Arg2), true
+	}
+	var m, f, t int
+	if _, err := fmt.Sscanf(e.Detail, "msg=%d frag=%d/%d", &m, &f, &t); err != nil {
+		return 0, 0, 0, false
+	}
+	return m, f, t, true
+}

@@ -1,0 +1,162 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/baseline"
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+)
+
+// TestBaselineProtocolsConform runs every baseline protocol with the
+// baseline checker chained in front of a buffer and asserts a clean
+// report: slot disjointness, ordered fragment lifecycles, and the
+// protocol-specific claims (RAMA collision-free, PRMA one slot per
+// frame) all hold on the real emission paths.
+func TestBaselineProtocolsConform(t *testing.T) {
+	for _, p := range baseline.All() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			buf := &core.TraceBuffer{Cap: 1 << 20}
+			chk := NewBaseline(Options{})
+			chk.Next = buf
+			res, err := baseline.Run(baseline.Config{
+				Protocol: p,
+				Users:    12,
+				Frames:   400,
+				Load:     0.7,
+				Seed:     42,
+				Tracer:   chk,
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			rep := chk.Finish()
+			if !rep.OK() {
+				for _, v := range rep.Violations {
+					t.Errorf("violation: %s", v)
+				}
+			}
+			if rep.Cycles != 400 {
+				t.Errorf("checker saw %d frames, want 400", rep.Cycles)
+			}
+			if res.Delivered > 0 && rep.Events == 0 {
+				t.Errorf("delivered %d fragments but no events reached the checker", res.Delivered)
+			}
+			if len(buf.Events()) != rep.Events {
+				t.Errorf("checker forwarded %d events, buffer holds %d", rep.Events, len(buf.Events()))
+			}
+		})
+	}
+}
+
+// TestBaselineCheckerCheckedList asserts the protocol-specific
+// invariant arms itself from the frame-start protocol tag.
+func TestBaselineCheckerCheckedList(t *testing.T) {
+	cases := []struct {
+		proto string
+		want  string
+	}{
+		{"prma", InvPRMAReservedOnce},
+		{"rama", InvRAMACollisionFree},
+		{"d-tdma", InvDTDMADataCollisionFree},
+	}
+	for _, tc := range cases {
+		chk := NewBaseline(Options{})
+		chk.Trace(core.TraceEvent{Kind: core.EventFrameStart, Slot: 8, User: frame.NoUser, Detail: tc.proto})
+		rep := chk.Finish()
+		found := false
+		for _, name := range rep.Checked {
+			if name == tc.want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: Checked = %v, want it to include %s", tc.proto, rep.Checked, tc.want)
+		}
+	}
+}
+
+// TestBaselineCheckerViolations feeds synthetic breaches and asserts
+// each invariant fires.
+func TestBaselineCheckerViolations(t *testing.T) {
+	u := frame.UserID(3)
+	frameStart := func(proto string) core.TraceEvent {
+		return core.TraceEvent{Kind: core.EventFrameStart, Cycle: 0, Slot: 8, User: frame.NoUser, Detail: proto}
+	}
+
+	t.Run("slot-granted-twice", func(t *testing.T) {
+		chk := NewBaseline(Options{})
+		chk.Trace(frameStart("drma"))
+		chk.Trace(core.TraceEvent{Kind: core.EventDataSlotGrant, User: u, Slot: 2})
+		chk.Trace(core.TraceEvent{Kind: core.EventDataSlotGrant, User: 4, Slot: 2})
+		wantViolation(t, chk.Finish(), InvBaselineSlotDisjoint)
+	})
+	t.Run("slot-out-of-range", func(t *testing.T) {
+		chk := NewBaseline(Options{})
+		chk.Trace(frameStart("drma"))
+		chk.Trace(core.TraceEvent{Kind: core.EventDataSlotGrant, User: u, Slot: 8})
+		wantViolation(t, chk.Finish(), InvBaselineSlotDisjoint)
+	})
+	t.Run("fragment-out-of-order", func(t *testing.T) {
+		chk := NewBaseline(Options{})
+		chk.Trace(frameStart("drma"))
+		chk.Trace(core.TraceEvent{Kind: core.EventMessageQueued, User: u,
+			DK: core.DetailMsgBytes, Arg0: 1, Arg1: 300})
+		chk.Trace(core.TraceEvent{Kind: core.EventDataRx, User: u, Slot: 0,
+			DK: core.DetailDataFrag, Arg0: 1, Arg1: 2, Arg2: 2})
+		wantViolation(t, chk.Finish(), InvBaselineLifecycle)
+	})
+	t.Run("complete-before-final-fragment", func(t *testing.T) {
+		chk := NewBaseline(Options{})
+		chk.Trace(frameStart("drma"))
+		chk.Trace(core.TraceEvent{Kind: core.EventMessageQueued, User: u,
+			DK: core.DetailMsgBytes, Arg0: 1, Arg1: 300})
+		chk.Trace(core.TraceEvent{Kind: core.EventDataRx, User: u, Slot: 0,
+			DK: core.DetailDataFrag, Arg0: 1, Arg1: 1, Arg2: 2})
+		chk.Trace(core.TraceEvent{Kind: core.EventMessageComplete, User: u,
+			DK: core.DetailMsgComplete, Arg0: 1, Arg1: 300, Arg2: int64(time.Second)})
+		wantViolation(t, chk.Finish(), InvBaselineLifecycle)
+	})
+	t.Run("rama-collision", func(t *testing.T) {
+		chk := NewBaseline(Options{})
+		chk.Trace(frameStart("rama"))
+		chk.Trace(core.TraceEvent{Kind: core.EventCollision, User: frame.NoUser, Slot: -1,
+			DK: core.DetailCollision, Arg0: 2})
+		wantViolation(t, chk.Finish(), InvRAMACollisionFree)
+	})
+	t.Run("prma-double-grant", func(t *testing.T) {
+		chk := NewBaseline(Options{})
+		chk.Trace(frameStart("prma"))
+		chk.Trace(core.TraceEvent{Kind: core.EventDataSlotGrant, User: u, Slot: 0})
+		chk.Trace(core.TraceEvent{Kind: core.EventDataSlotGrant, User: u, Slot: 5})
+		wantViolation(t, chk.Finish(), InvPRMAReservedOnce)
+	})
+	t.Run("dtdma-data-collision", func(t *testing.T) {
+		chk := NewBaseline(Options{})
+		chk.Trace(frameStart("d-tdma"))
+		chk.Trace(core.TraceEvent{Kind: core.EventCollision, User: frame.NoUser, Slot: 4,
+			DK: core.DetailCollision, Arg0: 3})
+		wantViolation(t, chk.Finish(), InvDTDMADataCollisionFree)
+	})
+	t.Run("dtdma-minislot-collision-ok", func(t *testing.T) {
+		chk := NewBaseline(Options{})
+		chk.Trace(frameStart("d-tdma"))
+		chk.Trace(core.TraceEvent{Kind: core.EventCollision, User: frame.NoUser, Slot: -1,
+			DK: core.DetailCollision, Arg0: 3})
+		if rep := chk.Finish(); !rep.OK() {
+			t.Errorf("minislot collision must not violate: %v", rep.Violations)
+		}
+	})
+}
+
+func wantViolation(t *testing.T, rep *Report, invariant string) {
+	t.Helper()
+	for _, v := range rep.Violations {
+		if v.Invariant == invariant {
+			return
+		}
+	}
+	t.Errorf("no %s violation reported; got %v", invariant, rep.Violations)
+}

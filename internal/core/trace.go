@@ -42,10 +42,22 @@ const (
 	EventForwardSlotGrant
 	EventGPSAdmitted
 	EventGPSLeft
+	// EventFrameStart marks a baseline-protocol frame boundary (the
+	// frame-level analogue of EventCycleStart): At is the frame start,
+	// Slot carries the frame's data-slot count so span stitching can
+	// reconstruct slot intervals, and Detail names the protocol
+	// ("prma", "d-tdma", "rama", "drma", "fama").
+	EventFrameStart
+	// EventReservationGrant records the base station booking demand for
+	// a user — a PRMA slot capture, a D-TDMA/RAMA booking, a DRMA
+	// piggybacked reservation, or a FAMA floor acquisition. It is the
+	// baseline-side counterpart of EventReservationRx: span stitching
+	// treats it as the instant the base learned the user's demand.
+	EventReservationGrant
 )
 
 // eventKindCount is one past the highest defined EventKind.
-const eventKindCount = int(EventGPSLeft) + 1
+const eventKindCount = int(EventReservationGrant) + 1
 
 // String implements fmt.Stringer.
 func (k EventKind) String() string {
@@ -102,6 +114,10 @@ func (k EventKind) String() string {
 		return "gps-admitted"
 	case EventGPSLeft:
 		return "gps-left"
+	case EventFrameStart:
+		return "frame-start"
+	case EventReservationGrant:
+		return "reservation-grant"
 	default:
 		//lint:ignore hotpathalloc default branch is unreachable for defined kinds; only malformed traces pay for it
 		return fmt.Sprintf("EventKind(%d)", int(k))

@@ -238,6 +238,40 @@ func TestEventKindTextRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBaselineEventKindNames pins the canonical names of the kinds the
+// baseline emission paths use. The JSONL schema, osumactrace's -kinds
+// filter, and the span stitcher's frame reconstruction all key on these
+// exact strings, so a rename is a breaking change this table catches.
+func TestBaselineEventKindNames(t *testing.T) {
+	cases := []struct {
+		k    EventKind
+		want string
+	}{
+		{EventFrameStart, "frame-start"},
+		{EventReservationGrant, "reservation-grant"},
+		{EventContentionTx, "contention-tx"},
+		{EventCollision, "collision"},
+		{EventMessageQueued, "message-queued"},
+		{EventMessageDropped, "message-dropped"},
+		{EventDataSlotGrant, "data-slot-grant"},
+		{EventDataRx, "data-rx"},
+		{EventMessageComplete, "message-complete"},
+	}
+	for _, tc := range cases {
+		if got := tc.k.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", int(tc.k), got, tc.want)
+		}
+		text, err := tc.k.MarshalText()
+		if err != nil || string(text) != tc.want {
+			t.Errorf("MarshalText(%v) = %q, %v, want %q", tc.k, text, err, tc.want)
+		}
+		var back EventKind
+		if err := back.UnmarshalText([]byte(tc.want)); err != nil || back != tc.k {
+			t.Errorf("UnmarshalText(%q) = %v, %v, want %v", tc.want, back, err, tc.k)
+		}
+	}
+}
+
 func TestTraceScheduleGrantEvents(t *testing.T) {
 	buf := &TraceBuffer{}
 	n := newTestNetwork(t, func(c *Config) {

@@ -1,0 +1,75 @@
+package flight
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/osu-netlab/osumac/internal/baseline"
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/span"
+)
+
+// TestSampledBaselineStitchMatchesFullStitch extends the head-sampling
+// contract to baseline runs: frame-start events carry no user and pass
+// the sampler, so a sampled user's stitched span trees must be exactly
+// the trees the full stream yields for that user — for every protocol,
+// not just the OSU-MAC stack.
+func TestSampledBaselineStitchMatchesFullStitch(t *testing.T) {
+	const seed, rate = 3, 2
+	runCell := func(t *testing.T, proto string, tracer core.Tracer) {
+		t.Helper()
+		if _, err := baseline.Run(baseline.Config{
+			Protocol: baseline.ByName(proto),
+			Users:    12,
+			Frames:   300,
+			Load:     0.7,
+			Seed:     21,
+			Tracer:   tracer,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, proto := range []string{"prma", "drma"} {
+		t.Run(proto, func(t *testing.T) {
+			full := &core.TraceBuffer{Cap: 1 << 20}
+			runCell(t, proto, full)
+			fullSet := span.Stitch(full.Events())
+			if len(fullSet.Traces) == 0 {
+				t.Fatal("full run stitched no traces")
+			}
+
+			sampled := &core.TraceBuffer{Cap: 1 << 20}
+			runCell(t, proto, NewSampledTracer(sampled, seed, rate))
+			sampledSet := span.Stitch(sampled.Events())
+
+			anySampled := false
+			for u := frame.UserID(0); u < 63; u++ {
+				want := fullSet.ByUser(u)
+				got := sampledSet.ByUser(u)
+				if !SampledUser(seed, u, rate) {
+					if len(got) != 0 {
+						t.Fatalf("unsampled user %d has %d traces in the sampled run", u, len(got))
+					}
+					continue
+				}
+				if len(want) > 0 {
+					anySampled = true
+				}
+				if len(got) != len(want) {
+					t.Fatalf("sampled user %d: %d traces, full run has %d", u, len(got), len(want))
+				}
+				for i := range want {
+					wj, _ := json.Marshal(want[i])
+					gj, _ := json.Marshal(got[i])
+					if string(wj) != string(gj) {
+						t.Fatalf("sampled user %d trace %d differs:\n got %s\nwant %s", u, i, gj, wj)
+					}
+				}
+			}
+			if !anySampled {
+				t.Fatal("no sampled user had traces — test proves nothing; change seed/rate")
+			}
+		})
+	}
+}

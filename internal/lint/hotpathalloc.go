@@ -50,6 +50,8 @@ var hotRoots = []hotRoot{
 	{"internal/flight", "SampledTracer", "Trace"},
 	{"internal/obs", "JSONLSink", "Trace"},
 	{"internal/obs", "KindMask", "Has"},
+	{"internal/baseline", "Cell", "trace"},
+	{"internal/baseline", "Cell", "traceD"},
 }
 
 // fmtAllocFuncs are the fmt formatters that always allocate their

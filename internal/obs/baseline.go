@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"github.com/osu-netlab/osumac/internal/baseline"
+	"github.com/osu-netlab/osumac/internal/stats"
+)
+
+// Baseline metric descriptors. The delay histograms deliberately reuse
+// messageDelayBounds and gpsAccessDelayBounds, so a baseline snapshot
+// and an OSU-MAC snapshot bin the same distributions over the same
+// bucket edges — the league table compares like with like.
+
+type baselineCounterDesc struct {
+	name, help string
+	get        func(*baseline.Metrics) uint64
+}
+
+type baselineGaugeDesc struct {
+	name, help string
+	get        func(*baseline.Metrics) float64
+}
+
+type baselineHistDesc struct {
+	name, help string
+	bounds     []float64
+	sample     func(*baseline.Metrics) *stats.Sample
+}
+
+var baselineCounterDescs = []baselineCounterDesc{
+	{"osumac_baseline_frames_total", "simulated baseline frames", func(m *baseline.Metrics) uint64 { return m.Frames }},
+	{"osumac_baseline_slots_offered_total", "data slots offered across frames", func(m *baseline.Metrics) uint64 { return m.SlotsOffered }},
+	{"osumac_baseline_slots_used_total", "data slots that carried a fragment", func(m *baseline.Metrics) uint64 { return m.SlotsUsed }},
+	{"osumac_baseline_messages_generated_total", "application messages generated", func(m *baseline.Metrics) uint64 { return m.MessagesGenerated }},
+	{"osumac_baseline_messages_delivered_total", "application messages fully delivered", func(m *baseline.Metrics) uint64 { return m.MessagesDelivered }},
+	{"osumac_baseline_messages_dropped_total", "messages dropped on queue overflow", func(m *baseline.Metrics) uint64 { return m.MessagesDropped }},
+	{"osumac_baseline_fragments_delivered_total", "slot-sized fragments delivered", func(m *baseline.Metrics) uint64 { return m.FragmentsDelivered }},
+	{"osumac_baseline_contention_tx_total", "reservation attempts transmitted", func(m *baseline.Metrics) uint64 { return m.ContentionTx }},
+	{"osumac_baseline_collisions_total", "contention opportunities destroyed by collision", func(m *baseline.Metrics) uint64 { return m.Collisions }},
+	{"osumac_baseline_reservation_grants_total", "base-side demand bookings", func(m *baseline.Metrics) uint64 { return m.ReservationGrants }},
+	{"osumac_baseline_deadline_misses_total", "messages whose first fragment aired past the 4 s access deadline", func(m *baseline.Metrics) uint64 { return m.DeadlineMisses }},
+}
+
+var baselineGaugeDescs = []baselineGaugeDesc{
+	{"osumac_baseline_utilization", "fraction of offered data slots carrying a fragment", (*baseline.Metrics).Throughput},
+	{"osumac_baseline_collision_rate", "collisions per frame", (*baseline.Metrics).CollisionRate},
+	{"osumac_baseline_fairness", "Jain's index over per-user delivered fragments", func(m *baseline.Metrics) float64 { return m.FairnessIndex }},
+	{"osumac_baseline_deadline_miss_ratio", "deadline misses over messages that reached the air", func(m *baseline.Metrics) float64 {
+		return stats.Ratio(float64(m.DeadlineMisses), float64(m.AccessDelay.Count()))
+	}},
+}
+
+var baselineHistDescs = []baselineHistDesc{
+	{"osumac_baseline_message_delay_seconds", "end-to-end message delay, arrival to last fragment",
+		messageDelayBounds, func(m *baseline.Metrics) *stats.Sample { return &m.MessageDelay }},
+	{"osumac_baseline_access_delay_seconds", "message arrival-to-first-fragment delay; deadline is 4 s",
+		gpsAccessDelayBounds, func(m *baseline.Metrics) *stats.Sample { return &m.AccessDelay }},
+}
+
+// NewBaselineRegistry wraps a baseline run's metric bundle. label names
+// the protocol ("prma", "rama", ...) and is stamped into every Export
+// so osumacdiff's league table can identify snapshots.
+func NewBaselineRegistry(label string, m *baseline.Metrics) *Registry {
+	return &Registry{b: m, label: label}
+}
+
+func (r *Registry) gatherBaseline() []Metric {
+	out := make([]Metric, 0, len(baselineCounterDescs)+len(baselineGaugeDescs)+len(baselineHistDescs)+len(r.extras))
+	for _, d := range baselineCounterDescs {
+		out = append(out, Metric{Name: d.name, Help: d.help, Kind: KindCounter, Value: float64(d.get(r.b))})
+	}
+	for _, d := range baselineGaugeDescs {
+		out = append(out, Metric{Name: d.name, Help: d.help, Kind: KindGauge, Value: d.get(r.b)})
+	}
+	for _, d := range baselineHistDescs {
+		out = append(out, Metric{Name: d.name, Help: d.help, Kind: KindHistogram,
+			Hist: snapshotHistogram(d.sample(r.b), d.bounds)})
+	}
+	for _, d := range r.extras {
+		out = append(out, Metric{Name: d.name, Help: d.help, Kind: KindGauge, Value: d.get()})
+	}
+	return out
+}

@@ -18,6 +18,7 @@ import (
 	"math"
 	"strconv"
 
+	"github.com/osu-netlab/osumac/internal/baseline"
 	"github.com/osu-netlab/osumac/internal/core"
 	"github.com/osu-netlab/osumac/internal/phy"
 	"github.com/osu-netlab/osumac/internal/stats"
@@ -125,12 +126,17 @@ func (h *HistogramSnapshot) Quantile(p float64) float64 {
 	return h.UpperBounds[len(h.UpperBounds)-1]
 }
 
-// Registry names every counter and sample of one run's core.Metrics and
-// exports them on demand. It holds no state of its own: Gather reads
-// the live bundle, so it must be called from the simulation goroutine
-// (or after the run); see Live for serving scrapes concurrently.
+// Registry names every counter and sample of one run's metric bundle
+// and exports them on demand. A registry wraps either an OSU-MAC
+// core.Metrics (NewRegistry) or a baseline protocol's baseline.Metrics
+// (NewBaselineRegistry); both expose the same Gather/Export/exposition
+// surface. It holds no state of its own: Gather reads the live bundle,
+// so it must be called from the simulation goroutine (or after the
+// run); see Live for serving scrapes concurrently.
 type Registry struct {
 	m      *core.Metrics
+	b      *baseline.Metrics // baseline mode when non-nil (see baseline.go)
+	label  string            // snapshot label stamped into Exports
 	extras []extraGauge
 }
 
@@ -267,6 +273,9 @@ const GPSDeadlineSeconds = float64(phy.GPSAccessDeadline) / 1e9
 // Gather snapshots every registered metric in stable order. The result
 // shares no state with the live bundle.
 func (r *Registry) Gather() []Metric {
+	if r.b != nil {
+		return r.gatherBaseline()
+	}
 	out := make([]Metric, 0, len(counterDescs)+len(gaugeDescs)+len(histDescs)+len(r.extras))
 	for _, d := range counterDescs {
 		out = append(out, Metric{Name: d.name, Help: d.help, Kind: KindCounter, Value: float64(d.get(r.m))})

@@ -16,6 +16,10 @@ import (
 // only ever read a complete Export, so the simulation goroutine can
 // keep mutating the live core.Metrics between publishes.
 type Export struct {
+	// Label identifies the snapshot's source when one artifact sits in
+	// a set of others — the protocol name in tournament exports
+	// ("prma", "osu-mac", ...). Empty for plain single-run snapshots.
+	Label   string            `json:"label,omitempty"`
 	Metrics []Metric          `json:"metrics"`
 	Series  []core.CyclePoint `json:"series"`
 	// Spans is the critical-path phase distribution of the stitched
@@ -34,9 +38,13 @@ type Export struct {
 // Export builds a snapshot for publishing. It copies the series slice
 // so the caller may keep appending to the live one.
 func (r *Registry) Export(cycle int, at time.Duration, done bool) *Export {
-	series := make([]core.CyclePoint, len(r.m.Series))
-	copy(series, r.m.Series)
+	var series []core.CyclePoint
+	if r.m != nil {
+		series = make([]core.CyclePoint, len(r.m.Series))
+		copy(series, r.m.Series)
+	}
 	return &Export{
+		Label:   r.label,
 		Metrics: r.Gather(),
 		Series:  series,
 		Cycle:   cycle,

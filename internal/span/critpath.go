@@ -197,6 +197,42 @@ func NewDistribution(set *Set) *Distribution {
 	return d
 }
 
+// Merge folds another distribution into d. Both must carry the full
+// causal phase list (as NewDistribution produces); the tournament uses
+// this to aggregate one distribution per protocol across the load grid.
+func (d *Distribution) Merge(o *Distribution) {
+	d.Traces += o.Traces
+	d.Complete += o.Complete
+	d.Violations += o.Violations
+	d.Stale += o.Stale
+	d.Retx += o.Retx
+	if len(d.Phases) == 0 {
+		d.Phases = make([]PhaseStats, len(o.Phases))
+		for i, ps := range o.Phases {
+			cp := ps
+			cp.Buckets = append([]uint64(nil), ps.Buckets...)
+			d.Phases[i] = cp
+		}
+		return
+	}
+	for i := range o.Phases {
+		if i >= len(d.Phases) || d.Phases[i].Phase != o.Phases[i].Phase {
+			continue
+		}
+		dp, op := &d.Phases[i], &o.Phases[i]
+		dp.Count += op.Count
+		dp.TotalSeconds += op.TotalSeconds
+		if op.MaxSeconds > dp.MaxSeconds {
+			dp.MaxSeconds = op.MaxSeconds
+		}
+		for j := range op.Buckets {
+			if j < len(dp.Buckets) {
+				dp.Buckets[j] += op.Buckets[j]
+			}
+		}
+	}
+}
+
 // Phase returns the stats for a named phase, or nil.
 func (d *Distribution) Phase(name string) *PhaseStats {
 	for i := range d.Phases {

@@ -56,6 +56,14 @@ const (
 // phaseCount is one past the highest defined Phase.
 const phaseCount = int(PhaseDecode) + 1
 
+// PhaseReservationWait is the protocol-agnostic reading of PhaseCFWait:
+// demand known at the base until the serving grant. For OSU-MAC that
+// wait ends at a control-field announcement (hence the historical
+// name); for the baseline protocols it ends at the frame whose data
+// slot serves the fragment. The two are one phase — league tables and
+// cross-protocol breakdowns label the same column either way.
+const PhaseReservationWait = PhaseCFWait
+
 // String implements fmt.Stringer.
 func (p Phase) String() string {
 	switch p {

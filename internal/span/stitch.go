@@ -8,6 +8,7 @@ import (
 
 	"github.com/osu-netlab/osumac/internal/core"
 	"github.com/osu-netlab/osumac/internal/frame"
+	"github.com/osu-netlab/osumac/internal/phy"
 )
 
 // Stitch folds a recorded trace-event stream into lifecycle traces.
@@ -53,12 +54,16 @@ var stitchIgnored = [...]core.EventKind{
 	core.EventGPSLeft,
 }
 
-// cycleInfo is the per-cycle context gathered in the indexing pass.
+// cycleInfo is the per-cycle context gathered in the indexing pass. A
+// baseline-protocol frame (EventFrameStart) fills baselineSlots instead
+// of format: its data slots divide phy.CycleLength evenly rather than
+// following a core.Layout.
 type cycleInfo struct {
-	at       time.Duration
-	atKnown  bool
-	format   core.ReverseFormat // 0 when unparseable
-	gpsGrant map[frame.UserID]int
+	at            time.Duration
+	atKnown       bool
+	format        core.ReverseFormat // 0 when unparseable
+	baselineSlots int                // >0 for baseline frames
+	gpsGrant      map[frame.UserID]int
 }
 
 // fragSeg is one received data fragment placed on the timeline.
@@ -131,6 +136,27 @@ func (st *stitcher) indexCycles(events []core.TraceEvent) {
 			case core.Format2.String():
 				ci.format = core.Format2
 			}
+		case core.EventFrameStart:
+			// Baseline-protocol frame boundary: the frame-level analogue
+			// of EventCycleStart, with the data-slot count in Slot.
+			ci := st.cycle(e.Cycle)
+			if !ci.atKnown {
+				ci.at = e.At
+				ci.atKnown = true
+				st.cycleIdx = append(st.cycleIdx, e.Cycle)
+			}
+			if e.Slot > 0 {
+				ci.baselineSlots = e.Slot
+			}
+			// A frame-start announces a whole frame, so the stream is
+			// known to extend to the frame's end even if no later event
+			// survives (e.g. under user sampling, where only this
+			// carrier-less boundary event is guaranteed through). Keeping
+			// lastAt sampling-invariant keeps unfinished-trace endpoints
+			// identical between full and sampled stitches.
+			if end := e.At + phy.CycleLength; end > st.lastAt {
+				st.lastAt = end
+			}
 		case core.EventGPSSlotGrant:
 			ci := st.cycle(e.Cycle)
 			if ci.gpsGrant == nil {
@@ -190,9 +216,11 @@ func (st *stitcher) consume(e core.TraceEvent) {
 				break
 			}
 		}
-	case core.EventReservationRx, core.EventPiggybackRx:
+	case core.EventReservationRx, core.EventPiggybackRx, core.EventReservationGrant:
 		// The base now knows the user's whole queue: every open message
 		// without a heard demand is covered by this announcement.
+		// EventReservationGrant is the baseline-side form (PRMA slot
+		// capture, D-TDMA/RAMA booking, DRMA piggyback, FAMA floor).
 		for _, b := range st.msgs[e.User] {
 			if !b.hasDemand {
 				b.hasDemand = true
@@ -361,6 +389,26 @@ func (st *stitcher) dataSlotTimes(evCycle, slot int, at time.Duration) fragSeg {
 	for _, c := range []int{evCycle, evCycle - 1} {
 		ci := st.cycles[c]
 		if ci == nil || !ci.atKnown {
+			continue
+		}
+		if ci.baselineSlots > 0 {
+			// Baseline frame: slots divide the frame evenly and the
+			// receipt fires at the slot end. The grant is announced in
+			// the frame's reservation phase, i.e. at the frame start.
+			if slot < 0 || slot >= ci.baselineSlots {
+				continue
+			}
+			slotDur := phy.CycleLength / time.Duration(ci.baselineSlots)
+			start := ci.at + time.Duration(slot)*slotDur
+			if start+slotDur == at {
+				return fragSeg{
+					cycle:     c,
+					slot:      slot,
+					grantAt:   ci.at,
+					slotStart: start,
+					slotEnd:   at,
+				}
+			}
 			continue
 		}
 		l, ok := st.layout(ci.format)

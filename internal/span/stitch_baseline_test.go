@@ -1,0 +1,123 @@
+package span_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/baseline"
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/phy"
+	"github.com/osu-netlab/osumac/internal/span"
+)
+
+// runBaselineTraced executes one baseline protocol with tracing on and
+// returns the materialized event stream.
+func runBaselineTraced(t *testing.T, name string, load float64, frames int) []core.TraceEvent {
+	t.Helper()
+	buf := &core.TraceBuffer{Cap: 1 << 20}
+	if _, err := baseline.Run(baseline.Config{
+		Protocol: baseline.ByName(name),
+		Users:    10,
+		Frames:   frames,
+		Load:     load,
+		Seed:     5,
+		Tracer:   buf,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Dropped() != 0 {
+		t.Fatalf("trace buffer dropped %d events", buf.Dropped())
+	}
+	return buf.Events()
+}
+
+// TestStitchBaselineLifecycles tiles every baseline protocol's traces
+// into the shared six-phase model: complete message lifecycles must be
+// gap-free from arrival to completion and carry airtime.
+func TestStitchBaselineLifecycles(t *testing.T) {
+	for _, p := range baseline.All() {
+		name := p.Name()
+		t.Run(name, func(t *testing.T) {
+			set := span.Stitch(runBaselineTraced(t, name, 0.6, 400))
+			if len(set.Traces) == 0 {
+				t.Fatal("stitched no traces")
+			}
+			complete := 0
+			for _, tr := range set.Traces {
+				if tr.Kind != span.KindMessage {
+					t.Fatalf("baseline runs carry no GPS service, got trace kind %v", tr.Kind)
+				}
+				if !tr.Complete {
+					continue
+				}
+				complete++
+				cursor := tr.Start
+				hasAirtime := false
+				for _, s := range tr.Spans[1:] { // Spans[0] is the root
+					if s.Start != cursor {
+						t.Fatalf("%s: phase %v starts at %v, cursor %v — gap in the tiling",
+							name, s.Phase, s.Start, cursor)
+					}
+					cursor = s.End
+					if s.Phase == span.PhaseAirtime {
+						hasAirtime = true
+					}
+				}
+				if cursor != tr.End {
+					t.Fatalf("%s: phases end at %v, trace ends at %v", name, cursor, tr.End)
+				}
+				if !hasAirtime {
+					t.Fatalf("%s: complete message without airtime", name)
+				}
+			}
+			if complete == 0 {
+				t.Fatal("no complete message lifecycles")
+			}
+		})
+	}
+}
+
+// TestStitchBaselineAirtimeOnSlotGrid pins the frame reconstruction:
+// airtime recovered from frame-start events must sit exactly on the
+// synthesized slot grid.
+func TestStitchBaselineAirtimeOnSlotGrid(t *testing.T) {
+	set := span.Stitch(runBaselineTraced(t, "prma", 0.6, 300))
+	slotDur := phy.CycleLength / time.Duration(phy.Format1DataSlots)
+	checked := 0
+	for _, tr := range set.Traces {
+		if !tr.Complete {
+			continue
+		}
+		for _, s := range tr.Spans[1:] {
+			if s.Phase != span.PhaseAirtime {
+				continue
+			}
+			checked++
+			if s.Start%slotDur != 0 || s.End%slotDur != 0 {
+				t.Fatalf("airtime [%v, %v] off the %v slot grid", s.Start, s.End, slotDur)
+			}
+			if s.End <= s.Start {
+				t.Fatalf("empty airtime span [%v, %v]", s.Start, s.End)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no airtime spans checked")
+	}
+}
+
+// TestStitchBaselineReservationWait asserts the cf-wait phase
+// generalizes to reservation-wait: every reservation-based baseline
+// shows time between demand registration and the granted slot.
+func TestStitchBaselineReservationWait(t *testing.T) {
+	for _, name := range []string{"prma", "d-tdma", "rama", "drma"} {
+		t.Run(name, func(t *testing.T) {
+			set := span.Stitch(runBaselineTraced(t, name, 0.7, 400))
+			d := span.NewDistribution(set)
+			ps := d.Phase(span.PhaseReservationWait.String())
+			if ps == nil || ps.Count == 0 {
+				t.Fatalf("no %s spans stitched", span.PhaseReservationWait)
+			}
+		})
+	}
+}
