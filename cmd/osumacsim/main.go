@@ -20,12 +20,18 @@
 // freedom. The verdict is appended to the report and any breach makes
 // the command exit nonzero.
 //
+// With -cells N (N > 1) it instead runs a multi-cell metro deployment
+// on a wired backbone and prints a deterministic digest report; adding
+// -sharded runs one kernel shard per cell with conservative-lookahead
+// barriers, byte-identical to the serial engine at any GOMAXPROCS.
+//
 // Examples:
 //
 //	osumacsim -gps 8 -data 10 -load 0.9 -cycles 500 -loss 0.05
 //	osumacsim -cycles 5000 -http :8080 -hold 1m
 //	osumacsim -cycles 300 -spans -export run-a.json
 //	osumacsim -gps 7 -data 8 -load 1.0 -cycles 500 -conformance
+//	osumacsim -cells 100 -gps 1 -data 5 -warmup 2 -cycles 4 -sharded -json
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 
 	osumac "github.com/osu-netlab/osumac"
 	"github.com/osu-netlab/osumac/internal/conformance"
+	"github.com/osu-netlab/osumac/internal/experiments"
 	"github.com/osu-netlab/osumac/internal/flight"
 	"github.com/osu-netlab/osumac/internal/obs"
 	"github.com/osu-netlab/osumac/internal/phy"
@@ -78,6 +85,11 @@ func run(args []string, out io.Writer) error {
 		conf       = fs.Bool("conformance", false, "check protocol invariants at runtime and exit nonzero on any breach")
 		legacy     = fs.Bool("legacy-grants", false, "restore the pre-deadline-aware fixed GPS grant ordering (ablation baseline)")
 
+		cells     = fs.Int("cells", 1, "OSU-MAC cells on a wired backbone; >1 selects the multi-cell metro path")
+		shardedOn = fs.Bool("sharded", false, "run each cell on its own kernel shard (conservative-lookahead barriers); results are byte-identical to the serial engine")
+		wireDelay = fs.Duration("wire-delay", phy.CycleLength, "one-way backbone latency between base stations (multi-cell only)")
+		lookahead = fs.Duration("lookahead", 0, "sharded barrier window, 0 = wire delay (multi-cell only)")
+
 		flightOn       = fs.Bool("flight-recorder", false, "keep an always-on ring of trace events and dump it on anomalies (deadline misses, conformance breaches, fallback storms)")
 		dumpDir        = fs.String("dump-dir", ".", "directory receiving flight-recorder JSONL dumps")
 		flightCap      = fs.Int("flight-cap", 1<<14, "flight ring capacity in events (rounded up to a power of two)")
@@ -86,6 +98,26 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cells > 1 {
+		for name, on := range map[string]bool{
+			"-http": *httpAddr != "", "-spans": *spans, "-export": *exportPath != "",
+			"-conformance": *conf, "-flight-recorder": *flightOn,
+		} {
+			if on {
+				return fmt.Errorf("%s is single-cell only; drop it or use -cells 1", name)
+			}
+		}
+		return runMetro(out, metroArgs{
+			cells: *cells, gps: *gps, data: *data, load: *load,
+			seed: *seed, warmup: *warmup, cycles: *cycles,
+			wireDelay: *wireDelay, lookahead: *lookahead,
+			sharded: *shardedOn, asJSON: *asJSON,
+		})
+	}
+	if *shardedOn {
+		return fmt.Errorf("-sharded needs -cells > 1")
 	}
 
 	scn := osumac.Scenario{
@@ -237,6 +269,67 @@ func run(args []string, out io.Writer) error {
 				len(rep.Violations)+rep.Truncated, rep.Cycles)
 		}
 	}
+	return nil
+}
+
+// metroArgs carries the multi-cell flags into the metro path.
+type metroArgs struct {
+	cells, gps, data     int
+	load                 float64
+	seed                 uint64
+	warmup, cycles       int
+	wireDelay, lookahead time.Duration
+	sharded              bool
+	asJSON               bool
+}
+
+// runMetro drives a multi-cell deployment through the metro runner and
+// prints a deterministic report: same seed and population → identical
+// bytes, on either engine at any GOMAXPROCS. CI diffs the serial and
+// sharded outputs directly.
+func runMetro(out io.Writer, a metroArgs) error {
+	routed := 2
+	if a.data < routed {
+		routed = a.data
+	}
+	res, err := experiments.Metro(experiments.MetroOptions{
+		Cells:         a.cells,
+		GPSPerCell:    a.gps,
+		DataPerCell:   a.data - routed,
+		RoutedPerCell: routed,
+		Load:          a.load,
+		Seed:          a.seed,
+		Warmup:        a.warmup,
+		Cycles:        a.cycles,
+		WireDelay:     a.wireDelay,
+		Sharded:       a.sharded,
+		Lookahead:     a.lookahead,
+	})
+	if err != nil {
+		return err
+	}
+	if a.asJSON {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(b))
+		return nil
+	}
+	engine := "serial (single kernel)"
+	if a.sharded {
+		engine = "sharded (one kernel per cell)"
+	}
+	fmt.Fprintf(out, "metro: %d cells × (%d GPS + %d data) = %d subscribers, load %.2f, %d+%d cycles\n",
+		res.Cells, a.gps, a.data, res.Subscribers, a.load, a.warmup, a.cycles)
+	fmt.Fprintf(out, "engine: %s\n", engine)
+	fmt.Fprintln(out, "backbone")
+	fmt.Fprintf(out, "  ring sends accepted     %d\n", res.RingSends)
+	fmt.Fprintf(out, "  forwarded / delivered   %d / %d\n", res.Forwarded, res.Delivered)
+	fmt.Fprintf(out, "  end-to-end latency      %.4f s mean\n", res.MeanLatency)
+	fmt.Fprintln(out, "cells")
+	fmt.Fprintf(out, "  mean utilization        %.4f\n", res.Utilization)
+	fmt.Fprintf(out, "  metrics digest          %016x\n", res.Digest)
 	return nil
 }
 

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunMetroShardedMatchesSerial(t *testing.T) {
+	args := []string{"-cells", "12", "-gps", "1", "-data", "4",
+		"-warmup", "2", "-cycles", "3", "-json"}
+	var serial, sharded bytes.Buffer
+	if err := run(args, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-sharded"), &sharded); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != sharded.String() {
+		t.Fatalf("engines diverge:\nserial:\n%s\nsharded:\n%s", serial.String(), sharded.String())
+	}
+	if !strings.Contains(serial.String(), "\"Digest\"") {
+		t.Fatalf("metro JSON lacks the digest:\n%s", serial.String())
+	}
+}
+
+func TestRunMetroTextReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-cells", "8", "-gps", "0", "-data", "3",
+		"-warmup", "2", "-cycles", "3", "-sharded"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"metro: 8 cells", "sharded (one kernel per cell)",
+		"metrics digest", "forwarded / delivered"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("metro report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunMetroFlagValidation(t *testing.T) {
+	if err := run([]string{"-sharded"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-sharded without -cells accepted")
+	}
+	if err := run([]string{"-cells", "4", "-conformance"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-cells with -conformance accepted")
+	}
+	if err := run([]string{"-cells", "4", "-spans"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-cells with -spans accepted")
+	}
+}

@@ -1,0 +1,30 @@
+package backbone
+
+import (
+	"fmt"
+	"time"
+)
+
+// CellError reports which cell aborted a multi-cell run and the virtual
+// time its kernel had reached when it stopped. Run wraps every
+// mid-flight internal cell failure in a CellError so that callers keep
+// the per-cell partial progress context a bare kernel error would
+// discard; errors.As unwraps to the underlying cause (typically a
+// *core.InternalError). When several shards fail inside one barrier
+// window, the earliest failure — by (At, Cell) — is reported.
+type CellError struct {
+	// Cell is the failed cell's index.
+	Cell int
+	// At is the virtual time the cell's kernel had reached.
+	At time.Duration
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *CellError) Error() string {
+	return fmt.Sprintf("backbone: cell %d failed at %v: %v", e.Cell, e.At, e.Err)
+}
+
+// Unwrap supports errors.Is/As chains.
+func (e *CellError) Unwrap() error { return e.Err }

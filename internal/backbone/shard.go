@@ -1,0 +1,194 @@
+// The sharded engine: one kernel shard per cell on a dedicated
+// goroutine, synchronized by conservative-lookahead barriers.
+//
+// # Barrier protocol
+//
+// A run from committed time T to horizon H proceeds in windows of
+// length L = Options.Lookahead (L ≤ WireDelay):
+//
+//	w = T
+//	while w < H:  every shard RunBefore(min(w+L, H)); barrier; exchange
+//	finally:      every shard Run(H) (inclusive);      barrier; exchange
+//
+// Inside a window a shard executes only its own cell's events. The
+// lookahead invariant makes this safe: a cross-cell send generated at
+// time t delivers at t+WireDelay ≥ w+L, i.e. at or after the window's
+// end barrier, so no shard can ever need an event another shard has
+// not yet exchanged. Deliveries are inserted at the barrier, before
+// any shard enters the window that could execute them.
+//
+// The final inclusive Run(H) step exists because RunBefore is
+// exclusive: events scheduled exactly at the horizon (a delivery whose
+// wire delay divides the run length, the last reverse-slot runway
+// instant) must still fire inside this Run call, exactly as the serial
+// engine's inclusive kernel.Run(H) fires them.
+//
+// # Determinism
+//
+// Shards share no mutable state: each cell owns its RNG fork
+// (Seed+i), metrics, codec scratch, and trace tap, and the per-cell
+// pending/sequence tables are partitioned by cell. The only cross-cell
+// coupling is the exchanged sends, whose order is pinned by the
+// (deliverAt, src, seq) merge (see exchange.go) — independent of
+// goroutine scheduling, barrier arrival order, and GOMAXPROCS. Shard
+// goroutines communicate exclusively through one command channel per
+// shard and a WaitGroup barrier, both of which establish the
+// happens-before edges the coordinator needs to read shard state.
+package backbone
+
+import (
+	"sync"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/core"
+	"github.com/osu-netlab/osumac/internal/sim"
+)
+
+// window is one barrier-delimited work order for a shard.
+type window struct {
+	limit     time.Duration
+	inclusive bool // final step: run events at the horizon itself
+}
+
+// shard is one cell's private kernel plus its exchange state.
+type shard struct {
+	idx    int
+	kernel *sim.Simulator
+	cell   *core.Network
+	in     *Internet
+
+	cmd chan window
+	wg  *sync.WaitGroup
+
+	// outbox collects the window's cross-cell sends; the coordinator
+	// drains it at the barrier.
+	outbox []xsend
+	// forwarded/delivered are running totals folded into the Internet
+	// counters at barriers.
+	forwarded uint64
+	delivered uint64
+
+	err *CellError
+}
+
+// loop processes barrier windows until the coordinator closes cmd.
+// Deterministic dispatch: a single-receiver channel range, no select.
+func (s *shard) loop() {
+	for w := range s.cmd {
+		s.runWindow(w)
+		s.wg.Done()
+	}
+}
+
+// runWindow advances the shard's kernel to the window limit. After a
+// failure the shard holds position and reports the same error.
+func (s *shard) runWindow(w window) {
+	if s.err != nil {
+		return
+	}
+	var err error
+	if w.inclusive {
+		err = s.kernel.Run(w.limit)
+	} else {
+		err = s.kernel.RunBefore(w.limit)
+	}
+	if err != nil {
+		cause := s.cell.Err()
+		if cause == nil {
+			cause = err
+		}
+		s.err = &CellError{Cell: s.idx, At: s.kernel.Now(), Err: cause}
+	}
+}
+
+// execDeliver executes one exchanged delivery inside this (destination)
+// shard's kernel.
+func (s *shard) execDeliver(x xsend) {
+	if s.in.deliver(&x) {
+		s.delivered++
+	}
+}
+
+// runSharded drives one Run call on the sharded engine.
+func (in *Internet) runSharded(cycles int) error {
+	start := in.committed
+	for _, cell := range in.cells {
+		if err := cell.ScheduleCycles(cycles, start); err != nil {
+			return err
+		}
+	}
+	horizon := horizonFor(start, cycles)
+
+	var wg sync.WaitGroup
+	for _, s := range in.shards {
+		s.cmd = make(chan window)
+		s.wg = &wg
+		go s.loop()
+	}
+	defer func() {
+		for _, s := range in.shards {
+			close(s.cmd)
+		}
+	}()
+
+	var failure *CellError
+	w := start
+	for {
+		win := window{limit: horizon, inclusive: true}
+		if w < horizon {
+			win = window{limit: w + in.lookahead}
+			if win.limit > horizon {
+				win.limit = horizon
+			}
+		}
+		wg.Add(len(in.shards))
+		for _, s := range in.shards {
+			s.cmd <- win
+		}
+		wg.Wait()
+		for _, s := range in.shards {
+			if s.err != nil && (failure == nil || s.err.At < failure.At ||
+				(s.err.At == failure.At && s.err.Cell < failure.Cell)) {
+				failure = s.err
+			}
+		}
+		if failure != nil {
+			break
+		}
+		in.exchange()
+		in.committed = win.limit
+		if win.inclusive {
+			for _, cell := range in.cells {
+				cell.FlushSeries()
+			}
+		}
+		in.applyLatencies(in.committed)
+		in.flushTraces()
+		if win.inclusive {
+			break
+		}
+		w = win.limit
+	}
+	in.syncCounters()
+	if failure != nil {
+		in.flushTraces()
+		return failure
+	}
+	return nil
+}
+
+// syncCounters folds the shards' running forward/deliver totals into
+// the Internet counters.
+func (in *Internet) syncCounters() {
+	var fwd, del uint64
+	for _, s := range in.shards {
+		fwd += s.forwarded
+		del += s.delivered
+	}
+	if d := fwd - in.Forwarded.Value(); d > 0 {
+		in.Forwarded.Addn(d)
+	}
+	if d := del - in.Delivered.Value(); d > 0 {
+		in.Delivered.Addn(d)
+	}
+}

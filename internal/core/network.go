@@ -177,6 +177,13 @@ func (n *Network) Cycle() int { return n.cycle }
 // check it after the kernel stops.
 func (n *Network) Err() error { return n.runErr }
 
+// Abort injects an internal failure: it records err as the run error
+// and halts this cell's kernel, exactly as an internal invariant
+// violation would. Multi-cell drivers (see internal/backbone) use it to
+// exercise their partial-failure surfacing; like any internal error it
+// poisons the network for further runs.
+func (n *Network) Abort(op string, err error) { n.fail(op, err) }
+
 // fail records the first internal error and halts the kernel; scheduled
 // events after the current one never fire.
 func (n *Network) fail(op string, err error) {

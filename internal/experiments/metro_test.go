@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"github.com/osu-netlab/osumac/internal/phy"
+)
+
+// metroCI is a CI-sized metro slice: enough cells for real exchange
+// pressure, small enough for the test suite.
+func metroCI(sharded bool) MetroOptions {
+	return MetroOptions{
+		Cells:         40,
+		GPSPerCell:    1,
+		DataPerCell:   3,
+		RoutedPerCell: 2,
+		Load:          0.8,
+		Seed:          42,
+		Warmup:        2,
+		Cycles:        4,
+		WireDelay:     phy.CycleLength,
+		Sharded:       sharded,
+	}
+}
+
+// TestMetroShardedMatchesSerial: the metro runner's digest — FNV over
+// every per-cell metrics snapshot plus the backbone counters and
+// latency samples — must be engine-independent.
+func TestMetroShardedMatchesSerial(t *testing.T) {
+	serial, err := Metro(metroCI(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Metro(metroCI(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Digest != sharded.Digest {
+		t.Fatalf("metro digests diverge: serial %x, sharded %x\nserial: %+v\nsharded: %+v",
+			serial.Digest, sharded.Digest, serial, sharded)
+	}
+	if serial.Forwarded == 0 || serial.Delivered == 0 {
+		t.Fatalf("ring traffic never crossed the backbone: %+v", serial)
+	}
+	if serial.Subscribers != 40*6 {
+		t.Fatalf("subscriber count %d, want %d", serial.Subscribers, 40*6)
+	}
+}
+
+// TestMetroDigestIsStableAcrossLookahead: the barrier window must stay a
+// pure performance knob at metro scale too.
+func TestMetroDigestIsStableAcrossLookahead(t *testing.T) {
+	ref, err := Metro(metroCI(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := metroCI(true)
+	narrow.Lookahead = 500 * time.Millisecond
+	got, err := Metro(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Digest != got.Digest {
+		t.Fatalf("lookahead changed the metro digest: %x vs %x", ref.Digest, got.Digest)
+	}
+}
+
+// TestMetroValidation pins the capacity checks.
+func TestMetroValidation(t *testing.T) {
+	bad := metroCI(true)
+	bad.DataPerCell = phy.MaxDataUsers
+	if _, err := Metro(bad); err == nil {
+		t.Fatal("over-capacity cell accepted")
+	}
+	bad = metroCI(true)
+	bad.Cells = 1 << 15
+	bad.RoutedPerCell = 2
+	if _, err := Metro(bad); err == nil {
+		t.Fatal("routed population beyond the 16-bit address space accepted")
+	}
+	bad = metroCI(true)
+	bad.Cells = 0
+	if _, err := Metro(bad); err == nil {
+		t.Fatal("zero cells accepted")
+	}
+}

@@ -30,11 +30,25 @@ var randConstructors = map[string]bool{
 	"NewChaCha8": true,
 }
 
+// wallClockWaits are the time-package functions that block on (or fire
+// from) the process's wall clock. The sharded backbone engine runs real
+// goroutines, so a stray sleep or timer would couple barrier timing to
+// host scheduling; all waiting must go through channel receives and
+// WaitGroup barriers whose ordering the coordinator pins.
+var wallClockWaits = map[string]bool{
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
 // Determinism forbids wall-clock and ambient-randomness escapes in the
 // scheduling-critical packages.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "forbid time.Now, global math/rand, and multi-case selects in core, sched, sim, backbone, traffic",
+	Doc:  "forbid time.Now, wall-clock waits, global math/rand, and multi-case selects in core, sched, sim, backbone, traffic",
 	Run:  runDeterminism,
 }
 
@@ -65,6 +79,9 @@ func runDeterminism(pass *Pass) {
 				case "time":
 					if fn.Name() == "Now" {
 						pass.Reportf(n.Pos(), "time.Now breaks simulation determinism; use the virtual clock (sim.Simulator.Now)")
+					}
+					if wallClockWaits[fn.Name()] {
+						pass.Reportf(n.Pos(), "time.%s waits on the wall clock; simulation code must wait on virtual-clock events or pinned channel/WaitGroup barriers", fn.Name())
 					}
 				case "math/rand", "math/rand/v2":
 					if !randConstructors[fn.Name()] {

@@ -16,6 +16,12 @@ func Jitter() int { return rand.Intn(8) }
 // Seeded builds an explicit generator, which is allowed.
 func Seeded() *rand.Rand { return rand.New(rand.NewSource(1)) }
 
+// Nap blocks simulation progress on the wall clock.
+func Nap() { time.Sleep(time.Millisecond) }
+
+// Deadline arms a wall-clock timer channel.
+func Deadline() <-chan time.Time { return time.After(time.Second) }
+
 // Race selects between two channels nondeterministically.
 func Race(a, b chan int) int {
 	select {

@@ -25,11 +25,18 @@ type Priority int
 
 // Standard priorities. Most events use PriorityNormal; channel-delivery
 // events use PriorityDeliver so that receptions complete before the next
-// slot's control logic runs at the same instant.
+// slot's control logic runs at the same instant. PriorityBackbone is
+// reserved for cross-cell backbone deliveries: it sorts after every
+// local event at the same instant, so a delivery's position in the
+// total order depends only on its (time, source cell, source sequence)
+// key and never on the scheduling interleaving of unrelated cells —
+// the property that lets the sharded multi-cell engine reproduce the
+// single-kernel order exactly (see internal/backbone).
 const (
-	PriorityDeliver Priority = -10
-	PriorityNormal  Priority = 0
-	PriorityLate    Priority = 10
+	PriorityDeliver  Priority = -10
+	PriorityNormal   Priority = 0
+	PriorityLate     Priority = 10
+	PriorityBackbone Priority = 20
 )
 
 // ErrStopped is returned by Run when the simulation was halted by Stop
@@ -275,6 +282,54 @@ func (s *Simulator) Run(horizon time.Duration) error {
 	}
 	if s.now < horizon {
 		s.now = horizon
+	}
+	return nil
+}
+
+// RunBefore executes events strictly before limit: every queued event
+// or source action with at < limit fires, events at or after limit stay
+// queued, and on normal completion the clock is left exactly at limit.
+// It is the windowed counterpart of Run (whose horizon is inclusive),
+// built for conservative-lookahead shard scheduling: a shard may safely
+// execute everything before the next barrier time while cross-shard
+// deliveries are guaranteed to be scheduled at or after it. Repeated
+// RunBefore calls with increasing limits partition a run into windows
+// that fire exactly the events one big Run would have fired, in the
+// same order. It returns ErrStopped if Stop was called, leaving the
+// clock at the stopping event's time.
+func (s *Simulator) RunBefore(limit time.Duration) error {
+	s.stopped = false
+	for {
+		src, at, ok := s.nextUp()
+		if !ok {
+			break
+		}
+		if s.stopped {
+			return ErrStopped
+		}
+		if at >= limit {
+			break
+		}
+		if src != nil {
+			s.now = at
+			s.fired++
+			src.FireAction()
+			continue
+		}
+		popped, popOK := heap.Pop(&s.queue).(*Event)
+		if !popOK {
+			return errors.New("sim: corrupt event queue")
+		}
+		s.now = popped.at
+		s.fired++
+		fn := popped.fn
+		popped.fn = nil
+		if fn != nil {
+			fn()
+		}
+	}
+	if s.now < limit {
+		s.now = limit
 	}
 	return nil
 }

@@ -349,3 +349,124 @@ func TestAfterPriorityOrdersAtSameInstant(t *testing.T) {
 		t.Fatal("clamped AfterPriority event did not fire")
 	}
 }
+
+func TestRunBeforeIsExclusive(t *testing.T) {
+	s := New()
+	var got []int
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	s.After(30*time.Millisecond, func() { got = append(got, 3) })
+	if err := s.RunBefore(20 * time.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("fired %v, want only the event before the limit", got)
+	}
+	if s.Now() != 20*time.Millisecond {
+		t.Fatalf("now = %v, want the limit", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+}
+
+func TestRunBeforeWindowsEqualOneRun(t *testing.T) {
+	schedule := func(s *Simulator, got *[]int) {
+		for i, at := range []time.Duration{5, 10, 10, 15, 20, 25, 30} {
+			i := i
+			p := PriorityNormal
+			if i == 2 {
+				p = PriorityBackbone
+			}
+			if _, err := s.At(at*time.Millisecond, p, func() { *got = append(*got, i) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	one := New()
+	var wantOrder []int
+	schedule(one, &wantOrder)
+	if err := one.Run(30 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	win := New()
+	var got []int
+	schedule(win, &got)
+	// Windows land both between events and exactly on event times; the
+	// final inclusive Run picks up events at the horizon itself.
+	for _, limit := range []time.Duration{7, 10, 20, 28} {
+		if err := win.RunBefore(limit * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if win.Now() != limit*time.Millisecond {
+			t.Fatalf("now = %v, want %v", win.Now(), limit*time.Millisecond)
+		}
+	}
+	if err := win.Run(30 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(wantOrder) {
+		t.Fatalf("windowed run fired %v, one-shot fired %v", got, wantOrder)
+	}
+	for i := range wantOrder {
+		if got[i] != wantOrder[i] {
+			t.Fatalf("windowed order %v != one-shot order %v", got, wantOrder)
+		}
+	}
+	if win.EventsFired() != one.EventsFired() {
+		t.Fatalf("fired %d events, want %d", win.EventsFired(), one.EventsFired())
+	}
+}
+
+func TestRunBeforeStop(t *testing.T) {
+	s := New()
+	s.After(10*time.Millisecond, func() { s.Stop() })
+	s.After(20*time.Millisecond, func() { t.Fatal("event after stop fired") })
+	if err := s.RunBefore(50 * time.Millisecond); !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Fatalf("now = %v, want the stopping event's time", s.Now())
+	}
+}
+
+func TestRunBeforePastLimitIsNoOp(t *testing.T) {
+	s := New()
+	s.After(40*time.Millisecond, func() {})
+	if err := s.Run(30 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunBefore(10 * time.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("now = %v, clock must never rewind", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want the future event untouched", s.Pending())
+	}
+}
+
+func TestPriorityBackboneSortsAfterLocalEvents(t *testing.T) {
+	s := New()
+	var got []string
+	at := 5 * time.Millisecond
+	if _, err := s.At(at, PriorityBackbone, func() { got = append(got, "bb") }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.At(at, PriorityLate, func() { got = append(got, "late") }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.At(at, PriorityNormal, func() { got = append(got, "normal") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"normal", "late", "bb"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}

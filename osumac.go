@@ -90,6 +90,12 @@ type (
 	Internet = backbone.Internet
 	// Address is a subscriber's global (EIN-based) address.
 	Address = backbone.Address
+	// InternetOptions configures a multi-cell deployment's execution
+	// engine (serial oracle or sharded per-cell kernels).
+	InternetOptions = backbone.Options
+	// CellError names the cell and virtual time of a mid-flight
+	// multi-cell run failure.
+	CellError = backbone.CellError
 	// ConformanceChecker verifies protocol invariants over the trace
 	// stream (see internal/conformance).
 	ConformanceChecker = conformance.Checker
@@ -117,6 +123,9 @@ var (
 	NewAWGN = phy.NewAWGN
 	// NewInternet builds a multi-cell deployment on one virtual clock.
 	NewInternet = backbone.New
+	// NewInternetWithOptions builds a multi-cell deployment with full
+	// engine control, including the sharded per-cell-kernel engine.
+	NewInternetWithOptions = backbone.NewWithOptions
 	// AllEventKinds lists every defined trace-event kind.
 	AllEventKinds = core.AllEventKinds
 	// ParseEventKind resolves an event-kind name (its String form).
